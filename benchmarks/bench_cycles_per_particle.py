@@ -1,0 +1,64 @@
+"""Section 4 Discussion (1): CPU cycles per particle per kernel.
+
+"The code uses about 160 thousand CPU cycles per particle for five digits
+of accuracy for the Laplacian kernel and about 200 thousand and 800
+thousand cycles for the modified Laplacian and Stokes respectively."
+
+We compute the model's single-processor cycles per particle for all
+three kernels at the paper's operating point (p=6, s=60, 512-sphere
+geometry) and check the orderings and rough magnitudes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import sphere_grid_points
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel, StokesKernel
+from repro.octree import build_lists, build_tree
+from repro.perfmodel import TCS1, cycles_per_particle, simulate_run
+from repro.util.tables import format_table
+
+from benchmarks.paper_data import CYCLES_PER_PARTICLE
+
+KERNELS = {
+    "laplace": LaplaceKernel(),
+    "modified_laplace": ModifiedLaplaceKernel(lam=1.0),
+    "stokes": StokesKernel(),
+}
+
+
+def _measure(n_model):
+    pts = sphere_grid_points(n_model)
+    tree = build_tree(pts, max_points=60)
+    lists = build_lists(tree)
+    out = {}
+    for name, kernel in KERNELS.items():
+        r = simulate_run(tree, lists, kernel, 6, 1, TCS1)
+        out[name] = cycles_per_particle(r, TCS1)["total"]
+    return out
+
+
+def test_cycles_per_particle(benchmark, bench_scale):
+    measured = benchmark.pedantic(
+        _measure, args=(bench_scale["N"],), rounds=1, iterations=1
+    )
+    rows = [
+        (name, CYCLES_PER_PARTICLE[name] / 1e3, measured[name] / 1e3,
+         measured[name] / CYCLES_PER_PARTICLE[name])
+        for name in KERNELS
+    ]
+    print()
+    print(format_table(
+        ("kernel", "paper Kcyc/pt", "model Kcyc/pt", "ratio"),
+        rows,
+        title="Cycles per particle (P=1, p=6, s=60, 512-sphere geometry)",
+    ))
+    # orderings: Laplace < modified Laplace < Stokes, Stokes >= 3x Laplace
+    assert measured["laplace"] < measured["modified_laplace"]
+    assert measured["modified_laplace"] < measured["stokes"]
+    assert measured["stokes"] > 3 * measured["laplace"]
+    # magnitudes within a small factor of the paper's numbers
+    for name in KERNELS:
+        ratio = measured[name] / CYCLES_PER_PARTICLE[name]
+        assert 0.2 < ratio < 10.0, f"{name}: ratio {ratio}"

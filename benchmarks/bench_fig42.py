@@ -1,0 +1,100 @@
+"""Figure 4.2 — fixed-size scalability charts.
+
+Left column: aggregate CPU cycles per particle, stacked by phase (Up,
+Comm, DownU, DownV, DownW, DownX, Eval).  Right column: Mflops/s per
+processor (average, peak, max/min) and the flop-rate/work efficiencies.
+Printed as series tables (the repository is plot-free by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import corner_clusters, sphere_grid_points
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel, StokesKernel
+from repro.octree import build_lists, build_tree
+from repro.perfmodel import TCS1, cycles_per_particle, simulate_run
+from repro.perfmodel.costs import compute_work
+from repro.perfmodel.metrics import (
+    flop_rate_efficiency,
+    mflops_per_processor,
+    work_efficiency,
+)
+from repro.util.tables import format_table
+
+PAPER_N = 3_200_000
+P_LIST = (1, 4, 8, 16, 64, 256, 512, 1024)
+
+_CASES = {
+    "laplace_uniform": (LaplaceKernel(), "spheres"),
+    "modified_laplace_uniform": (ModifiedLaplaceKernel(lam=1.0), "spheres"),
+    "stokes_nonuniform": (StokesKernel(), "corners"),
+}
+
+
+def _series(kernel, workload, n_model):
+    pts = (
+        sphere_grid_points(n_model)
+        if workload == "spheres"
+        else corner_clusters(n_model, np.random.default_rng(42))
+    )
+    tree = build_tree(pts, max_points=60)
+    lists = build_lists(tree)
+    work = compute_work(tree, lists, kernel, 6)
+    scale = PAPER_N / pts.shape[0]
+    reports = [
+        simulate_run(tree, lists, kernel, 6, P, TCS1, work=work,
+                     grain_scale=scale, n_override=PAPER_N)
+        for P in P_LIST
+    ]
+    cycle_rows, rate_rows = [], []
+    serial = reports[0]
+    for r in reports:
+        c = cycles_per_particle(r, TCS1)
+        cycle_rows.append(
+            (r.P, c["up"] / 1e3, c["comm"] / 1e3, c["down_u"] / 1e3,
+             c["down_v"] / 1e3, c["down_w"] / 1e3, c["down_x"] / 1e3,
+             c["eval"] / 1e3, c["total"] / 1e3)
+        )
+        rates = mflops_per_processor(r)
+        rate_rows.append(
+            (r.P, rates["avg"], rates["peak"], rates["max"], rates["min"],
+             work_efficiency(serial, r), flop_rate_efficiency(serial, r))
+        )
+    return cycle_rows, rate_rows
+
+
+@pytest.mark.parametrize("case", list(_CASES))
+def test_fig42(benchmark, case, bench_scale):
+    kernel, workload = _CASES[case]
+    cycle_rows, rate_rows = benchmark.pedantic(
+        _series, args=(kernel, workload, bench_scale["N"]), rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ("P", "Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval",
+         "Total"),
+        cycle_rows,
+        title=f"Figure 4.2 / {case}: aggregate Kcycles per particle by phase",
+    ))
+    print()
+    print(format_table(
+        ("P", "Avg MF/s", "Peak MF/s", "Max", "Min", "WorkEff", "RateEff"),
+        rate_rows,
+        title=f"Figure 4.2 / {case}: per-processor rates and efficiencies",
+    ))
+    # shape assertions mirroring the paper's reading of the figure:
+    # cycles/particle roughly flat through 256 procs ("only a small
+    # increase in the total work per particle")
+    totals = {row[0]: row[-1] for row in cycle_rows}
+    assert totals[256] < 3.0 * totals[1]
+    # work efficiency good at 64, degraded at 1024 (too fine a grain)
+    eff = {row[0]: row[5] for row in rate_rows}
+    assert eff[64] > 0.5
+    assert eff[1024] < eff[64]
+    if case == "stokes_nonuniform":
+        # DownV (M2L) is a dominant downward phase for the paper's setup
+        p1 = cycle_rows[0]
+        assert p1[4] > p1[5] and p1[4] > p1[6]

@@ -1,0 +1,82 @@
+"""Figure 4.3 — isogranular scalability charts.
+
+Aggregate cycles per particle by phase and per-processor Mflops/s for
+Laplace uniform, Stokes uniform and Stokes non-uniform at 200K particles
+per processor — the chart form of Table 4.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import corner_clusters, sphere_grid_points
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.perfmodel import TCS1, cycles_per_particle
+from repro.perfmodel.experiments import isogranular_scaling
+from repro.perfmodel.metrics import flop_rate_efficiency, mflops_per_processor
+from repro.util.tables import format_table
+
+GRAIN = 200_000
+P_LIST = (1, 4, 16, 64, 256, 1024, 2048)
+
+_CASES = {
+    "laplace_uniform": (LaplaceKernel(), "spheres"),
+    "stokes_uniform": (StokesKernel(), "spheres"),
+    "stokes_nonuniform": (StokesKernel(), "corners"),
+}
+
+
+def _series(kernel, workload, cap):
+    gen = (
+        (lambda n: sphere_grid_points(n))
+        if workload == "spheres"
+        else (lambda n: corner_clusters(n, np.random.default_rng(43)))
+    )
+    reports = isogranular_scaling(
+        kernel, gen, GRAIN, P_LIST, p=6, max_points=60, model_cap=cap
+    )
+    cycle_rows, rate_rows = [], []
+    serial = reports[0]
+    for r in reports:
+        c = cycles_per_particle(r, TCS1)
+        cycle_rows.append(
+            (r.P, c["up"] / 1e3, c["comm"] / 1e3, c["down_u"] / 1e3,
+             c["down_v"] / 1e3, c["down_w"] / 1e3, c["down_x"] / 1e3,
+             c["eval"] / 1e3, c["total"] / 1e3)
+        )
+        rates = mflops_per_processor(r)
+        rate_rows.append(
+            (r.P, rates["avg"], rates["peak"], rates["max"], rates["min"],
+             flop_rate_efficiency(serial, r))
+        )
+    return cycle_rows, rate_rows
+
+
+@pytest.mark.parametrize("case", list(_CASES))
+def test_fig43(benchmark, case, bench_scale):
+    kernel, workload = _CASES[case]
+    cycle_rows, rate_rows = benchmark.pedantic(
+        _series, args=(kernel, workload, bench_scale["cap"]), rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ("P", "Up", "Comm", "DownU", "DownV", "DownW", "DownX", "Eval",
+         "Total"),
+        cycle_rows,
+        title=f"Figure 4.3 / {case}: aggregate Kcycles per particle by phase",
+    ))
+    print()
+    print(format_table(
+        ("P", "Avg MF/s", "Peak MF/s", "Max", "Min", "RateEff"),
+        rate_rows,
+        title=f"Figure 4.3 / {case}: per-processor rates",
+    ))
+    # isogranular shape: per-particle cycles roughly flat in P
+    totals = {row[0]: row[-1] for row in cycle_rows}
+    assert totals[2048] < 5.0 * totals[1]
+    # flop-rate efficiency stays high (the paper reports ~80% for
+    # Laplace at 2048, ~65% for the non-uniform Stokes case)
+    eff = {row[0]: row[-1] for row in rate_rows}
+    assert eff[2048] > 0.3

@@ -1,0 +1,59 @@
+"""Ablation: leaf capacity s (the paper's 60, or 120 for the big runs).
+
+Section 4: "For all the other experiments we have used rough 60
+particles per box, while in this experiment we use 120 particles per box
+to slightly reduce the costs of tree construction."  The classical FMM
+tuning curve: small s shifts work into M2L translations, large s into
+dense near-field interactions; the optimum balances the two.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels import LaplaceKernel
+from repro.util.tables import format_table
+
+N = 12_000
+S_SWEEP = (15, 30, 60, 120, 240)
+
+
+def _run_sweep():
+    rng = np.random.default_rng(52)
+    pts = rng.uniform(-1, 1, size=(N, 3))
+    phi = rng.random((N, 1))
+    rows = []
+    for s in S_SWEEP:
+        fmm = KIFMM(LaplaceKernel(), FMMOptions(p=6, max_points=s)).setup(pts)
+        fmm.apply(phi)  # warm operator caches
+        fmm.flops.reset()
+        t0 = time.perf_counter()
+        fmm.apply(phi)
+        dt = time.perf_counter() - t0
+        fl = fmm.flops.by_phase()
+        rows.append(
+            (s, fmm.tree.nboxes, dt,
+             fl.get("down_u", 0.0) / 1e9, fl.get("down_v", 0.0) / 1e9)
+        )
+    return rows
+
+
+def test_leaf_capacity_sweep(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("s", "boxes", "eval s", "U Gflop", "V Gflop"),
+        rows,
+        title=f"leaf capacity sweep (Laplace, p=6, N={N}, uniform)",
+    ))
+    by_s = {r[0]: r for r in rows}
+    # U-list (dense) work grows with s, V-list (M2L) work shrinks
+    assert by_s[240][3] > by_s[15][3]
+    assert by_s[240][4] < by_s[15][4]
+    # the paper's s=60 operating point should not be the worst choice
+    times = {r[0]: r[2] for r in rows}
+    assert times[60] <= 1.5 * min(times.values())

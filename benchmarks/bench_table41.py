@@ -1,0 +1,77 @@
+"""Table 4.1 — fixed-size scalability, 3.2M particles, P = 1..1024.
+
+Three kernels, as in the paper: Laplace and modified Laplace on the
+512-sphere (uniform) workload, Stokes on the corner-clustered
+(non-uniform) workload.  Real trees are built at the benchmark scale and
+work is extrapolated to 3.2M particles via ``grain_scale``; the machine
+model converts measured volumes to TCS-1 seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import corner_clusters, sphere_grid_points
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel, StokesKernel
+from repro.octree import build_lists, build_tree
+from repro.perfmodel import TCS1, simulate_run
+from repro.perfmodel.costs import compute_work
+
+from benchmarks.conftest import print_comparison
+from benchmarks.paper_data import TABLE41, TABLE41_HEADERS
+
+PAPER_N = 3_200_000
+P_LIST = (1, 4, 8, 16, 64, 256, 512, 1024)
+
+_KERNELS = {
+    "laplace": (LaplaceKernel(), "spheres"),
+    "modified_laplace": (ModifiedLaplaceKernel(lam=1.0), "spheres"),
+    "stokes": (StokesKernel(), "corners"),
+}
+
+
+def _workload(name: str, n: int) -> np.ndarray:
+    if name == "spheres":
+        return sphere_grid_points(n)
+    return corner_clusters(n, np.random.default_rng(41))
+
+
+def _model_rows(kernel, workload, n_model):
+    pts = _workload(workload, n_model)
+    tree = build_tree(pts, max_points=60)
+    lists = build_lists(tree)
+    work = compute_work(tree, lists, kernel, 6, m2l="fft")
+    scale = PAPER_N / pts.shape[0]
+    rows = []
+    for P in P_LIST:
+        r = simulate_run(
+            tree, lists, kernel, 6, P, TCS1, m2l="fft", work=work,
+            grain_scale=scale, n_override=PAPER_N,
+        )
+        rows.append(
+            (P, r.total, round(r.ratio, 1), r.comm, r.up, r.down,
+             r.gflops_avg, r.gflops_peak, r.tree_seconds)
+        )
+    return rows
+
+
+@pytest.mark.parametrize("kernel_name", list(_KERNELS))
+def test_table41(benchmark, kernel_name, bench_scale):
+    kernel, workload = _KERNELS[kernel_name]
+    rows = benchmark.pedantic(
+        _model_rows, args=(kernel, workload, bench_scale["N"]),
+        rounds=1, iterations=1,
+    )
+    print_comparison(
+        f"Table 4.1 / {kernel_name} "
+        f"(fixed size, {PAPER_N/1e6:.1f}M particles, "
+        f"model tree at {bench_scale['N']:,})",
+        TABLE41_HEADERS,
+        TABLE41[kernel_name],
+        rows,
+    )
+    # shape assertions: scaling to 256 procs, then flattening costs
+    totals = {row[0]: row[1] for row in rows}
+    assert totals[1] / totals[64] > 30, "should scale well to 64 procs"
+    assert totals[64] / totals[1024] < 64, "efficiency must degrade at 1024"

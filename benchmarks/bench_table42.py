@@ -1,0 +1,71 @@
+"""Table 4.2 — isogranular scalability, 200K particles per processor.
+
+Laplace uniform (512 spheres), Stokes uniform, Stokes non-uniform
+(corner clusters), P = 1..2048.  For each P the model tree is built at
+``min(200K * P, cap)`` particles and extrapolated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import corner_clusters, sphere_grid_points
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.perfmodel import TCS1
+from repro.perfmodel.experiments import isogranular_scaling
+
+from benchmarks.conftest import print_comparison
+from benchmarks.paper_data import TABLE41_HEADERS, TABLE42
+
+GRAIN = 200_000
+P_LIST = (1, 4, 16, 64, 256, 1024, 2048)
+
+_CASES = {
+    "laplace_uniform": (LaplaceKernel(), "spheres"),
+    "stokes_uniform": (StokesKernel(), "spheres"),
+    "stokes_nonuniform": (StokesKernel(), "corners"),
+}
+
+
+def _workload(name):
+    if name == "spheres":
+        return lambda n: sphere_grid_points(n)
+    return lambda n: corner_clusters(n, np.random.default_rng(42))
+
+
+def _model_rows(kernel, workload, cap):
+    reports = isogranular_scaling(
+        kernel, _workload(workload), GRAIN, P_LIST,
+        p=6, max_points=60, m2l="fft", machine=TCS1, model_cap=cap,
+    )
+    return [
+        (r.P, r.total, round(r.ratio, 1), r.comm, r.up, r.down,
+         r.gflops_avg, r.gflops_peak, r.tree_seconds)
+        for r in reports
+    ]
+
+
+@pytest.mark.parametrize("case", list(_CASES))
+def test_table42(benchmark, case, bench_scale):
+    kernel, workload = _CASES[case]
+    rows = benchmark.pedantic(
+        _model_rows, args=(kernel, workload, bench_scale["cap"]),
+        rounds=1, iterations=1,
+    )
+    print_comparison(
+        f"Table 4.2 / {case} (isogranular, {GRAIN/1e3:.0f}K particles/proc, "
+        f"model cap {bench_scale['cap']:,})",
+        TABLE41_HEADERS,
+        TABLE42[case],
+        rows,
+    )
+    totals = {row[0]: row[1] for row in rows}
+    trees = {row[0]: row[8] for row in rows}
+    # isogranular shape: interaction time stays within a small factor
+    assert totals[1024] < 6 * totals[1]
+    # the paper's tree-construction non-scalability
+    assert trees[2048] > 10 * trees[1]
+    if case == "stokes_nonuniform":
+        ratios = {row[0]: row[2] for row in rows}
+        assert ratios[2048] > ratios[1], "non-uniform load imbalance grows"

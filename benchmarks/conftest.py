@@ -1,0 +1,50 @@
+"""Benchmark configuration.
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_N``      — model-tree particle count for the fixed-size
+  table (default 150_000; the paper's full 3.2M works but takes minutes).
+- ``REPRO_BENCH_CAP``    — isogranular model cap (default 300_000).
+- ``REPRO_BENCH_FULL=1`` — run everything at paper scale.
+
+Each benchmark regenerates one paper table/figure: the *model* rows are
+computed from real trees and the calibrated TCS-1 machine model, printed
+next to the paper's published rows so shape agreement is inspectable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+BENCH_N = 3_200_000 if FULL else _env_int("REPRO_BENCH_N", 150_000)
+MODEL_CAP = 1_600_000 if FULL else _env_int("REPRO_BENCH_CAP", 300_000)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {"N": BENCH_N, "cap": MODEL_CAP, "full": FULL}
+
+
+def print_comparison(title, headers, paper_rows, model_rows):
+    """Print paper and model tables side by side."""
+    from repro.util.tables import format_table
+
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(format_table(headers, paper_rows, title="-- paper --"))
+    print()
+    print(format_table(headers, model_rows, title="-- this reproduction (model) --"))
+    print()

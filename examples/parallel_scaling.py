@@ -1,0 +1,74 @@
+"""The SC'03 parallel algorithm, two ways.
+
+1. For real: the three-stage compute/communicate/compute algorithm runs
+   on in-process logical ranks (simulated MPI), exchanging actual
+   messages; results are verified against the sequential evaluator.
+2. At scale: the TCS-1 performance model extrapolates the same
+   data structures to the paper's 3.2M-particle fixed-size experiment
+   (Table 4.1).
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import KIFMM, FMMOptions, LaplaceKernel
+from repro.geometry import corner_clusters
+from repro.kernels.direct import relative_error
+from repro.parallel import run_parallel_fmm
+from repro.perfmodel import TCS1, simulate_run
+from repro.perfmodel.costs import compute_work
+from repro.octree import build_lists, build_tree
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    kernel = LaplaceKernel()
+    opts = FMMOptions(p=4, max_points=50)
+
+    # ---- part 1: real message-passing runs ----
+    n = 6000
+    pts = corner_clusters(n, rng)
+    phi = rng.standard_normal((n, 1))
+    seq = KIFMM(kernel, opts).setup(pts).apply(phi)
+
+    print(f"Real simulated-MPI runs (N={n}, corner-clustered):")
+    rows = []
+    for nranks in (1, 2, 4, 8):
+        t0 = time.perf_counter()
+        res = run_parallel_fmm(nranks, kernel, pts, phi, opts)
+        dt = time.perf_counter() - t0
+        err = relative_error(res.potential, seq)
+        nbytes = sum(s.bytes_sent for s in res.comm_stats)
+        msgs = sum(s.messages_sent for s in res.comm_stats)
+        rows.append((nranks, dt, err, msgs, nbytes / 1e3))
+    print(format_table(
+        ("ranks", "wall s", "err vs sequential", "messages", "KB exchanged"),
+        rows,
+    ))
+
+    # ---- part 2: TCS-1 model at paper scale ----
+    n_model = 120_000
+    print(f"\nTCS-1 model, fixed-size 3.2M particles "
+          f"(tree measured at {n_model:,}):")
+    pts_big = corner_clusters(n_model, rng)
+    tree = build_tree(pts_big, max_points=60)
+    lists = build_lists(tree)
+    work = compute_work(tree, lists, kernel, 6)
+    scale = 3_200_000 / pts_big.shape[0]
+    rows = []
+    for P in (1, 16, 64, 256, 1024):
+        r = simulate_run(tree, lists, kernel, 6, P, TCS1, work=work,
+                         grain_scale=scale, n_override=3_200_000)
+        rows.append((P, r.total, r.up, r.down, r.comm, r.gflops_avg))
+    print(format_table(
+        ("P", "Total s", "Up s", "Down s", "Comm s", "aggregate GF/s"),
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

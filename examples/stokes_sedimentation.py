@@ -1,0 +1,98 @@
+"""The Figure 4.1 scenario: a sphere sedimenting past a rotating propeller.
+
+A rigid sphere falls under gravity through a viscous Stokes fluid stirred
+by a clockwise-rotating propeller (hub + three ellipsoid blades).  Every
+time step solves a boundary integral equation with GMRES, and every GMRES
+iteration's matvec is one FMM interaction evaluation — "tens of
+interaction calculations" per step, exactly the workload the paper's
+parallel FMM was built for.  The propeller geometry physically rotates
+between steps.
+
+Run:  python examples/stokes_sedimentation.py [nsteps]
+Writes the trajectory to stokes_sedimentation_trajectory.csv and a
+velocity slice (y=0 plane) to stokes_sedimentation_flowfield.csv.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bie import (
+    RigidBody,
+    SedimentationSimulation,
+    SphereSurface,
+    evaluate_velocity,
+    propeller_surface,
+    solve_single_layer,
+)
+from repro.core.fmm import FMMOptions
+
+
+def main(nsteps: int = 5) -> None:
+    falling = RigidBody(
+        SphereSurface(center=np.array([0.6, 0.0, 2.2]), radius=0.4, n=260)
+    )
+    propeller = RigidBody(
+        propeller_surface(np.zeros(3), nblades=3, blade_length=0.8,
+                          n_per_blade=110, n_hub=90),
+        angular_velocity=np.array([0.0, 0.0, -2.0]),  # clockwise, Fig 4.1
+        prescribed=True,
+    )
+    sim = SedimentationSimulation(
+        bodies=[falling, propeller],
+        gravity_force=np.array([0.0, 0.0, -4.0]),
+        mu=1.0,
+        tol=1e-5,
+        use_fmm=True,
+        options=FMMOptions(p=6, max_points=70),
+    )
+
+    print(f"bodies: sphere ({falling.surface.n} quadrature points) + "
+          f"3-blade propeller ({propeller.surface.n} points)")
+    print("t      x       y       z       |U|     FMM matvecs (cumulative)")
+    frames = []
+    for _ in range(nsteps):
+        f = sim.step(dt=0.05)
+        x, y, z = f.positions[0]
+        speed = np.linalg.norm(f.free_velocity)
+        print(f"{f.time:5.2f} {x:7.4f} {y:7.4f} {z:7.4f} {speed:7.4f}   "
+              f"{f.matvecs}")
+        frames.append(f)
+
+    with open("stokes_sedimentation_trajectory.csv", "w") as fh:
+        fh.write("t,x,y,z,ux,uy,uz\n")
+        for f in frames:
+            x, y, z = f.positions[0]
+            ux, uy, uz = f.free_velocity
+            fh.write(f"{f.time},{x},{y},{z},{ux},{uy},{uz}\n")
+    print("\ntrajectory written to stokes_sedimentation_trajectory.csv")
+
+    # velocity field on the y=0 slice (the animation frame of Figure 4.1)
+    print("computing flow-field slice (y = 0 plane)...")
+    op = sim.operator
+    u_bc = np.zeros((op.n, 3))
+    slices = op.body_slices()
+    for i, body in enumerate(sim.bodies):
+        u_bc[slices[i]] = body.surface_velocity()
+    phi = solve_single_layer(op, u_bc, tol=1e-5)
+    xs = np.linspace(-2.0, 2.0, 24)
+    zs = np.linspace(-1.5, 3.0, 24)
+    grid = np.array([[x, 0.0, z] for x in xs for z in zs])
+    # keep probes outside the bodies
+    keep = np.ones(len(grid), dtype=bool)
+    for body in sim.bodies:
+        c = body.surface.center
+        r = np.linalg.norm(grid - c, axis=1)
+        keep &= r > 1.1
+    field = evaluate_velocity(op, phi, grid[keep])
+    with open("stokes_sedimentation_flowfield.csv", "w") as fh:
+        fh.write("x,z,ux,uy,uz\n")
+        for p, u in zip(grid[keep], field):
+            fh.write(f"{p[0]},{p[2]},{u[0]},{u[1]},{u[2]}\n")
+    print("flow field written to stokes_sedimentation_flowfield.csv")
+    print("(the sphere descends; the rotating propeller entrains it "
+          "azimuthally)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

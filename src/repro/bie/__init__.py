@@ -1,0 +1,47 @@
+"""Boundary integral equation application layer.
+
+The paper's FMM is "used in the context of fluid-structure interaction
+calculations" (Section 4, Figure 4.1): Stokes flow around rigid bodies is
+formulated as a first-kind single-layer boundary integral equation, the
+linear systems are solved with a Krylov method, and every Krylov
+iteration's matrix-vector product is one FMM interaction evaluation.
+
+This package provides that stack: surface discretisations, the
+FMM-accelerated single-layer operator, rigid-body resistance/mobility
+solves, and the sedimentation time-stepper reproducing the Figure 4.1
+scenario (a sphere falling under gravity while a driven rotating body
+stirs the fluid).
+"""
+
+from repro.bie.surfaces import (
+    CompositeSurface,
+    EllipsoidSurface,
+    RigidBody,
+    SphereSurface,
+    propeller_surface,
+    rotation_matrix,
+)
+from repro.bie.stokes_bie import (
+    StokesSingleLayer,
+    evaluate_velocity,
+    solve_single_layer,
+)
+from repro.bie.mobility import drag_force, resistance_matrix, stokes_drag_analytic
+from repro.bie.timestepper import SedimentationSimulation, SimulationFrame
+
+__all__ = [
+    "SphereSurface",
+    "EllipsoidSurface",
+    "CompositeSurface",
+    "propeller_surface",
+    "rotation_matrix",
+    "evaluate_velocity",
+    "RigidBody",
+    "StokesSingleLayer",
+    "solve_single_layer",
+    "resistance_matrix",
+    "drag_force",
+    "stokes_drag_analytic",
+    "SedimentationSimulation",
+    "SimulationFrame",
+]

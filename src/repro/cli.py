@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro evaluate --kernel stokes --n 20000 --check
+    python -m repro accuracy --kernel laplace --n 3000 --orders 2,4,6
+    python -m repro scaling --mode fixed --kernel laplace \
+        --n 3200000 --model-n 100000 --procs 1,16,256,1024
+    python -m repro scaling --mode isogranular --kernel stokes \
+        --grain 200000 --procs 1,64,1024 --cap 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.error import estimate_error
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.geometry import corner_clusters, sphere_grid_points, uniform_cube
+from repro.kernels import (
+    LaplaceKernel,
+    ModifiedLaplaceKernel,
+    NavierKernel,
+    StokesKernel,
+)
+from repro.util.tables import format_table
+
+_KERNELS = {
+    "laplace": LaplaceKernel,
+    "modified_laplace": ModifiedLaplaceKernel,
+    "stokes": StokesKernel,
+    "navier": NavierKernel,
+}
+
+_WORKLOADS = {
+    "uniform": lambda n, rng: uniform_cube(n, rng),
+    "spheres": lambda n, rng: sphere_grid_points(n),
+    "corners": lambda n, rng: corner_clusters(n, rng),
+}
+
+
+def _make_kernel(name: str):
+    try:
+        return _KERNELS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown kernel {name!r}; choose from {sorted(_KERNELS)}"
+        ) from None
+
+
+def _parse_ints(text: str) -> list[int]:
+    try:
+        return [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise SystemExit(f"expected comma-separated integers, got {text!r}")
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    density = rng.random((pts.shape[0], kernel.source_dof))
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    fmm = KIFMM(kernel, opts)
+    t0 = time.perf_counter()
+    fmm.setup(pts)
+    t_setup = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    potential = fmm.apply(density)
+    t_eval = time.perf_counter() - t0
+    stats = fmm.tree.statistics()
+    print(f"kernel={kernel.name} N={pts.shape[0]} p={args.p} s={args.s} "
+          f"m2l={args.m2l}")
+    print(f"tree: {stats['nboxes']} boxes, {stats['nleaves']} leaves, "
+          f"depth {stats['depth']}")
+    print(f"setup: {t_setup:.2f}s   evaluation: {t_eval:.2f}s")
+    if args.gradient:
+        t0 = time.perf_counter()
+        grad = fmm.apply_gradient(density)
+        print(f"gradient evaluation: {time.perf_counter() - t0:.2f}s "
+              f"(|grad| mean {np.linalg.norm(grad, axis=1).mean():.4g})")
+    if args.check:
+        err = estimate_error(fmm, density, potential, nsamples=args.samples,
+                             rng=rng)
+        print(f"relative error vs direct summation "
+              f"({args.samples} samples): {err:.2e}")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    density = rng.random((pts.shape[0], kernel.source_dof))
+    rows = []
+    for p in _parse_ints(args.orders):
+        fmm = KIFMM(kernel, FMMOptions(p=p, max_points=args.s)).setup(pts)
+        t0 = time.perf_counter()
+        potential = fmm.apply(density)
+        dt = time.perf_counter() - t0
+        err = estimate_error(fmm, density, potential, nsamples=args.samples,
+                             rng=rng)
+        rows.append((p, err, dt))
+    print(format_table(("p", "rel. error", "eval seconds"), rows,
+                       title=f"accuracy sweep, kernel={kernel.name}, "
+                             f"N={pts.shape[0]}"))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.octree import build_lists, build_tree
+    from repro.perfmodel import TCS1, simulate_run
+    from repro.perfmodel.costs import compute_work
+    from repro.perfmodel.experiments import isogranular_scaling
+
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    procs = _parse_ints(args.procs)
+    headers = ("P", "Total", "Ratio", "Comm", "Up", "Down", "Avg GF/s",
+               "Peak GF/s", "Tree")
+    if args.mode == "fixed":
+        n_model = min(args.n, args.model_n)
+        pts = _WORKLOADS[args.workload](n_model, rng)
+        tree = build_tree(pts, max_points=args.s)
+        lists = build_lists(tree)
+        work = compute_work(tree, lists, kernel, args.p)
+        reports = [
+            simulate_run(tree, lists, kernel, args.p, P, TCS1, work=work,
+                         grain_scale=args.n / pts.shape[0], n_override=args.n)
+            for P in procs
+        ]
+        title = (f"fixed-size scaling (TCS-1 model), N={args.n}, "
+                 f"model tree at {pts.shape[0]}")
+    else:
+        gen = _WORKLOADS[args.workload]
+        reports = isogranular_scaling(
+            kernel, lambda n: gen(n, rng), args.grain, procs, p=args.p,
+            max_points=args.s, model_cap=args.cap,
+        )
+        title = (f"isogranular scaling (TCS-1 model), "
+                 f"grain={args.grain}/proc, cap={args.cap}")
+    rows = [
+        (r.P, r.total, round(r.ratio, 1), r.comm, r.up, r.down,
+         r.gflops_avg, r.gflops_peak, r.tree_seconds)
+        for r in reports
+    ]
+    print(format_table(headers, rows, title=title))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kernel-independent FMM (SC'03 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kernel", default="laplace",
+                       choices=sorted(_KERNELS))
+        p.add_argument("--workload", default="uniform",
+                       choices=sorted(_WORKLOADS))
+        p.add_argument("--p", type=int, default=6,
+                       help="surface order (accuracy)")
+        p.add_argument("--s", type=int, default=60,
+                       help="max points per leaf")
+        p.add_argument("--seed", type=int, default=0)
+
+    pe = sub.add_parser("evaluate", help="run one interaction evaluation")
+    common(pe)
+    pe.add_argument("--n", type=int, default=10_000)
+    pe.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    pe.add_argument("--check", action="store_true",
+                    help="verify against direct summation")
+    pe.add_argument("--gradient", action="store_true",
+                    help="also evaluate field gradients "
+                         "(scalar kernels only)")
+    pe.add_argument("--samples", type=int, default=200)
+    pe.set_defaults(func=_cmd_evaluate)
+
+    pa = sub.add_parser("accuracy", help="error vs surface order sweep")
+    common(pa)
+    pa.add_argument("--n", type=int, default=3000)
+    pa.add_argument("--orders", default="2,4,6")
+    pa.add_argument("--samples", type=int, default=200)
+    pa.set_defaults(func=_cmd_accuracy)
+
+    ps = sub.add_parser("scaling", help="TCS-1 scalability tables")
+    common(ps)
+    ps.add_argument("--mode", default="fixed",
+                    choices=("fixed", "isogranular"))
+    ps.add_argument("--n", type=int, default=3_200_000,
+                    help="fixed-size problem size")
+    ps.add_argument("--model-n", type=int, default=100_000,
+                    help="model tree size for fixed mode")
+    ps.add_argument("--grain", type=int, default=200_000)
+    ps.add_argument("--cap", type=int, default=200_000)
+    ps.add_argument("--procs", default="1,4,16,64,256,1024")
+    ps.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The kernel-independent FMM core (Section 2 of the paper).
+
+Equivalent densities on cube surfaces replace analytic multipole/local
+expansions; the M2M/M2L/L2L translations of classical FMM become kernel
+evaluations followed by regularised integral-equation inversions
+(equations 2.1–2.5).  The M2L translations are additionally accelerated
+with local FFTs, exploiting the regular-grid structure of the surface
+discretisation (Section 1).
+"""
+
+from repro.core.fmm import KIFMM, FMMOptions
+from repro.core.surfaces import surface_grid, surface_lattice_indices
+from repro.core.precompute import OperatorCache
+
+__all__ = [
+    "KIFMM",
+    "FMMOptions",
+    "OperatorCache",
+    "surface_grid",
+    "surface_lattice_indices",
+]

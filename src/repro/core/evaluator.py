@@ -1,0 +1,354 @@
+"""The sequential adaptive KIFMM evaluator.
+
+Implements the classical FMM control flow (Section 2: "Our algorithm has
+exactly the same structure as the original FMM") with the paper's density
+representations:
+
+Upward pass (bottom-up)
+    leaves: sources -> upward check potential (eq. 2.1, arrow 1);
+    non-leaves: children's upward equivalent densities -> upward check
+    potential (eq. 2.3, arrow 1); then one inversion per box (arrow 2).
+
+Downward pass (top-down)
+    every box accumulates its downward *check potential* from the parent
+    (L2L, eq. 2.5), its V list (M2L, eq. 2.4 — dense or FFT-accelerated)
+    and its X list (direct sources -> check surface), then inverts once
+    (the "one inversion per box" optimisation; same mathematics as
+    performing it per translation).
+
+Leaf evaluation
+    targets receive the downward equivalent density (L2T), the dense
+    U-list interactions, and the W-list upward equivalent densities
+    evaluated directly.
+
+Phase naming matches the legend of the paper's Figure 4.2: ``up``,
+``down_u``, ``down_v``, ``down_w``, ``down_x`` and ``eval`` (L2L + L2T +
+inversions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fftm2l import FFTM2L
+from repro.core.precompute import OperatorCache
+from repro.kernels.base import Kernel
+from repro.octree.lists import InteractionLists
+from repro.octree.tree import Octree
+from repro.util.flops import FlopCounter
+from repro.util.timing import PhaseTimer
+
+
+def _matvec_flops(matrix_shape: tuple[int, int]) -> float:
+    return 2.0 * matrix_shape[0] * matrix_shape[1]
+
+
+def evaluate(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    cache: OperatorCache,
+    density: np.ndarray,
+    m2l_mode: str = "fft",
+    fft_m2l: FFTM2L | None = None,
+    flops: FlopCounter | None = None,
+    timer: PhaseTimer | None = None,
+    source_kernel: Kernel | None = None,
+    target_kernel: Kernel | None = None,
+    direct_kernel: Kernel | None = None,
+) -> np.ndarray:
+    """Evaluate ``u_i = sum_j G(x_i, y_j) phi_j`` with the KIFMM.
+
+    Parameters
+    ----------
+    tree, lists:
+        The computation tree and its interaction lists.
+    kernel, cache:
+        The *translation* kernel (builds and moves equivalent densities)
+        and its operator cache (must share ``tree.root_side``).
+    density:
+        ``(ns, source_kernel.source_dof)`` or flat source densities in
+        *original* (unsorted) point order.
+    m2l_mode:
+        ``"fft"`` (default) or ``"dense"``.
+    fft_m2l:
+        Optional pre-built :class:`FFTM2L` (reused across evaluations).
+    flops, timer:
+        Optional instrumentation sinks.
+    source_kernel:
+        Kernel mapping the user's densities to check potentials (S2M and
+        X-list evaluations); enables dipole/double-layer sources.  Must
+        produce the translation kernel's potential type
+        (``target_dof`` equal to ``kernel.target_dof``).  Defaults to
+        the translation kernel.
+    target_kernel:
+        Kernel mapping single-layer densities of the translation kernel
+        to the user's target quantity (L2T and W-list evaluations);
+        enables gradient/force output.  Must consume the translation
+        kernel's densities (``source_dof`` equal to
+        ``kernel.source_dof``).  Defaults to the translation kernel.
+    direct_kernel:
+        Kernel for the near-field U-list (user density -> user target).
+        Inferred when at most one of source/target kernel is custom;
+        required when both are.
+
+    Returns
+    -------
+    ``(nt, target_kernel.target_dof)`` values in original target order.
+    """
+    if m2l_mode not in ("fft", "dense"):
+        raise ValueError(f"m2l_mode must be 'fft' or 'dense', got {m2l_mode}")
+    src_k = source_kernel if source_kernel is not None else kernel
+    trg_k = target_kernel if target_kernel is not None else kernel
+    if direct_kernel is not None:
+        dir_k = direct_kernel
+    elif src_k is kernel:
+        dir_k = trg_k
+    elif trg_k is kernel:
+        dir_k = src_k
+    else:
+        raise ValueError(
+            "direct_kernel is required when both source_kernel and "
+            "target_kernel are custom"
+        )
+    if src_k.target_dof != kernel.target_dof:
+        raise ValueError(
+            f"source_kernel must produce {kernel.target_dof}-component "
+            f"check potentials, got {src_k.target_dof}"
+        )
+    if trg_k.source_dof != kernel.source_dof:
+        raise ValueError(
+            f"target_kernel must consume {kernel.source_dof}-component "
+            f"equivalent densities, got {trg_k.source_dof}"
+        )
+    if (dir_k.source_dof, dir_k.target_dof) != (
+        src_k.source_dof,
+        trg_k.target_dof,
+    ):
+        raise ValueError(
+            f"direct_kernel must map {src_k.source_dof} -> "
+            f"{trg_k.target_dof} components, got "
+            f"{dir_k.source_dof} -> {dir_k.target_dof}"
+        )
+    flops = flops if flops is not None else FlopCounter()
+    timer = timer if timer is not None else PhaseTimer()
+    md, qd = kernel.source_dof, kernel.target_dof
+    out_dof = trg_k.target_dof
+    ns, nt = tree.sources.shape[0], tree.targets.shape[0]
+    phi = np.asarray(density, dtype=np.float64).reshape(ns, src_k.source_dof)
+    n_surf = cache.n_surf
+    nb = tree.nboxes
+    boxes = tree.boxes
+
+    ue = np.zeros((nb, n_surf * md))
+    has_ue = np.zeros(nb, dtype=bool)
+
+    # ---------------- upward pass ----------------
+    with timer.phase("up"):
+        for level in range(tree.depth, -1, -1):
+            for bi in tree.levels[level]:
+                b = boxes[bi]
+                if b.nsrc == 0:
+                    continue
+                center = tree.center(bi)
+                if b.is_leaf:
+                    K = src_k.matrix(
+                        cache.up_check_points(center, level), tree.src_points(bi)
+                    )
+                    check = K @ phi[tree.src_indices(bi)].reshape(-1)
+                    flops.add_pairs("up", n_surf * b.nsrc, src_k.flops_per_pair)
+                else:
+                    check = np.zeros(n_surf * qd)
+                    for ci in b.children:
+                        if not has_ue[ci]:
+                            continue
+                        child = boxes[ci]
+                        octant = (
+                            (child.anchor[0] & 1)
+                            | ((child.anchor[1] & 1) << 1)
+                            | ((child.anchor[2] & 1) << 2)
+                        )
+                        M = cache.m2m_check(child.level, octant)
+                        check += M @ ue[ci]
+                        flops.add("up", _matvec_flops(M.shape))
+                U = cache.uc2ue(level)
+                ue[bi] = U @ check
+                has_ue[bi] = True
+                flops.add("up", _matvec_flops(U.shape))
+
+    # ---------------- downward pass ----------------
+    dc = np.zeros((nb, n_surf * qd))
+    has_dc = np.zeros(nb, dtype=bool)
+    de = np.zeros((nb, n_surf * md))
+    has_de = np.zeros(nb, dtype=bool)
+    potential = np.zeros((nt, out_dof))
+
+    fft = None
+    if m2l_mode == "fft":
+        fft = fft_m2l if fft_m2l is not None else FFTM2L(cache)
+        _fft_v_list(tree, lists, fft, ue, has_ue, dc, has_dc, flops, timer)
+
+    for level in range(1, tree.depth + 1):
+        for bi in tree.levels[level]:
+            b = boxes[bi]
+            if b.ntrg == 0:
+                continue
+            center = tree.center(bi)
+
+            # L2L from the parent's downward equivalent density.
+            if has_de[b.parent]:
+                octant = (
+                    (b.anchor[0] & 1)
+                    | ((b.anchor[1] & 1) << 1)
+                    | ((b.anchor[2] & 1) << 2)
+                )
+                with timer.phase("eval"):
+                    L = cache.l2l_check(level, octant)
+                    dc[bi] += L @ de[b.parent]
+                    has_dc[bi] = True
+                    flops.add("eval", _matvec_flops(L.shape))
+
+            # V list (dense mode; FFT mode already accumulated above).
+            if m2l_mode == "dense" and len(lists.V[bi]):
+                with timer.phase("down_v"):
+                    for ai in lists.V[bi]:
+                        if not has_ue[ai]:
+                            continue
+                        a = boxes[ai]
+                        offset = tuple(
+                            b.anchor[d] - a.anchor[d] for d in range(3)
+                        )
+                        T = cache.m2l_check(level, offset)
+                        dc[bi] += T @ ue[ai]
+                        has_dc[bi] = True
+                        flops.add("down_v", _matvec_flops(T.shape))
+
+            # X list: direct sources -> downward check surface.
+            if len(lists.X[bi]):
+                with timer.phase("down_x"):
+                    check_pts = cache.down_check_points(center, level)
+                    for ai in lists.X[bi]:
+                        a = boxes[ai]
+                        if a.nsrc == 0:
+                            continue
+                        K = src_k.matrix(check_pts, tree.src_points(ai))
+                        dc[bi] += K @ phi[tree.src_indices(ai)].reshape(-1)
+                        has_dc[bi] = True
+                        flops.add_pairs(
+                            "down_x", n_surf * a.nsrc, src_k.flops_per_pair
+                        )
+
+            # One inversion per box.
+            if has_dc[bi]:
+                with timer.phase("eval"):
+                    D = cache.dc2de(level)
+                    de[bi] = D @ dc[bi]
+                    has_de[bi] = True
+                    flops.add("eval", _matvec_flops(D.shape))
+
+            if not b.is_leaf:
+                continue
+
+            trg_pts = tree.trg_points(bi)
+            trg_idx = tree.trg_indices(bi)
+            local = np.zeros(b.ntrg * out_dof)
+
+            # L2T: downward equivalent density -> targets.
+            if has_de[bi]:
+                with timer.phase("eval"):
+                    K = trg_k.matrix(trg_pts, cache.down_equiv_points(center, level))
+                    local += K @ de[bi]
+                    flops.add_pairs("eval", b.ntrg * n_surf, trg_k.flops_per_pair)
+
+            # U list: dense near interactions.
+            if len(lists.U[bi]):
+                with timer.phase("down_u"):
+                    for ai in lists.U[bi]:
+                        a = boxes[ai]
+                        if a.nsrc == 0:
+                            continue
+                        K = dir_k.matrix(trg_pts, tree.src_points(ai))
+                        local += K @ phi[tree.src_indices(ai)].reshape(-1)
+                        flops.add_pairs(
+                            "down_u", b.ntrg * a.nsrc, dir_k.flops_per_pair
+                        )
+
+            # W list: far (smaller) boxes' upward equivalent densities.
+            if len(lists.W[bi]):
+                with timer.phase("down_w"):
+                    for ai in lists.W[bi]:
+                        if not has_ue[ai]:
+                            continue
+                        a = boxes[ai]
+                        K = trg_k.matrix(
+                            trg_pts, cache.up_equiv_points(tree.center(ai), a.level)
+                        )
+                        local += K @ ue[ai]
+                        flops.add_pairs(
+                            "down_w", b.ntrg * n_surf, trg_k.flops_per_pair
+                        )
+
+            potential[trg_idx] += local.reshape(b.ntrg, out_dof)
+
+    # Degenerate single-box tree: root is a leaf, handled by its U list —
+    # but the downward loop starts at level 1, so cover it here.
+    root = boxes[0]
+    if root.is_leaf and root.ntrg > 0 and root.nsrc > 0:
+        with timer.phase("down_u"):
+            K = dir_k.matrix(tree.trg_points(0), tree.src_points(0))
+            potential[tree.trg_indices(0)] += (
+                K @ phi[tree.src_indices(0)].reshape(-1)
+            ).reshape(root.ntrg, out_dof)
+            flops.add_pairs("down_u", root.ntrg * root.nsrc, dir_k.flops_per_pair)
+
+    return potential
+
+
+def _fft_v_list(
+    tree: Octree,
+    lists: InteractionLists,
+    fft: FFTM2L,
+    ue: np.ndarray,
+    has_ue: np.ndarray,
+    dc: np.ndarray,
+    has_dc: np.ndarray,
+    flops: FlopCounter,
+    timer: PhaseTimer,
+) -> None:
+    """Apply all V-list interactions level by level in Fourier space."""
+    boxes = tree.boxes
+    with timer.phase("down_v"):
+        for level in range(2, tree.depth + 1):
+            level_boxes = tree.levels[level]
+            # Which source boxes at this level feed some V list?
+            needed: set[int] = set()
+            for bi in level_boxes:
+                if boxes[bi].ntrg == 0:
+                    continue
+                for ai in lists.V[bi]:
+                    if has_ue[ai]:
+                        needed.add(ai)
+            if not needed:
+                continue
+            phi_hat = {ai: fft.density_hat(ue[ai]) for ai in needed}
+            flops.add("down_v", len(needed) * fft.flops_per_fft())
+            for bi in level_boxes:
+                b = boxes[bi]
+                if b.ntrg == 0 or not len(lists.V[bi]):
+                    continue
+                acc = None
+                for ai in lists.V[bi]:
+                    if not has_ue[ai]:
+                        continue
+                    a = boxes[ai]
+                    offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
+                    tensor = fft.kernel_tensor_hat(level, offset)
+                    if acc is None:
+                        acc = np.zeros(tensor.shape[0:1] + tensor.shape[2:],
+                                       dtype=np.complex128)
+                    fft.accumulate(acc, tensor, phi_hat[ai])
+                    flops.add("down_v", fft.flops_per_pair())
+                if acc is not None:
+                    dc[bi] += fft.check_potential(acc)
+                    has_dc[bi] = True
+                    flops.add("down_v", fft.flops_per_fft())

@@ -1,0 +1,220 @@
+"""Public KIFMM API.
+
+Typical use::
+
+    from repro import KIFMM, LaplaceKernel
+
+    fmm = KIFMM(LaplaceKernel())
+    fmm.setup(points)              # build tree, lists, operators
+    u = fmm.apply(density)         # one interaction evaluation
+    u = fmm.apply(density2)        # setup is reused, as in the paper's
+                                   # Krylov loops ("tens of interaction
+                                   # calculations" per time step)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluator import evaluate
+from repro.core.fftm2l import FFTM2L
+from repro.core.precompute import OperatorCache
+from repro.core.surfaces import INNER_RADIUS, OUTER_RADIUS
+from repro.kernels.base import Kernel
+from repro.octree.lists import InteractionLists, build_lists
+from repro.octree.tree import Octree, build_tree
+from repro.util.flops import FlopCounter
+from repro.util.timing import PhaseTimer
+
+
+@dataclass
+class FMMOptions:
+    """Tuning knobs of the method.
+
+    Attributes
+    ----------
+    p:
+        Surface discretisation order (points per cube edge).  Accuracy is
+        controlled by ``p``; the paper's experiments target relative error
+        1e-5 (p=6 reaches roughly that for the Laplace kernel — see
+        ``benchmarks/bench_accuracy.py``).
+    max_points:
+        The ``s`` of the paper — maximum sources (or targets) per leaf.
+    m2l:
+        ``"fft"`` (default, the paper's accelerated scheme) or ``"dense"``.
+    inner, outer:
+        Equivalent/check surface radius factors (Section 2.1 constraints
+        require ``1 < inner < outer < 3``).
+    rcond:
+        SVD cutoff for the regularised inversions.
+    max_depth:
+        Tree refinement cut-off.
+    balance:
+        Apply 2:1 tree balancing after construction (optional; the
+        adaptive lists handle unbalanced trees — see
+        :mod:`repro.octree.balance`).
+    """
+
+    p: int = 6
+    max_points: int = 60
+    m2l: str = "fft"
+    inner: float = INNER_RADIUS
+    outer: float = OUTER_RADIUS
+    rcond: float = 1e-12
+    max_depth: int = 21
+    balance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.p < 2:
+            raise ValueError(f"p must be >= 2, got {self.p}")
+        if self.max_points < 1:
+            raise ValueError(f"max_points must be >= 1, got {self.max_points}")
+        if self.m2l not in ("fft", "dense"):
+            raise ValueError(f"m2l must be 'fft' or 'dense', got {self.m2l!r}")
+
+
+class KIFMM:
+    """Kernel-independent fast multipole evaluator.
+
+    Parameters
+    ----------
+    kernel:
+        Any :class:`~repro.kernels.base.Kernel`; the algorithm uses only
+        kernel evaluations (the paper's central claim).
+    options:
+        :class:`FMMOptions`; defaults follow the paper (s=60, 1e-5-ish
+        accuracy, FFT M2L).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        options: FMMOptions | None = None,
+        source_kernel: Kernel | None = None,
+        target_kernel: Kernel | None = None,
+        direct_kernel: Kernel | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.options = options or FMMOptions()
+        self.source_kernel = source_kernel
+        self.target_kernel = target_kernel
+        self.direct_kernel = direct_kernel
+        self.tree: Octree | None = None
+        self.lists: InteractionLists | None = None
+        self.cache: OperatorCache | None = None
+        self.flops = FlopCounter()
+        self.timer = PhaseTimer()
+        self._fft: FFTM2L | None = None
+
+    def setup(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray | None = None,
+        root: tuple[np.ndarray, float] | None = None,
+    ) -> "KIFMM":
+        """Build the tree, interaction lists and operator cache.
+
+        Separated from :meth:`apply` because applications evaluate many
+        interactions per geometry (Section 3: "our parallel implementation
+        is designed to achieve maximum efficiency in the multiplication
+        phase").  Returns ``self`` for chaining.
+        """
+        opts = self.options
+        with self.timer.phase("tree"):
+            self.tree = build_tree(
+                sources,
+                targets,
+                max_points=opts.max_points,
+                max_depth=opts.max_depth,
+                root=root,
+            )
+            if opts.balance:
+                from repro.octree.balance import balance_tree
+
+                self.tree = balance_tree(self.tree)
+            self.lists = build_lists(self.tree)
+        self.cache = OperatorCache(
+            self.kernel,
+            opts.p,
+            self.tree.root_side,
+            inner=opts.inner,
+            outer=opts.outer,
+            rcond=opts.rcond,
+        )
+        self._fft = FFTM2L(self.cache) if opts.m2l == "fft" else None
+        return self
+
+    def apply(self, density: np.ndarray) -> np.ndarray:
+        """One interaction evaluation ``u = K phi``.
+
+        Parameters
+        ----------
+        density:
+            ``(ns, source_dof)`` or flat densities in input point order.
+
+        Returns
+        -------
+        ``(nt, target_dof)`` potentials in input target order.
+        """
+        if self.tree is None or self.lists is None or self.cache is None:
+            raise RuntimeError("call setup() before apply()")
+        return evaluate(
+            self.tree,
+            self.lists,
+            self.kernel,
+            self.cache,
+            density,
+            m2l_mode=self.options.m2l,
+            fft_m2l=self._fft,
+            flops=self.flops,
+            timer=self.timer,
+            source_kernel=self.source_kernel,
+            target_kernel=self.target_kernel,
+            direct_kernel=self.direct_kernel,
+        )
+
+    def apply_gradient(self, density: np.ndarray) -> np.ndarray:
+        """Field gradient at the targets, ``grad u_i`` (forces in MD).
+
+        Reuses this evaluator's tree/operators with the matching gradient
+        target kernel; available for kernels registered in
+        :func:`repro.kernels.derived.gradient_kernel_for`.  Returns
+        ``(nt, 3 * target_dof)`` gradients.
+        """
+        from repro.kernels.derived import gradient_kernel_for
+
+        if self.tree is None or self.cache is None:
+            raise RuntimeError("call setup() before apply_gradient()")
+        if self.source_kernel is not None or self.target_kernel is not None:
+            raise RuntimeError(
+                "apply_gradient() requires default source/target kernels; "
+                "construct a dedicated KIFMM with explicit kernels instead"
+            )
+        return evaluate(
+            self.tree,
+            self.lists,
+            self.kernel,
+            self.cache,
+            density,
+            m2l_mode=self.options.m2l,
+            fft_m2l=self._fft,
+            flops=self.flops,
+            timer=self.timer,
+            target_kernel=gradient_kernel_for(self.kernel),
+        )
+
+    def matvec(self, density: np.ndarray) -> np.ndarray:
+        """Flat-vector interface for Krylov solvers: returns ``apply`` raveled."""
+        return self.apply(density).ravel()
+
+    def statistics(self) -> dict[str, object]:
+        """Tree/list/instrumentation summary for reports and benchmarks."""
+        if self.tree is None or self.lists is None:
+            raise RuntimeError("call setup() first")
+        stats: dict[str, object] = dict(self.tree.statistics())
+        stats.update({f"{k}_list": v for k, v in self.lists.counts().items()})
+        stats["flops"] = self.flops.by_phase()
+        stats["seconds"] = self.timer.by_phase()
+        return stats

@@ -1,0 +1,231 @@
+"""Precomputed translation operators (equations 2.1–2.5).
+
+Every KIFMM translation is "evaluate a check potential, then invert the
+check-to-equivalent integral equation".  The matrices involved depend
+only on the tree level (and, for M2M/L2L, the child octant; for M2L, the
+relative box offset) — never on the box position — so they are computed
+once and cached.
+
+For kernels homogeneous of degree ``h`` (``G(a x, a y) = a^h G(x, y)``,
+i.e. Laplace, Stokes, Navier) the operators at any level are rescalings
+of a reference level: evaluation matrices scale by ``a^h`` and the
+pseudo-inverses by ``a^-h``, where ``a`` is the box half-width ratio.
+Inhomogeneous kernels (modified Laplace) are precomputed per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.surfaces import (
+    INNER_RADIUS,
+    OUTER_RADIUS,
+    scaled_surface,
+    surface_grid,
+)
+from repro.kernels.base import Kernel
+from repro.linalg.pinv import regularized_pinv
+
+
+def octant_offset(octant: int) -> np.ndarray:
+    """Child-center offset from the parent center, in parent half-widths.
+
+    Octant bit 0/1/2 selects the x/y/z half; bit value 0 means the lower
+    half (offset ``-1/2``), 1 the upper half (``+1/2``), matching the
+    Morton child indexing of :mod:`repro.octree.morton`.
+    """
+    if not 0 <= octant < 8:
+        raise ValueError(f"octant must be in [0, 8), got {octant}")
+    return np.array(
+        [
+            0.5 if octant & 1 else -0.5,
+            0.5 if (octant >> 1) & 1 else -0.5,
+            0.5 if (octant >> 2) & 1 else -0.5,
+        ]
+    )
+
+
+class OperatorCache:
+    """Per-level KIFMM operator factory with homogeneous-kernel rescaling.
+
+    Parameters
+    ----------
+    kernel:
+        The interaction kernel.
+    p:
+        Surface discretisation order (points per cube edge); the paper's
+        "degree of discretization for equivalent densities".
+    root_side:
+        Side length of the level-0 box, fixing physical scales.
+    inner, outer:
+        Surface radius factors (see :mod:`repro.core.surfaces`).
+    rcond:
+        Relative SVD cutoff of the regularised pseudo-inverses.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        p: int,
+        root_side: float,
+        inner: float = INNER_RADIUS,
+        outer: float = OUTER_RADIUS,
+        rcond: float = 1e-12,
+    ) -> None:
+        if not 1.0 < inner < outer < 3.0:
+            raise ValueError(
+                f"surface radii must satisfy 1 < inner < outer < 3, "
+                f"got inner={inner}, outer={outer}"
+            )
+        if root_side <= 0:
+            raise ValueError(f"root_side must be positive, got {root_side}")
+        self.kernel = kernel
+        self.p = int(p)
+        self.root_side = float(root_side)
+        self.inner = float(inner)
+        self.outer = float(outer)
+        self.rcond = float(rcond)
+        self.n_surf = surface_grid(p).shape[0]
+        self._uc2ue: dict[int, np.ndarray] = {}
+        self._dc2de: dict[int, np.ndarray] = {}
+        self._m2m: dict[tuple[int, int], np.ndarray] = {}
+        self._l2l: dict[tuple[int, int], np.ndarray] = {}
+        self._m2l: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    def half_width(self, level: int) -> float:
+        """Half-width ``r`` of a box at ``level``."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        return self.root_side / (1 << level) / 2.0
+
+    def up_equiv_points(self, center: np.ndarray, level: int) -> np.ndarray:
+        return scaled_surface(self.p, center, self.half_width(level), self.inner)
+
+    def up_check_points(self, center: np.ndarray, level: int) -> np.ndarray:
+        return scaled_surface(self.p, center, self.half_width(level), self.outer)
+
+    def down_equiv_points(self, center: np.ndarray, level: int) -> np.ndarray:
+        return scaled_surface(self.p, center, self.half_width(level), self.outer)
+
+    def down_check_points(self, center: np.ndarray, level: int) -> np.ndarray:
+        return scaled_surface(self.p, center, self.half_width(level), self.inner)
+
+    # -- scaling helpers ---------------------------------------------------
+
+    @property
+    def _homog(self) -> float | None:
+        return self.kernel.homogeneity
+
+    def _scale(self, level: int, ref: int) -> float:
+        """Half-width ratio ``a = r(level) / r(ref)``."""
+        return 2.0 ** (ref - level)
+
+    # -- inversion operators -----------------------------------------------
+
+    def uc2ue(self, level: int) -> np.ndarray:
+        """Upward check potential -> upward equivalent density (eq. 2.1)."""
+        h = self._homog
+        key = 0 if h is not None else level
+        if key not in self._uc2ue:
+            zero = np.zeros(3)
+            K = self.kernel.matrix(
+                self.up_check_points(zero, key), self.up_equiv_points(zero, key)
+            )
+            self._uc2ue[key] = regularized_pinv(K, self.rcond)
+        base = self._uc2ue[key]
+        if h is None or level == key:
+            return base
+        return base * self._scale(level, key) ** (-h)
+
+    def dc2de(self, level: int) -> np.ndarray:
+        """Downward check potential -> downward equivalent density (eq. 2.2)."""
+        h = self._homog
+        key = 0 if h is not None else level
+        if key not in self._dc2de:
+            zero = np.zeros(3)
+            K = self.kernel.matrix(
+                self.down_check_points(zero, key), self.down_equiv_points(zero, key)
+            )
+            self._dc2de[key] = regularized_pinv(K, self.rcond)
+        base = self._dc2de[key]
+        if h is None or level == key:
+            return base
+        return base * self._scale(level, key) ** (-h)
+
+    # -- evaluation operators ------------------------------------------------
+
+    def m2m_check(self, child_level: int, octant: int) -> np.ndarray:
+        """Child upward equivalent density -> parent upward check potential.
+
+        The first arrow of the M2M translation (Figure 2.2 left, eq. 2.3);
+        the parent's ``uc2ue`` completes the translation after all child
+        contributions are accumulated.
+        """
+        if child_level < 1:
+            raise ValueError(f"child_level must be >= 1, got {child_level}")
+        h = self._homog
+        key = 1 if h is not None else child_level
+        cache_key = (key, octant)
+        if cache_key not in self._m2m:
+            parent_r = self.half_width(key - 1)
+            child_center = octant_offset(octant) * parent_r
+            K = self.kernel.matrix(
+                self.up_check_points(np.zeros(3), key - 1),
+                self.up_equiv_points(child_center, key),
+            )
+            self._m2m[cache_key] = K
+        base = self._m2m[cache_key]
+        if h is None or child_level == key:
+            return base
+        return base * self._scale(child_level, key) ** h
+
+    def l2l_check(self, child_level: int, octant: int) -> np.ndarray:
+        """Parent downward equivalent density -> child downward check potential.
+
+        First arrow of the L2L translation (Figure 2.2 right, eq. 2.5).
+        """
+        if child_level < 1:
+            raise ValueError(f"child_level must be >= 1, got {child_level}")
+        h = self._homog
+        key = 1 if h is not None else child_level
+        cache_key = (key, octant)
+        if cache_key not in self._l2l:
+            parent_r = self.half_width(key - 1)
+            child_center = octant_offset(octant) * parent_r
+            K = self.kernel.matrix(
+                self.down_check_points(child_center, key),
+                self.down_equiv_points(np.zeros(3), key - 1),
+            )
+            self._l2l[cache_key] = K
+        base = self._l2l[cache_key]
+        if h is None or child_level == key:
+            return base
+        return base * self._scale(child_level, key) ** h
+
+    def m2l_check(self, level: int, offset: tuple[int, int, int]) -> np.ndarray:
+        """Source upward equivalent density -> target downward check potential.
+
+        First arrow of the M2L translation (Figure 2.2 middle, eq. 2.4) for
+        a target box whose anchor is ``offset`` cells away from the source
+        box at the same ``level``.  V-list offsets have at least one
+        component of magnitude 2 or 3.
+        """
+        if max(abs(o) for o in offset) < 2:
+            raise ValueError(f"offset {offset} is adjacent; not a V-list pair")
+        h = self._homog
+        key = 0 if h is not None else level
+        cache_key = (key, tuple(int(o) for o in offset))
+        if cache_key not in self._m2l:
+            side = 2.0 * self.half_width(key)
+            delta = np.asarray(offset, dtype=np.float64) * side
+            K = self.kernel.matrix(
+                self.down_check_points(delta, key),
+                self.up_equiv_points(np.zeros(3), key),
+            )
+            self._m2l[cache_key] = K
+        base = self._m2l[cache_key]
+        if h is None or level == key:
+            return base
+        return base * self._scale(level, key) ** h

@@ -1,0 +1,24 @@
+"""Workload geometries from the paper's Section 4 problem setup.
+
+"The input is a set of surfaces, which we then sample to get the particle
+positions."  Two particle sets are used:
+
+- 512 spheres centered at an 8x8x8 Cartesian grid in the cube [-1, 1]^3 —
+  uniform at low sampling rates, locally non-uniform at high rates because
+  the per-sphere sampling is non-uniform;
+- a non-uniform distribution clustered at the eight corners of the cube.
+"""
+
+from repro.geometry.patches import SurfacePatch, partition_weights
+from repro.geometry.spheres import sample_sphere, sphere_grid_patches, sphere_grid_points
+from repro.geometry.distributions import corner_clusters, uniform_cube
+
+__all__ = [
+    "SurfacePatch",
+    "partition_weights",
+    "sample_sphere",
+    "sphere_grid_patches",
+    "sphere_grid_points",
+    "corner_clusters",
+    "uniform_cube",
+]

@@ -1,0 +1,70 @@
+"""Surface patches — the unit of parallel data partitioning.
+
+Section 3.1: "We take advantage of the fact that our input is a set of
+surface patches on which the particles are generated. ... assign to each
+patch a weight which in the simplest case is equal to the number of
+particles in that patch.  Second, we partition the clusters into groups
+with equal weights and assign each group to one processor."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SurfacePatch:
+    """A group of particles generated from one input surface.
+
+    Attributes
+    ----------
+    points:
+        ``(n, 3)`` particle positions sampled on the patch.
+    weight:
+        Partitioning weight; the simplest choice (and the paper's) is the
+        particle count, but work estimates from a previous time step may
+        be substituted.
+    """
+
+    points: np.ndarray
+    weight: float
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError(f"patch points must be (n, 3), got {self.points.shape}")
+        if self.weight < 0:
+            raise ValueError(f"patch weight must be non-negative, got {self.weight}")
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.points.mean(axis=0)
+
+
+def partition_weights(weights: np.ndarray, nparts: int) -> np.ndarray:
+    """Contiguous partition of an ordered weight sequence into equal groups.
+
+    Given weights already ordered along the Morton curve, returns for each
+    item the part index in ``[0, nparts)``; parts are contiguous runs with
+    near-equal total weight (each item goes to the part whose ideal weight
+    interval contains the midpoint of the item's cumulative-weight span).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    if weights.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total == 0:
+        # no information: deal items round-robin in contiguous blocks
+        return np.minimum(
+            (np.arange(weights.size) * nparts) // max(weights.size, 1), nparts - 1
+        ).astype(np.int64)
+    cum = np.cumsum(weights)
+    mids = cum - weights / 2.0
+    parts = np.floor(mids / total * nparts).astype(np.int64)
+    return np.clip(parts, 0, nparts - 1)

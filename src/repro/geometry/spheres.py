@@ -1,0 +1,117 @@
+"""Sphere-surface sampling and the paper's 512-sphere workload.
+
+The paper's first particle set is "produced by sampling 512 spheres
+centered at an 8 x 8 x 8 Cartesian grid in the unit cube.  For relatively
+low sampling rates ... a uniform particle distribution.  For higher
+sampling rates the distribution per processor becomes non-uniform since
+the sampling over a single sphere is non-uniform."
+
+We reproduce that behaviour with a latitude-longitude parametric sampling
+(denser near the poles, hence non-uniform at high rates); a quasi-uniform
+Fibonacci-spiral sampling is also provided for controlled comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.patches import SurfacePatch
+
+
+def sample_sphere(
+    center: np.ndarray,
+    radius: float,
+    n: int,
+    method: str = "latlon",
+) -> np.ndarray:
+    """Sample ``n`` points on a sphere surface.
+
+    Parameters
+    ----------
+    method:
+        ``"latlon"`` — parametric latitude/longitude grid, non-uniform
+        (clusters near the poles), matching the paper's sampling;
+        ``"fibonacci"`` — quasi-uniform spiral.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one sample, got {n}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    center = np.asarray(center, dtype=np.float64)
+    if method == "fibonacci":
+        i = np.arange(n, dtype=np.float64)
+        golden = (1.0 + np.sqrt(5.0)) / 2.0
+        z = 1.0 - (2.0 * i + 1.0) / n
+        theta = 2.0 * np.pi * i / golden
+        rho = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+        unit = np.stack([rho * np.cos(theta), rho * np.sin(theta), z], axis=1)
+    elif method == "latlon":
+        # parametric grid: n ~ nu * nv with nv = 2 nu
+        nu = max(2, int(np.sqrt(n / 2.0)))
+        nv = max(3, int(np.ceil(n / nu)))
+        u = (np.arange(nu) + 0.5) / nu * np.pi          # polar angle
+        v = np.arange(nv) / nv * 2.0 * np.pi            # azimuth
+        uu, vv = np.meshgrid(u, v, indexing="ij")
+        unit = np.stack(
+            [
+                np.sin(uu) * np.cos(vv),
+                np.sin(uu) * np.sin(vv),
+                np.cos(uu),
+            ],
+            axis=-1,
+        ).reshape(-1, 3)[:n]
+        if unit.shape[0] < n:  # grid rounded short: top up along the equator
+            extra = n - unit.shape[0]
+            phi = np.arange(extra) / extra * 2.0 * np.pi
+            ring = np.stack([np.cos(phi), np.sin(phi), np.zeros(extra)], axis=1)
+            unit = np.vstack([unit, ring])
+    else:
+        raise ValueError(f"unknown sampling method {method!r}")
+    return center + radius * unit
+
+
+def sphere_grid_points(
+    total_points: int,
+    grid: int = 8,
+    method: str = "latlon",
+) -> np.ndarray:
+    """The paper's 512-sphere particle set.
+
+    ``grid**3`` spheres centered on a Cartesian grid in ``[-1, 1]^3``,
+    each sampled with ``total_points / grid**3`` surface points.
+    """
+    patches = sphere_grid_patches(total_points, grid=grid, method=method)
+    return np.vstack([p.points for p in patches])
+
+
+def sphere_grid_patches(
+    total_points: int,
+    grid: int = 8,
+    method: str = "latlon",
+) -> list[SurfacePatch]:
+    """Same particle set, kept as per-sphere surface patches.
+
+    The parallel partitioner of Section 3.1 operates on these patches
+    ("we first gather all input surface patches ... and assign to each
+    patch a weight which ... is equal to the number of particles").
+    """
+    if grid < 1:
+        raise ValueError(f"grid must be >= 1, got {grid}")
+    nspheres = grid**3
+    per_sphere = max(1, total_points // nspheres)
+    spacing = 2.0 / grid
+    radius = 0.35 * spacing  # non-touching spheres, as in the paper's figure
+    patches = []
+    for ix in range(grid):
+        for iy in range(grid):
+            for iz in range(grid):
+                center = np.array(
+                    [
+                        -1.0 + (ix + 0.5) * spacing,
+                        -1.0 + (iy + 0.5) * spacing,
+                        -1.0 + (iz + 0.5) * spacing,
+                    ]
+                )
+                pts = sample_sphere(center, radius, per_sphere, method=method)
+                patches.append(SurfacePatch(points=pts, weight=pts.shape[0]))
+    return patches

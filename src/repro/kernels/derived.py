@@ -1,0 +1,155 @@
+"""Derived kernels: gradients (target side) and dipoles (source side).
+
+The KIFMM machinery separates three kernel roles (as the reference
+kifmm3d implementation does):
+
+- the *translation* kernel builds and moves equivalent densities;
+- the *source* kernel maps the user's source densities to check
+  potentials (S2M and the direct X-list evaluations);
+- the *target* kernel maps equivalent densities (or raw sources, for the
+  U and W lists) to the user's target quantity.
+
+Because an upward equivalent density is an ordinary single-layer density
+of the translation kernel, any source distribution whose far potential
+satisfies the same PDE can feed it — e.g. *dipoles* (the double-layer
+densities of boundary integral formulations, refs [6], [19], [26] of the
+paper) — and any linear functional of the potential can be read out at
+the targets — e.g. the *gradient* (forces in molecular dynamics).
+
+This module provides those derived kernels for the Laplace and modified
+Laplace equations:
+
+- ``LaplaceGradientKernel``:  ``-grad_x 1/(4 pi r)`` (target_dof=3)
+- ``LaplaceDipoleKernel``:    ``grad_y 1/(4 pi r) . d`` (source_dof=3;
+  the density is the dipole vector ``d_j = n_j * strength_j``)
+- ``ModifiedLaplaceGradientKernel`` / ``ModifiedLaplaceDipoleKernel``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+_FOUR_PI = 4.0 * np.pi
+
+
+class LaplaceGradientKernel(Kernel):
+    """Gradient of the Laplace single-layer kernel at the target.
+
+    ``K_i(x, y) = d/dx_i [1/(4 pi r)] = -r_i / (4 pi r^3)``.
+    """
+
+    name = "laplace_gradient"
+    source_dof = 1
+    target_dof = 3
+    homogeneity = -2.0
+    flops_per_pair = 20
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, inv_r = self._displacements(targets, sources)
+        nt, ns = inv_r.shape
+        grad = -diff * (inv_r**3)[:, :, None] / _FOUR_PI
+        return grad.transpose(0, 2, 1).reshape(nt * 3, ns)
+
+
+class LaplaceDipoleKernel(Kernel):
+    """Laplace dipole (double-layer style) source kernel.
+
+    The density is the dipole vector ``d``; the potential is
+    ``u(x) = d . grad_y [1/(4 pi r)] = d . r / (4 pi r^3)``
+    with ``r = x - y``.
+    """
+
+    name = "laplace_dipole"
+    source_dof = 3
+    target_dof = 1
+    homogeneity = -2.0
+    flops_per_pair = 20
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, inv_r = self._displacements(targets, sources)
+        nt, ns = inv_r.shape
+        block = diff * (inv_r**3)[:, :, None] / _FOUR_PI
+        return block.reshape(nt, ns * 3)
+
+
+class ModifiedLaplaceGradientKernel(Kernel):
+    """Gradient of ``exp(-lam r)/(4 pi r)`` at the target.
+
+    ``K_i = -r_i (1 + lam r) exp(-lam r) / (4 pi r^3)``.
+    """
+
+    name = "modified_laplace_gradient"
+    source_dof = 1
+    target_dof = 3
+    homogeneity = None
+    flops_per_pair = 34
+
+    def __init__(self, lam: float = 1.0) -> None:
+        if lam <= 0:
+            raise ValueError(f"screening parameter must be positive, got {lam}")
+        self.lam = float(lam)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, inv_r = self._displacements(targets, sources)
+        nt, ns = inv_r.shape
+        with np.errstate(divide="ignore"):
+            r = np.where(inv_r > 0.0, 1.0 / inv_r, 0.0)
+        factor = -(1.0 + self.lam * r) * np.exp(-self.lam * r) * inv_r**3
+        grad = diff * factor[:, :, None] / _FOUR_PI
+        return grad.transpose(0, 2, 1).reshape(nt * 3, ns)
+
+    def __repr__(self) -> str:
+        return f"ModifiedLaplaceGradientKernel(lam={self.lam})"
+
+
+class ModifiedLaplaceDipoleKernel(Kernel):
+    """Screened dipole source kernel: ``d . grad_y [exp(-lam r)/(4 pi r)]``."""
+
+    name = "modified_laplace_dipole"
+    source_dof = 3
+    target_dof = 1
+    homogeneity = None
+    flops_per_pair = 34
+
+    def __init__(self, lam: float = 1.0) -> None:
+        if lam <= 0:
+            raise ValueError(f"screening parameter must be positive, got {lam}")
+        self.lam = float(lam)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, inv_r = self._displacements(targets, sources)
+        nt, ns = inv_r.shape
+        with np.errstate(divide="ignore"):
+            r = np.where(inv_r > 0.0, 1.0 / inv_r, 0.0)
+        factor = (1.0 + self.lam * r) * np.exp(-self.lam * r) * inv_r**3
+        block = diff * factor[:, :, None] / _FOUR_PI
+        return block.reshape(nt, ns * 3)
+
+    def __repr__(self) -> str:
+        return f"ModifiedLaplaceDipoleKernel(lam={self.lam})"
+
+
+def gradient_kernel_for(kernel: Kernel) -> Kernel:
+    """The gradient (target-side) kernel matching a translation kernel."""
+    from repro.kernels.laplace import LaplaceKernel
+    from repro.kernels.modified_laplace import ModifiedLaplaceKernel
+
+    if isinstance(kernel, LaplaceKernel):
+        return LaplaceGradientKernel()
+    if isinstance(kernel, ModifiedLaplaceKernel):
+        return ModifiedLaplaceGradientKernel(lam=kernel.lam)
+    raise ValueError(f"no gradient kernel registered for {kernel.name!r}")
+
+
+def dipole_kernel_for(kernel: Kernel) -> Kernel:
+    """The dipole (source-side) kernel matching a translation kernel."""
+    from repro.kernels.laplace import LaplaceKernel
+    from repro.kernels.modified_laplace import ModifiedLaplaceKernel
+
+    if isinstance(kernel, LaplaceKernel):
+        return LaplaceDipoleKernel()
+    if isinstance(kernel, ModifiedLaplaceKernel):
+        return ModifiedLaplaceDipoleKernel(lam=kernel.lam)
+    raise ValueError(f"no dipole kernel registered for {kernel.name!r}")

@@ -1,0 +1,29 @@
+"""Laplace single-layer kernel ``S(x, y) = 1/(4 pi r)`` (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+_FOUR_PI = 4.0 * np.pi
+
+
+class LaplaceKernel(Kernel):
+    """Fundamental solution of ``-Delta u = 0`` in 3D.
+
+    Scalar, homogeneous of degree -1; the workhorse kernel for which
+    classical analytic FMM exists and against which the paper benchmarks
+    its kernel-independent scheme.
+    """
+
+    name = "laplace"
+    source_dof = 1
+    target_dof = 1
+    homogeneity = -1.0
+    # 3 subs + 3 mults + 2 adds (r^2), rsqrt, scale, multiply-accumulate
+    flops_per_pair = 13
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        _, inv_r = self._displacements(targets, sources)
+        return inv_r / _FOUR_PI

@@ -1,0 +1,58 @@
+"""Stokes single-layer kernel (Stokeslet / Oseen tensor).
+
+Appendix A: for ``-mu Delta u + grad p = 0, div u = 0``,
+
+    ``S(x, y) = 1/(8 pi mu) ( I / r  +  r (x) r / r^3 )``.
+
+This is the kernel behind the paper's flagship application — boundary
+integral formulations of viscous incompressible flow (Figure 4.1, the
+2.1-billion-unknown runs of Table 4.3).  Vector-valued: 3 density
+components per source, 3 velocity components per target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+_EIGHT_PI = 8.0 * np.pi
+
+
+class StokesKernel(Kernel):
+    """Stokeslet in 3D.
+
+    Parameters
+    ----------
+    mu:
+        Dynamic viscosity ``mu > 0``.
+    """
+
+    name = "stokes"
+    source_dof = 3
+    target_dof = 3
+    homogeneity = -1.0
+    # r^2 (8), rsqrt (1), inv_r3 (2), 9 tensor entries (~3 flops each),
+    # scaling — matches the paper's observation that Stokes carries roughly
+    # 4x the per-pair work of Laplace.
+    flops_per_pair = 49
+
+    def __init__(self, mu: float = 1.0) -> None:
+        if mu <= 0:
+            raise ValueError(f"viscosity must be positive, got {mu}")
+        self.mu = float(mu)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, inv_r = self._displacements(targets, sources)
+        nt, ns = inv_r.shape
+        inv_r3 = inv_r**3
+        # (nt, ns, 3, 3) blocks: delta_ij / r + r_i r_j / r^3
+        blocks = np.einsum("tsi,tsj->tsij", diff, diff) * inv_r3[:, :, None, None]
+        idx = np.arange(3)
+        blocks[:, :, idx, idx] += inv_r[:, :, None]
+        blocks /= _EIGHT_PI * self.mu
+        # reorder to point-major (nt*3, ns*3)
+        return blocks.transpose(0, 2, 1, 3).reshape(nt * 3, ns * 3)
+
+    def __repr__(self) -> str:
+        return f"StokesKernel(mu={self.mu})"

@@ -1,0 +1,12 @@
+"""Self-contained numerical linear algebra used across the package.
+
+The paper relies on PETSc for its Krylov iterative solvers; here the
+application layer (:mod:`repro.bie`) uses our own restarted GMRES, and
+the KIFMM density solves (equations 2.1–2.5) use a truncated-SVD
+regularised pseudo-inverse.
+"""
+
+from repro.linalg.pinv import regularized_pinv
+from repro.linalg.gmres import gmres, GMRESResult
+
+__all__ = ["regularized_pinv", "gmres", "GMRESResult"]

@@ -1,0 +1,124 @@
+"""Restarted GMRES for matrix-free operators.
+
+The paper's applications solve boundary integral equations with a Krylov
+method whose matrix-vector product *is* the FMM interaction evaluation
+("at each time step we solve a linear system that requires tens of
+interaction calculations", Section 3).  This module provides that Krylov
+loop: a standard Arnoldi/Givens restarted GMRES taking an arbitrary
+``matvec`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class GMRESResult:
+    """Outcome of a GMRES solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    history: list[float]
+
+
+def gmres(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int = 200,
+) -> GMRESResult:
+    """Solve ``A x = b`` with restarted GMRES.
+
+    Parameters
+    ----------
+    matvec:
+        Callable applying the (square) operator to a flat vector.
+    b:
+        Right-hand side; flattened internally.
+    x0:
+        Initial guess (zero by default).
+    tol:
+        Relative residual target ``|b - A x| <= tol * |b|``.
+    restart:
+        Krylov subspace dimension between restarts.
+    maxiter:
+        Total matvec budget.
+
+    Returns
+    -------
+    :class:`GMRESResult`; ``history`` holds the relative residual after
+    every inner iteration, useful for convergence plots.
+    """
+    b = np.asarray(b, dtype=np.float64).ravel()
+    n = b.size
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
+    bnorm = np.linalg.norm(b)
+    if bnorm == 0.0:
+        return GMRESResult(x=np.zeros(n), converged=True, iterations=0,
+                           residual=0.0, history=[0.0])
+
+    history: list[float] = []
+    total_iters = 0
+    while total_iters < maxiter:
+        r = b - matvec(x)
+        beta = np.linalg.norm(r)
+        if beta / bnorm <= tol:
+            return GMRESResult(x, True, total_iters, beta / bnorm, history)
+        m = min(restart, maxiter - total_iters)
+        V = np.zeros((m + 1, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[0] = r / beta
+        g[0] = beta
+        k_used = 0
+        for k in range(m):
+            # copy: a matvec may return its input (e.g. the identity),
+            # and the in-place orthogonalisation below must not corrupt V
+            w = np.array(matvec(V[k]), dtype=np.float64, copy=True).ravel()
+            # modified Gram-Schmidt Arnoldi
+            for j in range(k + 1):
+                H[j, k] = V[j] @ w
+                w -= H[j, k] * V[j]
+            H[k + 1, k] = np.linalg.norm(w)
+            if H[k + 1, k] > 1e-14 * beta:
+                V[k + 1] = w / H[k + 1, k]
+            # apply previous Givens rotations to the new column
+            for j in range(k):
+                t = cs[j] * H[j, k] + sn[j] * H[j + 1, k]
+                H[j + 1, k] = -sn[j] * H[j, k] + cs[j] * H[j + 1, k]
+                H[j, k] = t
+            # new rotation annihilating H[k+1, k]
+            denom = np.hypot(H[k, k], H[k + 1, k])
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_used = k + 1
+            history.append(abs(g[k + 1]) / bnorm)
+            if history[-1] <= tol:
+                break
+        # solve the triangular system and update x
+        y = np.linalg.solve(H[:k_used, :k_used], g[:k_used]) if k_used else np.zeros(0)
+        x = x + V[:k_used].T @ y
+        if history and history[-1] <= tol:
+            r = b - matvec(x)
+            return GMRESResult(x, True, total_iters,
+                               float(np.linalg.norm(r) / bnorm), history)
+    r = b - matvec(x)
+    res = float(np.linalg.norm(r) / bnorm)
+    return GMRESResult(x, res <= tol, total_iters, res, history)

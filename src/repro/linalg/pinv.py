@@ -1,0 +1,43 @@
+"""Regularised pseudo-inverse for the equivalent-density solves.
+
+Equations (2.1)–(2.5) of the paper are first-kind integral equations —
+matching potentials on a check surface to recover an equivalent density —
+and their discretisations are severely ill-conditioned (the singular
+values of the check-to-equivalent kernel matrix decay exponentially).
+Following the sequential companion paper [25], we invert them with a
+truncated-SVD pseudo-inverse: singular values below ``rcond * s_max`` are
+discarded rather than amplified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def regularized_pinv(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Moore-Penrose pseudo-inverse with relative singular-value cutoff.
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, n)`` real matrix.
+    rcond:
+        Relative cutoff: singular values ``< rcond * max(s)`` are treated
+        as zero.
+
+    Returns
+    -------
+    ``(n, m)`` pseudo-inverse.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if rcond < 0:
+        raise ValueError(f"rcond must be non-negative, got {rcond}")
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    if s.size == 0 or s[0] == 0.0:
+        return np.zeros((matrix.shape[1], matrix.shape[0]))
+    keep = s >= rcond * s[0]
+    inv_s = np.zeros_like(s)
+    inv_s[keep] = 1.0 / s[keep]
+    return (vt.T * inv_s) @ u.T

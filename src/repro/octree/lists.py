@@ -1,0 +1,135 @@
+"""The four interaction lists of the adaptive FMM (Section 3.1).
+
+Quoting the paper's definitions for a box ``B``:
+
+- **U list** — "contains B itself and the leaf boxes which are adjacent to
+  B if B is leaf, and it is empty when B is non-leaf".  Handled by dense
+  (direct) source-to-target interaction.
+- **V list** — "contains the children of the neighbors of B's parent,
+  which are not adjacent to B".  Handled by M2L translation.
+- **W list** — "contains all the descendants of B's neighbors whose
+  parents are adjacent to B but who are not adjacent to B themselves if B
+  is leaf".  Handled by evaluating the W-box's upward equivalent density
+  directly at B's targets.
+- **X list** — "contains all boxes A such that B is in A's W list".
+  Handled by evaluating A's sources onto B's downward check surface.
+
+The construction walks, for every leaf ``C``, the subtrees rooted at C's
+colleagues, descending only through boxes adjacent to ``C``:
+
+- an adjacent leaf is a U partner (the relation is symmetric, so the
+  coarser side of a level-jumping pair is recorded at the same time);
+- a non-adjacent box whose parent was adjacent joins ``W(C)`` and,
+  dually, ``C`` joins its X list.
+
+This yields exactly the classical adaptive lists of Greengard [7] and
+Cheng-Greengard-Rokhlin [4] without requiring a 2:1-balanced tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.octree.box import boxes_adjacent
+from repro.octree.tree import Octree
+
+
+@dataclass
+class InteractionLists:
+    """Per-box interaction lists; entries are box indices."""
+
+    U: list[np.ndarray]
+    V: list[np.ndarray]
+    W: list[np.ndarray]
+    X: list[np.ndarray]
+
+    def counts(self) -> dict[str, int]:
+        """Total list entries, the raw material of the flop model."""
+        return {
+            "U": sum(len(u) for u in self.U),
+            "V": sum(len(v) for v in self.V),
+            "W": sum(len(w) for w in self.W),
+            "X": sum(len(x) for x in self.X),
+        }
+
+
+def build_lists(tree: Octree) -> InteractionLists:
+    """Construct U, V, W, X lists for every box of ``tree``."""
+    nb = tree.nboxes
+    U: list[set[int]] = [set() for _ in range(nb)]
+    V: list[set[int]] = [set() for _ in range(nb)]
+    W: list[set[int]] = [set() for _ in range(nb)]
+    X: list[set[int]] = [set() for _ in range(nb)]
+    boxes = tree.boxes
+
+    for b in boxes:
+        # V list: children of parent's colleagues not adjacent to B.
+        if b.parent >= 0:
+            for pc in tree.colleagues(b.parent, include_self=True):
+                for child in boxes[pc].children:
+                    if child != b.index and not boxes_adjacent(boxes[child], b):
+                        V[b.index].add(child)
+
+        if not b.is_leaf:
+            continue
+
+        # U and W lists by descending through adjacent colleagues.
+        U[b.index].add(b.index)
+        for col in tree.colleagues(b.index):
+            stack = [col]
+            while stack:
+                a = stack.pop()
+                abox = boxes[a]
+                if boxes_adjacent(abox, b):
+                    if abox.is_leaf:
+                        U[b.index].add(a)
+                        U[a].add(b.index)  # coarse side of a level jump
+                    else:
+                        stack.extend(abox.children)
+                else:
+                    # parent was adjacent to B (we descended through it),
+                    # A itself is not: the definition of W membership.
+                    W[b.index].add(a)
+                    X[a].add(b.index)
+
+    def _freeze(sets: list[set[int]]) -> list[np.ndarray]:
+        return [np.array(sorted(s), dtype=np.int64) for s in sets]
+
+    return InteractionLists(U=_freeze(U), V=_freeze(V), W=_freeze(W), X=_freeze(X))
+
+
+def verify_lists(tree: Octree, lists: InteractionLists) -> None:
+    """Check the structural invariants of Section 2.1 / 3.1.
+
+    Raises ``AssertionError`` on the first violation.  Used by the test
+    suite and available to users as a debugging aid.
+    """
+    boxes = tree.boxes
+    for b in boxes:
+        i = b.index
+        if b.is_leaf:
+            assert i in set(lists.U[i]), f"U list of leaf {i} must contain itself"
+        else:
+            assert len(lists.U[i]) == 0, f"U list of non-leaf {i} must be empty"
+            assert len(lists.W[i]) == 0, f"W list of non-leaf {i} must be empty"
+        for u in lists.U[i]:
+            assert boxes[u].is_leaf, f"U list of {i} contains non-leaf {u}"
+            assert boxes_adjacent(boxes[u], b), f"U box {u} not adjacent to {i}"
+        for v in lists.V[i]:
+            vb = boxes[v]
+            assert vb.level == b.level, f"V box {v} not at level of {i}"
+            assert not boxes_adjacent(vb, b), f"V box {v} adjacent to {i}"
+            assert boxes_adjacent(boxes[vb.parent], boxes[b.parent]), (
+                f"V box {v}'s parent not adjacent to {i}'s parent"
+            )
+        for w in lists.W[i]:
+            wb = boxes[w]
+            assert wb.level > b.level, f"W box {w} not finer than {i}"
+            assert not boxes_adjacent(wb, b), f"W box {w} adjacent to {i}"
+            assert boxes_adjacent(boxes[wb.parent], b), (
+                f"W box {w}'s parent not adjacent to {i}"
+            )
+        for x in lists.X[i]:
+            assert i in set(lists.W[x]), f"X/W duality violated for {i}, {x}"

@@ -1,0 +1,110 @@
+"""Morton (Z-order) keys for 3D octrees.
+
+Morton ordering is the backbone of both the tree construction (points
+sorted by deep Morton key make every box's points a contiguous range) and
+the parallel partitioning of Section 3.1 ("we use Morton curve
+partitioning"), following the hashed-octree tradition of Warren & Salmon
+(refs [23], [24] of the paper).
+
+Keys interleave 21 bits per dimension into a ``uint64``:
+``key = z20 y20 x20 ... z0 y0 x0``, so the top 3 bits select the level-1
+octant and each further 3-bit group descends one level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Deepest supported tree level: 21 bits per dimension in a uint64 key.
+MAX_DEPTH = 21
+
+_U = np.uint64  # shorthand for literal casts
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each entry: bit i -> bit 3*i."""
+    x = x.astype(np.uint64) & _U(0x1FFFFF)
+    x = (x | (x << _U(32))) & _U(0x1F00000000FFFF)
+    x = (x | (x << _U(16))) & _U(0x1F0000FF0000FF)
+    x = (x | (x << _U(8))) & _U(0x100F00F00F00F00F)
+    x = (x | (x << _U(4))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x << _U(2))) & _U(0x1249249249249249)
+    return x
+
+
+def _compact1by2(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by2`: gather every third bit."""
+    x = x.astype(np.uint64) & _U(0x1249249249249249)
+    x = (x ^ (x >> _U(2))) & _U(0x10C30C30C30C30C3)
+    x = (x ^ (x >> _U(4))) & _U(0x100F00F00F00F00F)
+    x = (x ^ (x >> _U(8))) & _U(0x1F0000FF0000FF)
+    x = (x ^ (x >> _U(16))) & _U(0x1F00000000FFFF)
+    x = (x ^ (x >> _U(32))) & _U(0x1FFFFF)
+    return x
+
+
+def anchor_to_key(ix, iy, iz) -> np.ndarray:
+    """Interleave integer coordinates into Morton keys (vectorised)."""
+    return _part1by2(np.asarray(ix)) | (_part1by2(np.asarray(iy)) << _U(1)) | (
+        _part1by2(np.asarray(iz)) << _U(2)
+    )
+
+
+def key_to_anchor(key) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """De-interleave Morton keys back into ``(ix, iy, iz)``."""
+    key = np.asarray(key, dtype=np.uint64)
+    return (
+        _compact1by2(key),
+        _compact1by2(key >> _U(1)),
+        _compact1by2(key >> _U(2)),
+    )
+
+
+def decode_key(key: int, level: int) -> tuple[int, int, int]:
+    """Anchor of a single depth-``MAX_DEPTH`` key truncated to ``level``."""
+    shifted = np.uint64(key) >> _U(3 * (MAX_DEPTH - level))
+    ix, iy, iz = key_to_anchor(shifted)
+    return int(ix), int(iy), int(iz)
+
+
+def encode_points(
+    points: np.ndarray, corner: np.ndarray, side: float
+) -> np.ndarray:
+    """Depth-``MAX_DEPTH`` Morton keys of points in the root box.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` coordinates; must lie inside the root box (points
+        exactly on the far face are clamped into the last cell).
+    corner:
+        Minimum corner of the root box.
+    side:
+        Side length of the (cubic) root box.
+
+    Returns
+    -------
+    ``(n,)`` uint64 Morton keys at depth :data:`MAX_DEPTH`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {points.shape}")
+    if side <= 0:
+        raise ValueError(f"root box side must be positive, got {side}")
+    scaled = (points - np.asarray(corner, dtype=np.float64)) / side
+    if scaled.size and (scaled.min() < -1e-12 or scaled.max() > 1.0 + 1e-12):
+        raise ValueError("points fall outside the root box")
+    cells = np.clip(
+        (scaled * (1 << MAX_DEPTH)).astype(np.int64), 0, (1 << MAX_DEPTH) - 1
+    )
+    return anchor_to_key(cells[:, 0], cells[:, 1], cells[:, 2])
+
+
+def key_prefix(key: np.ndarray, level: int) -> np.ndarray:
+    """Truncate depth-``MAX_DEPTH`` keys to the box key at ``level``."""
+    return np.asarray(key, dtype=np.uint64) >> _U(3 * (MAX_DEPTH - level))
+
+
+def child_of(key_at_level: np.ndarray, parent_level: int) -> np.ndarray:
+    """Octant index (0..7) of a key one level below ``parent_level``."""
+    return (np.asarray(key_at_level, dtype=np.uint64) & _U(7)).astype(np.int64)

@@ -1,0 +1,165 @@
+"""The communication stage between the upward and downward passes.
+
+Implements Algorithm 1 of the paper (gather/scatter of leaf source
+positions and densities) and its equivalent-density variant ("the
+procedure ... is similar to Algorithm 1 with two modifications: (1) we
+iterate over all boxes in the LET instead of just the leaf boxes, and
+(2) the owner of a box sums up the received upward equivalent densities
+to obtain the global upward equivalent densities for that box").
+
+All sends are buffered (MPI_Isend semantics), and the gather and scatter
+steps are fully phased — every rank posts all its sends for a step before
+receiving — so the protocol is deadlock-free regardless of box ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.simmpi import SimComm
+
+
+def exchange_source_data(
+    comm: SimComm,
+    boxes: np.ndarray,
+    contrib_src: np.ndarray,
+    users_src: np.ndarray,
+    owner: np.ndarray,
+    local_points: dict[int, np.ndarray],
+    local_density: dict[int, np.ndarray],
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Algorithm 1: ghost source positions/densities for U/X interactions.
+
+    Parameters
+    ----------
+    boxes:
+        Indices of the (leaf) boxes whose source data must circulate —
+        the union over ranks of ``uses_source`` (identical everywhere).
+    contrib_src, users_src:
+        ``(nranks, nboxes)`` bool matrices.
+    owner:
+        ``(nboxes,)`` owner rank per box.
+    local_points, local_density:
+        This rank's local source points / densities per contributed box.
+
+    Returns
+    -------
+    ``{box: (points, density)}`` with the *global* data for every box
+    this rank uses (including boxes it owns or contributes to).
+    """
+    me = comm.rank
+    ndof = None
+    for d in local_density.values():
+        ndof = d.shape[1] if d.ndim == 2 else 1
+        break
+
+    # STEP 1 GATHER — contributors send their local pieces to the owner.
+    for b in boxes:
+        if contrib_src[me, b] and owner[b] != me:
+            comm.send(
+                int(owner[b]),
+                (local_points[b], local_density[b]),
+                tag=("src", int(b)),
+                phase="ghost_gather",
+            )
+    combined: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for b in boxes:
+        if owner[b] != me:
+            continue
+        pieces_p, pieces_d = [], []
+        if contrib_src[me, b]:
+            pieces_p.append(local_points[b])
+            pieces_d.append(local_density[b])
+        for r in np.nonzero(contrib_src[:, b])[0]:
+            if r == me:
+                continue
+            pts, dens = comm.recv(int(r), tag=("src", int(b)))
+            pieces_p.append(pts)
+            pieces_d.append(dens)
+        if pieces_p:
+            combined[int(b)] = (np.vstack(pieces_p), np.vstack(pieces_d))
+        else:
+            combined[int(b)] = (
+                np.empty((0, 3)),
+                np.empty((0, ndof if ndof else 1)),
+            )
+
+    # STEP 2 SCATTER — the owner sends the global data to every user.
+    for b in boxes:
+        if owner[b] == me:
+            for r in np.nonzero(users_src[:, b])[0]:
+                if r != me:
+                    comm.send(
+                        int(r), combined[int(b)], tag=("srcg", int(b)),
+                        phase="ghost_scatter",
+                    )
+    result: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for b in boxes:
+        if not users_src[me, b]:
+            continue
+        if owner[b] == me:
+            result[int(b)] = combined[int(b)]
+        else:
+            result[int(b)] = comm.recv(int(owner[b]), tag=("srcg", int(b)))
+    return result
+
+
+def exchange_equiv_densities(
+    comm: SimComm,
+    boxes: np.ndarray,
+    contrib_src: np.ndarray,
+    users_equiv: np.ndarray,
+    owner: np.ndarray,
+    partial_ue: np.ndarray,
+    has_ue: np.ndarray,
+) -> dict[int, np.ndarray]:
+    """Reduce partial upward equivalent densities and scatter to users.
+
+    Every contributor's upward pass produced a *partial* equivalent
+    density (linear in its local sources); the owner sums the partials —
+    linearity of equations (2.1)/(2.3) makes the sum the exact global
+    density — and scatters to users.
+
+    Returns ``{box: global_ue}`` for every box this rank uses.
+    """
+    me = comm.rank
+
+    # GATHER + reduce at the owner.  A source contributor always has a
+    # partial density (the upward pass covers every box with local
+    # sources), so the send/recv pairing below is exact; ``has_ue`` only
+    # guards against sending uninitialised storage.
+    for b in boxes:
+        if contrib_src[me, b] and owner[b] != me:
+            payload = partial_ue[b] if has_ue[b] else np.zeros_like(partial_ue[b])
+            comm.send(int(owner[b]), payload, tag=("ue", int(b)),
+                      phase="equiv_gather")
+    summed: dict[int, np.ndarray] = {}
+    for b in boxes:
+        if owner[b] != me:
+            continue
+        total = partial_ue[b].copy() if (contrib_src[me, b] and has_ue[b]) else None
+        for r in np.nonzero(contrib_src[:, b])[0]:
+            if r == me:
+                continue
+            piece = comm.recv(int(r), tag=("ue", int(b)))
+            total = piece.copy() if total is None else total + piece
+        summed[int(b)] = (
+            total if total is not None else np.zeros_like(partial_ue[b])
+        )
+
+    # SCATTER to users.
+    for b in boxes:
+        if owner[b] == me:
+            for r in np.nonzero(users_equiv[:, b])[0]:
+                if r != me:
+                    comm.send(int(r), summed[int(b)], tag=("ueg", int(b)),
+                              phase="equiv_scatter")
+    result: dict[int, np.ndarray] = {}
+    for b in boxes:
+        if not users_equiv[me, b]:
+            continue
+        if owner[b] == me:
+            result[int(b)] = summed[int(b)]
+        else:
+            result[int(b)] = comm.recv(int(owner[b]), tag=("ueg", int(b)))
+    return result

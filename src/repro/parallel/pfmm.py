@@ -1,0 +1,375 @@
+"""The three-stage parallel interaction calculation (Section 3.2).
+
+"The interaction calculation part of our algorithm is logically separated
+into three stages.  The first stage is a computation step which performs
+the upward computation.  Each processor P builds the upward equivalent
+densities for the LET nodes to which it contributes (ignoring the
+existence of the other processors).  The second stage [communicates ghost
+sources and reduces/scatters equivalent densities].  The third stage
+performs the downward computation ... (ignoring the existence of the
+other processors again)."
+
+The redundant computation this design accepts near the root (every rank
+computes partial upward densities and full downward passes for the
+ancestors of its boxes) is reproduced faithfully; as the paper notes, the
+number of such boxes is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fftm2l import FFTM2L
+from repro.core.fmm import FMMOptions
+from repro.core.precompute import OperatorCache
+from repro.kernels.base import Kernel
+from repro.octree.lists import build_lists
+from repro.octree.tree import Octree
+from repro.parallel.exchange import exchange_equiv_densities, exchange_source_data
+from repro.parallel.let import classify_let, gather_users
+from repro.parallel.owners import assign_owners, gather_contributors
+from repro.parallel.partition import partition_points
+from repro.parallel.ptree import ParallelTree, parallel_build_tree
+from repro.parallel.simmpi import CommStats, PerRank, SimComm, run_spmd
+from repro.util.timing import PhaseTimer
+
+
+def _octant(box) -> int:
+    return (
+        (box.anchor[0] & 1)
+        | ((box.anchor[1] & 1) << 1)
+        | ((box.anchor[2] & 1) << 2)
+    )
+
+
+def _upward_local(
+    tree: Octree,
+    kernel: Kernel,
+    cache: OperatorCache,
+    phi: np.ndarray,
+    src_k: Kernel | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stage 1: partial upward equivalent densities from local sources."""
+    src_k = src_k if src_k is not None else kernel
+    n_surf = cache.n_surf
+    md = kernel.source_dof
+    nb = tree.nboxes
+    ue = np.zeros((nb, n_surf * md))
+    has_ue = np.zeros(nb, dtype=bool)
+    for level in range(tree.depth, -1, -1):
+        for bi in tree.levels[level]:
+            b = tree.boxes[bi]
+            if b.nsrc == 0:  # no *local* sources in the subtree
+                continue
+            center = tree.center(bi)
+            if b.is_leaf or not any(has_ue[c] for c in b.children):
+                # a non-leaf whose local sources all sit in globally-pruned
+                # octants cannot occur (children cover all occupied
+                # octants globally), so local sources imply a child with a
+                # partial density; the leaf branch handles true leaves.
+                K = src_k.matrix(
+                    cache.up_check_points(center, level), tree.src_points(bi)
+                )
+                check = K @ phi[tree.src_indices(bi)].reshape(-1)
+            else:
+                check = np.zeros(n_surf * kernel.target_dof)
+                for ci in b.children:
+                    if not has_ue[ci]:
+                        continue
+                    child = tree.boxes[ci]
+                    check += cache.m2m_check(child.level, _octant(child)) @ ue[ci]
+            ue[bi] = cache.uc2ue(level) @ check
+            has_ue[bi] = True
+    return ue, has_ue
+
+
+def _downward_local(
+    ptree: ParallelTree,
+    lists,
+    kernel: Kernel,
+    cache: OperatorCache,
+    phi: np.ndarray,
+    global_ue: dict[int, np.ndarray],
+    ghost_src: dict[int, tuple[np.ndarray, np.ndarray]],
+    m2l_mode: str,
+    src_k: Kernel | None = None,
+    trg_k: Kernel | None = None,
+    dir_k: Kernel | None = None,
+) -> np.ndarray:
+    """Stage 3: downward computation for boxes with local targets."""
+    src_k = src_k if src_k is not None else kernel
+    trg_k = trg_k if trg_k is not None else kernel
+    dir_k = dir_k if dir_k is not None else kernel
+    tree = ptree.tree
+    boxes = tree.boxes
+    n_surf = cache.n_surf
+    md, qd = kernel.source_dof, kernel.target_dof
+    out_dof = trg_k.target_dof
+    nb = tree.nboxes
+    dc = np.zeros((nb, n_surf * qd))
+    has_dc = np.zeros(nb, dtype=bool)
+    de = np.zeros((nb, n_surf * md))
+    has_de = np.zeros(nb, dtype=bool)
+    potential = np.zeros((tree.targets.shape[0], out_dof))
+    has_global_src = ptree.global_nsrc > 0
+
+    fft = FFTM2L(cache) if m2l_mode == "fft" else None
+    if fft is not None:
+        _fft_v_list_parallel(ptree, lists, fft, global_ue, dc, has_dc)
+
+    for level in range(1, tree.depth + 1):
+        for bi in tree.levels[level]:
+            b = boxes[bi]
+            if b.ntrg == 0:  # no local targets in the subtree
+                continue
+            center = tree.center(bi)
+            if has_de[b.parent]:
+                dc[bi] += cache.l2l_check(level, _octant(b)) @ de[b.parent]
+                has_dc[bi] = True
+            if m2l_mode == "dense":
+                for ai in lists.V[bi]:
+                    if not has_global_src[ai]:
+                        continue
+                    a = boxes[ai]
+                    offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
+                    dc[bi] += cache.m2l_check(level, offset) @ global_ue[int(ai)]
+                    has_dc[bi] = True
+            if len(lists.X[bi]):
+                check_pts = cache.down_check_points(center, level)
+                for ai in lists.X[bi]:
+                    if not has_global_src[ai]:
+                        continue
+                    pts, dens = ghost_src[int(ai)]
+                    dc[bi] += src_k.matrix(check_pts, pts) @ dens.reshape(-1)
+                    has_dc[bi] = True
+            if has_dc[bi]:
+                de[bi] = cache.dc2de(level) @ dc[bi]
+                has_de[bi] = True
+            if not b.is_leaf:
+                continue
+            trg_pts = tree.trg_points(bi)
+            trg_idx = tree.trg_indices(bi)
+            local = np.zeros(b.ntrg * out_dof)
+            if has_de[bi]:
+                K = trg_k.matrix(trg_pts, cache.down_equiv_points(center, level))
+                local += K @ de[bi]
+            for ai in lists.U[bi]:
+                if not has_global_src[ai]:
+                    continue
+                pts, dens = ghost_src[int(ai)]
+                local += dir_k.matrix(trg_pts, pts) @ dens.reshape(-1)
+            for ai in lists.W[bi]:
+                if not has_global_src[ai]:
+                    continue
+                a = boxes[ai]
+                K = trg_k.matrix(
+                    trg_pts, cache.up_equiv_points(tree.center(ai), a.level)
+                )
+                local += K @ global_ue[int(ai)]
+            potential[trg_idx] += local.reshape(b.ntrg, out_dof)
+
+    root = boxes[0]
+    if root.is_leaf and root.ntrg > 0 and has_global_src[0]:
+        pts, dens = ghost_src[0]
+        K = dir_k.matrix(tree.trg_points(0), pts)
+        potential[tree.trg_indices(0)] += (
+            K @ dens.reshape(-1)
+        ).reshape(root.ntrg, out_dof)
+    return potential
+
+
+def _fft_v_list_parallel(
+    ptree: ParallelTree,
+    lists,
+    fft: FFTM2L,
+    global_ue: dict[int, np.ndarray],
+    dc: np.ndarray,
+    has_dc: np.ndarray,
+) -> None:
+    """FFT-accelerated V-list pass over the rank's LET."""
+    tree = ptree.tree
+    boxes = tree.boxes
+    has_global_src = ptree.global_nsrc > 0
+    for level in range(2, tree.depth + 1):
+        level_boxes = tree.levels[level]
+        needed: set[int] = set()
+        for bi in level_boxes:
+            if boxes[bi].ntrg == 0:
+                continue
+            for ai in lists.V[bi]:
+                if has_global_src[ai]:
+                    needed.add(int(ai))
+        if not needed:
+            continue
+        phi_hat = {ai: fft.density_hat(global_ue[ai]) for ai in needed}
+        for bi in level_boxes:
+            b = boxes[bi]
+            if b.ntrg == 0 or not len(lists.V[bi]):
+                continue
+            acc = None
+            for ai in lists.V[bi]:
+                if not has_global_src[ai]:
+                    continue
+                a = boxes[ai]
+                offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
+                tensor = fft.kernel_tensor_hat(level, offset)
+                if acc is None:
+                    acc = np.zeros(
+                        tensor.shape[0:1] + tensor.shape[2:], dtype=np.complex128
+                    )
+                fft.accumulate(acc, tensor, phi_hat[int(ai)])
+            if acc is not None:
+                dc[bi] += fft.check_potential(acc)
+                has_dc[bi] = True
+
+
+def parallel_evaluate(
+    comm: SimComm,
+    kernel: Kernel,
+    local_sources: np.ndarray,
+    local_density: np.ndarray,
+    options: FMMOptions | None = None,
+    root: tuple[np.ndarray, float] | None = None,
+    timer: PhaseTimer | None = None,
+    source_kernel: Kernel | None = None,
+    target_kernel: Kernel | None = None,
+    direct_kernel: Kernel | None = None,
+) -> np.ndarray:
+    """SPMD entry point: each rank passes its local particles.
+
+    Sources and targets are the identical local point set (the paper's
+    experimental setup).  Returns the potentials at this rank's local
+    points, in local order.  The variable source/target kernels follow
+    the same rules as the sequential evaluator (see
+    :func:`repro.core.evaluator.evaluate`).
+    """
+    opts = options or FMMOptions()
+    timer = timer if timer is not None else PhaseTimer()
+    src_k = source_kernel if source_kernel is not None else kernel
+    trg_k = target_kernel if target_kernel is not None else kernel
+    if direct_kernel is not None:
+        dir_k = direct_kernel
+    elif src_k is kernel:
+        dir_k = trg_k
+    elif trg_k is kernel:
+        dir_k = src_k
+    else:
+        raise ValueError(
+            "direct_kernel is required when both source_kernel and "
+            "target_kernel are custom"
+        )
+    local_sources = np.asarray(local_sources, dtype=np.float64)
+    phi = np.asarray(local_density, dtype=np.float64).reshape(
+        local_sources.shape[0], src_k.source_dof
+    )
+
+    with timer.phase("tree"):
+        ptree = parallel_build_tree(
+            comm,
+            local_sources,
+            max_points=opts.max_points,
+            max_depth=opts.max_depth,
+            root=root,
+        )
+        tree = ptree.tree
+        lists = build_lists(tree)
+        contrib_src, contrib_trg = gather_contributors(
+            comm, ptree.local_contributes_src(), ptree.local_contributes_trg()
+        )
+        owner = assign_owners(contrib_src | contrib_trg)
+        usage = classify_let(tree, lists, ptree.local_contributes_trg())
+        # data is only needed for boxes that globally hold sources
+        usage.uses_equiv &= ptree.global_nsrc > 0
+        usage.uses_source &= ptree.global_nsrc > 0
+        users_equiv, users_src = gather_users(comm, usage)
+
+    cache = OperatorCache(
+        kernel, opts.p, tree.root_side,
+        inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
+    )
+
+    with timer.phase("up"):
+        partial_ue, has_ue = _upward_local(tree, kernel, cache, phi, src_k=src_k)
+
+    with timer.phase("comm"):
+        src_boxes = np.nonzero(users_src.any(axis=0))[0]
+        local_pts = {
+            int(b): tree.src_points(int(b))
+            for b in src_boxes
+            if contrib_src[comm.rank, b]
+        }
+        local_dens = {
+            int(b): phi[tree.src_indices(int(b))]
+            for b in src_boxes
+            if contrib_src[comm.rank, b]
+        }
+        ghost_src = exchange_source_data(
+            comm, src_boxes, contrib_src, users_src, owner, local_pts, local_dens
+        )
+        ue_boxes = np.nonzero(users_equiv.any(axis=0))[0]
+        global_ue = exchange_equiv_densities(
+            comm, ue_boxes, contrib_src, users_equiv, owner, partial_ue, has_ue
+        )
+
+    with timer.phase("down"):
+        potential = _downward_local(
+            ptree, lists, kernel, cache, phi, global_ue, ghost_src, opts.m2l,
+            src_k=src_k, trg_k=trg_k, dir_k=dir_k,
+        )
+    return potential
+
+
+@dataclass
+class ParallelFMMResult:
+    """Aggregate result of a driver-level parallel run."""
+
+    potential: np.ndarray
+    comm_stats: list[CommStats]
+    timers: list[dict[str, float]]
+    nranks: int
+
+
+def run_parallel_fmm(
+    nranks: int,
+    kernel: Kernel,
+    points: np.ndarray,
+    density: np.ndarray,
+    options: FMMOptions | None = None,
+    source_kernel: Kernel | None = None,
+    target_kernel: Kernel | None = None,
+    direct_kernel: Kernel | None = None,
+) -> ParallelFMMResult:
+    """Convenience driver: partition, run SPMD, reassemble.
+
+    Partitions ``points`` over ``nranks`` logical ranks with Morton-curve
+    partitioning, runs the full three-stage parallel algorithm, and
+    returns the potentials in the original point order together with
+    per-rank communication statistics.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    density = np.asarray(density, dtype=np.float64).reshape(points.shape[0], -1)
+    parts = partition_points(points, nranks)
+    timers = [PhaseTimer() for _ in range(nranks)]
+
+    def rank_main(comm: SimComm, idx: np.ndarray):
+        pot = parallel_evaluate(
+            comm, kernel, points[idx], density[idx],
+            options=options, timer=timers[comm.rank],
+            source_kernel=source_kernel, target_kernel=target_kernel,
+            direct_kernel=direct_kernel,
+        )
+        return pot, comm.stats
+
+    outputs = run_spmd(nranks, rank_main, PerRank(parts))
+    qd = (target_kernel or kernel).target_dof
+    potential = np.zeros((points.shape[0], qd))
+    for idx, (pot, _) in zip(parts, outputs):
+        potential[idx] = pot
+    return ParallelFMMResult(
+        potential=potential,
+        comm_stats=[stats for _, stats in outputs],
+        timers=[t.by_phase() for t in timers],
+        nranks=nranks,
+    )

@@ -1,0 +1,212 @@
+"""Simulated MPI: logical ranks on threads, message-passing semantics.
+
+Provides the MPI subset the paper's implementation uses — blocking
+send/recv, buffered isend, ``Allreduce``, ``Allgather`` and barriers —
+with per-rank traffic accounting so tests and the performance model can
+inspect communication volumes.  Point-to-point messages go through
+per-``(src, dst, tag)`` queues; collectives use a generation-safe
+two-phase barrier protocol.
+
+This is the DESIGN.md substitution for the paper's MPI/Quadrics stack:
+the algorithm exchanges real messages between ranks, only the transport
+is in-process.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_send(self, nbytes: int, phase: str | None) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if phase:
+            self.by_phase[phase] += nbytes
+
+    def record_allreduce(self, nbytes: int) -> None:
+        self.allreduce_calls += 1
+        self.allreduce_bytes += nbytes
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Approximate wire size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(k) + _payload_bytes(v) for k, v in obj.items())
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    return 8  # scalars and small objects
+
+
+class _World:
+    """State shared by all ranks of one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.mailbox: dict[tuple[int, int, Any], queue.Queue] = {}
+        self._mailbox_lock = threading.Lock()
+        self.slots: list[Any] = [None] * size
+        self.reduced: Any = None
+        self.failure: BaseException | None = None
+
+    def box(self, src: int, dst: int, tag: Any) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mailbox_lock:
+            q = self.mailbox.get(key)
+            if q is None:
+                q = self.mailbox[key] = queue.Queue()
+            return q
+
+
+class SimComm:
+    """Communicator handle passed to each rank's SPMD function."""
+
+    #: Default receive timeout (seconds); a deadlocked exchange raises
+    #: instead of hanging the test suite.
+    TIMEOUT = 120.0
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self.stats = CommStats()
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, dst: int, obj: Any, tag: Any = 0, phase: str | None = None) -> None:
+        """Buffered send (MPI_Isend semantics: never blocks)."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"invalid destination rank {dst}")
+        self.stats.record_send(_payload_bytes(obj), phase)
+        self._world.box(self.rank, dst, tag).put(obj)
+
+    isend = send  # buffered sends complete immediately
+
+    def recv(self, src: int, tag: Any = 0) -> Any:
+        """Blocking receive from a specific source and tag."""
+        if not 0 <= src < self.size:
+            raise ValueError(f"invalid source rank {src}")
+        try:
+            return self._world.box(src, self.rank, tag).get(timeout=self.TIMEOUT)
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank} timed out receiving from {src} tag {tag!r}"
+            ) from None
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """MPI_Allreduce over numpy arrays (sum/max/min).
+
+        This is the collective the paper's level-by-level tree
+        construction relies on ("an MPI_Allreduce is used over all local
+        copies of the global tree array", Section 3.1).
+        """
+        array = np.asarray(array)
+        self.stats.record_allreduce(array.nbytes)
+        w = self._world
+        w.slots[self.rank] = array
+        idx = w.barrier.wait()
+        if idx == 0:
+            stack = np.stack(w.slots)
+            if op == "sum":
+                w.reduced = stack.sum(axis=0)
+            elif op == "max":
+                w.reduced = stack.max(axis=0)
+            elif op == "min":
+                w.reduced = stack.min(axis=0)
+            else:
+                w.failure = ValueError(f"unknown allreduce op {op!r}")
+                w.reduced = None
+        w.barrier.wait()
+        if w.failure is not None:
+            raise w.failure
+        return np.array(w.reduced, copy=True)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank, everywhere."""
+        w = self._world
+        w.slots[self.rank] = obj
+        w.barrier.wait()
+        out = list(w.slots)
+        w.barrier.wait()
+        return out
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 600.0,
+) -> list[Any]:
+    """Run ``fn(comm, rank_args...)`` on ``nranks`` logical ranks.
+
+    ``args`` may contain per-rank sequences wrapped in :class:`PerRank`;
+    other arguments are broadcast.  Returns the per-rank return values.
+    Any rank exception is re-raised in the caller.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    world = _World(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[BaseException | None] = [None] * nranks
+
+    def runner(rank: int) -> None:
+        comm = SimComm(world, rank)
+        rank_args = [a.values[rank] if isinstance(a, PerRank) else a for a in args]
+        try:
+            results[rank] = fn(comm, *rank_args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            errors[rank] = exc
+            world.barrier.abort()  # release ranks blocked in collectives
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            world.barrier.abort()
+            raise TimeoutError(f"SPMD run exceeded {timeout}s ({t.name} alive)")
+    for rank, err in enumerate(errors):
+        if err is not None and not isinstance(err, threading.BrokenBarrierError):
+            raise err
+    broken = [r for r, e in enumerate(errors) if e is not None]
+    if broken:
+        raise RuntimeError(f"ranks {broken} failed with broken barriers")
+    return results
+
+
+@dataclass
+class PerRank:
+    """Wrapper marking an argument as per-rank in :func:`run_spmd`."""
+
+    values: list[Any]

@@ -1,0 +1,37 @@
+"""Performance model of the paper's evaluation platform (Section 4).
+
+The paper measures wall-clock times, Gflop/s rates and parallel
+efficiencies on the Pittsburgh Supercomputing Center TCS-1 AlphaServer
+(750 quad EV-68 nodes at 1 GHz, Quadrics interconnect) on up to 3000
+processors and 2.1 billion unknowns.  Neither the machine nor that scale
+is reachable here, so — per the substitution policy in DESIGN.md — this
+package computes the *work and communication volumes the algorithm
+actually generates* (from real trees and interaction lists built by
+:mod:`repro.octree`) and converts them to time with a calibrated machine
+model.  Shape conclusions (scalability curves, phase breakdowns, where
+communication starts to dominate, load imbalance of non-uniform
+distributions) derive from the measured volumes; only the unit
+conversions are calibrated constants.
+"""
+
+from repro.perfmodel.machine import MachineModel, TCS1
+from repro.perfmodel.costs import PhaseWork, compute_work
+from repro.perfmodel.simulate import RunReport, simulate_run, simulate_tree_time
+from repro.perfmodel.metrics import (
+    cycles_per_particle,
+    flop_rate_efficiency,
+    work_efficiency,
+)
+
+__all__ = [
+    "MachineModel",
+    "TCS1",
+    "PhaseWork",
+    "compute_work",
+    "RunReport",
+    "simulate_run",
+    "simulate_tree_time",
+    "cycles_per_particle",
+    "work_efficiency",
+    "flop_rate_efficiency",
+]

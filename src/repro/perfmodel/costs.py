@@ -1,0 +1,201 @@
+"""Per-box floating-point work, computed from real trees and lists.
+
+These formulas mirror the flop accounting of
+:mod:`repro.core.evaluator` exactly — kernel pair evaluations cost
+``kernel.flops_per_pair`` and dense matrix-vector products cost
+``2 * rows * cols`` — so the model's work volumes are the ones the
+implementation actually performs, not asymptotic estimates.
+
+Downward-phase work is attributed to the *target* box (whose contributor
+ranks redundantly perform it in the parallel algorithm) and upward work
+to the *source* box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.surfaces import n_surface_points
+from repro.kernels.base import Kernel
+from repro.octree.lists import InteractionLists
+from repro.octree.tree import Octree
+
+
+@dataclass
+class PhaseWork:
+    """Flops per box, per interaction phase (arrays of length nboxes)."""
+
+    up: np.ndarray
+    down_u: np.ndarray
+    down_v: np.ndarray
+    down_w: np.ndarray
+    down_x: np.ndarray
+    eval: np.ndarray
+
+    def totals(self) -> dict[str, float]:
+        return {
+            "up": float(self.up.sum()),
+            "down_u": float(self.down_u.sum()),
+            "down_v": float(self.down_v.sum()),
+            "down_w": float(self.down_w.sum()),
+            "down_x": float(self.down_x.sum()),
+            "eval": float(self.eval.sum()),
+        }
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals().values())
+
+
+def compute_work(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    p: int,
+    m2l: str = "fft",
+    global_nsrc: np.ndarray | None = None,
+    global_ntrg: np.ndarray | None = None,
+) -> PhaseWork:
+    """Flop volumes of one interaction evaluation.
+
+    ``global_nsrc``/``global_ntrg`` default to the tree's own counts;
+    they are overridable so scaled particle counts can be modelled on a
+    structurally-identical tree.
+    """
+    if m2l not in ("fft", "dense"):
+        raise ValueError(f"m2l must be 'fft' or 'dense', got {m2l}")
+    nb = tree.nboxes
+    boxes = tree.boxes
+    n_surf = n_surface_points(p)
+    md, qd = kernel.source_dof, kernel.target_dof
+    fpp = float(kernel.flops_per_pair)
+    nsrc = (
+        np.asarray(global_nsrc, dtype=np.float64)
+        if global_nsrc is not None
+        else np.array([b.nsrc for b in boxes], dtype=np.float64)
+    )
+    ntrg = (
+        np.asarray(global_ntrg, dtype=np.float64)
+        if global_ntrg is not None
+        else np.array([b.ntrg for b in boxes], dtype=np.float64)
+    )
+
+    pinv_flops = 2.0 * (n_surf * md) * (n_surf * qd)
+    m2m_flops = 2.0 * (n_surf * qd) * (n_surf * md)  # per child matvec
+    l2l_flops = m2m_flops
+    m2l_dense_flops = m2m_flops
+    grid = 2 * p
+    nfreq = grid * grid * (grid // 2 + 1)
+    hadamard_flops = 8.0 * qd * md * nfreq
+    fft_flops = 5.0 * grid**3 * np.log2(grid**3)
+
+    up = np.zeros(nb)
+    down_u = np.zeros(nb)
+    down_v = np.zeros(nb)
+    down_w = np.zeros(nb)
+    down_x = np.zeros(nb)
+    evalw = np.zeros(nb)
+
+    # Out-degree of each source box in the V graph, to amortise its
+    # forward FFT over the targets that consume it.
+    v_outdeg = np.zeros(nb)
+    if m2l == "fft":
+        for b in boxes:
+            for a in lists.V[b.index]:
+                v_outdeg[a] += 1.0
+
+    # Which boxes actually carry downward data: a box inverts its check
+    # potential (and a leaf evaluates L2T) only if it or an ancestor
+    # received a V- or X-list contribution — matching the evaluator's
+    # has_dc/has_de gating.
+    has_down = np.zeros(nb, dtype=bool)
+    for b in boxes:  # boxes are in level order, so parents come first
+        i = b.index
+        own = any(nsrc[a] > 0 for a in lists.V[i]) or any(
+            nsrc[a] > 0 for a in lists.X[i]
+        )
+        has_down[i] = own or (b.parent >= 0 and has_down[b.parent])
+
+    for b in boxes:
+        i = b.index
+        has_src = nsrc[i] > 0
+        has_trg = ntrg[i] > 0
+        if has_src:
+            if b.is_leaf:
+                up[i] += n_surf * nsrc[i] * fpp  # S2M check evaluation
+            else:
+                nkids = sum(1 for c in b.children if nsrc[c] > 0)
+                up[i] += nkids * m2m_flops
+            up[i] += pinv_flops  # uc2ue inversion
+
+        if not has_trg:
+            continue
+        if b.level >= 1 and b.parent >= 0 and has_down[b.parent]:
+            evalw[i] += l2l_flops  # L2L from the parent's density
+        if has_down[i]:
+            evalw[i] += pinv_flops  # dc2de inversion
+        nv = sum(1 for a in lists.V[i] if nsrc[a] > 0)
+        if nv:
+            if m2l == "dense":
+                down_v[i] += nv * m2l_dense_flops
+            else:
+                down_v[i] += nv * hadamard_flops + md * fft_flops  # + inverse FFT
+                for a in lists.V[i]:
+                    if nsrc[a] > 0 and v_outdeg[a] > 0:
+                        down_v[i] += md * fft_flops / v_outdeg[a]
+        for a in lists.X[i]:
+            if nsrc[a] > 0:
+                down_x[i] += n_surf * nsrc[a] * fpp
+        if b.is_leaf:
+            if has_down[i]:
+                evalw[i] += ntrg[i] * n_surf * fpp  # L2T
+            for a in lists.U[i]:
+                if nsrc[a] > 0:
+                    down_u[i] += ntrg[i] * nsrc[a] * fpp
+            for a in lists.W[i]:
+                if nsrc[a] > 0:
+                    down_w[i] += ntrg[i] * n_surf * fpp
+
+    return PhaseWork(
+        up=up, down_u=down_u, down_v=down_v, down_w=down_w,
+        down_x=down_x, eval=evalw,
+    )
+
+
+def communication_volumes(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    p: int,
+) -> tuple[list[list[int]], list[list[int]], np.ndarray, np.ndarray]:
+    """Raw material for the communication model.
+
+    Returns ``(equiv_uses, source_uses, equiv_bytes, source_bytes)``:
+    for every box, which *target* boxes consume its upward equivalent
+    density (V/W lists) or its ghost source data (U/X lists), plus the
+    per-box message sizes in bytes.
+    """
+    nb = tree.nboxes
+    n_surf = n_surface_points(p)
+    md = kernel.source_dof
+    equiv_uses: list[list[int]] = [[] for _ in range(nb)]
+    source_uses: list[list[int]] = [[] for _ in range(nb)]
+    for b in tree.boxes:
+        i = b.index
+        for a in lists.V[i]:
+            equiv_uses[a].append(i)
+        for a in lists.X[i]:
+            source_uses[a].append(i)
+        if b.is_leaf:
+            for a in lists.W[i]:
+                equiv_uses[a].append(i)
+            for a in lists.U[i]:
+                if a != i:
+                    source_uses[a].append(i)
+    equiv_bytes = np.full(nb, 8.0 * n_surf * md)
+    source_bytes = np.array(
+        [8.0 * b.nsrc * (3 + md) for b in tree.boxes], dtype=np.float64
+    )
+    return equiv_uses, source_uses, equiv_bytes, source_bytes

@@ -1,0 +1,112 @@
+"""High-level drivers regenerating the paper's scalability experiments.
+
+Each function returns the rows of one paper table (or the series of one
+figure); the ``benchmarks/`` scripts print them alongside the paper's
+reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.octree.lists import build_lists
+from repro.octree.tree import build_tree
+from repro.perfmodel.costs import compute_work
+from repro.perfmodel.machine import TCS1, MachineModel
+from repro.perfmodel.simulate import RunReport, simulate_run
+
+
+@dataclass
+class ScalingRow:
+    """One row of a Table 4.1/4.2/4.3-style scalability table."""
+
+    P: int
+    N: int
+    total: float
+    ratio: float
+    comm: float
+    up: float
+    down: float
+    gflops_avg: float
+    gflops_peak: float
+    tree: float
+
+    @classmethod
+    def from_report(cls, r: RunReport) -> "ScalingRow":
+        return cls(
+            P=r.P, N=r.N, total=r.total, ratio=r.ratio, comm=r.comm,
+            up=r.up, down=r.down, gflops_avg=r.gflops_avg,
+            gflops_peak=r.gflops_peak, tree=r.tree_seconds,
+        )
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.P, self.total, round(self.ratio, 1), self.comm, self.up,
+            self.down, self.gflops_avg, self.gflops_peak, self.tree,
+        )
+
+
+TABLE_HEADERS = (
+    "P", "Total", "Ratio", "Comm", "Up", "Down", "Avg", "Peak", "Gen/Comm"
+)
+
+
+def fixed_size_scaling(
+    kernel: Kernel,
+    points: np.ndarray,
+    P_list: Sequence[int],
+    p: int = 6,
+    max_points: int = 60,
+    m2l: str = "fft",
+    machine: MachineModel = TCS1,
+) -> list[RunReport]:
+    """Table 4.1: fixed problem size, increasing processor count.
+
+    Builds the real tree once and simulates every P over it.
+    """
+    tree = build_tree(points, max_points=max_points)
+    lists = build_lists(tree)
+    work = compute_work(tree, lists, kernel, p, m2l=m2l)
+    return [
+        simulate_run(tree, lists, kernel, p, P, machine, m2l=m2l, work=work)
+        for P in P_list
+    ]
+
+
+def isogranular_scaling(
+    kernel: Kernel,
+    workload: Callable[[int], np.ndarray],
+    grain: int,
+    P_list: Sequence[int],
+    p: int = 6,
+    max_points: int = 60,
+    m2l: str = "fft",
+    machine: MachineModel = TCS1,
+    model_cap: int = 1_000_000,
+) -> list[RunReport]:
+    """Table 4.2: fixed grain (particles per processor), increasing P.
+
+    For every P the target problem is ``N = grain * P``; the model tree
+    is built at ``N_model = min(N, model_cap)`` and per-rank work/bytes
+    are extrapolated by ``grain_scale`` (linear / two-thirds power — see
+    :func:`repro.perfmodel.simulate.simulate_run`).
+    """
+    reports = []
+    for P in P_list:
+        n_target = grain * P
+        n_model = min(n_target, model_cap)
+        pts = workload(n_model)
+        tree = build_tree(pts, max_points=max_points)
+        lists = build_lists(tree)
+        scale = n_target / pts.shape[0]
+        reports.append(
+            simulate_run(
+                tree, lists, kernel, p, P, machine, m2l=m2l,
+                grain_scale=scale, n_override=n_target,
+            )
+        )
+    return reports

@@ -1,0 +1,56 @@
+"""Derived metrics of Figures 4.2 and 4.3.
+
+- *aggregate CPU cycles per particle*: ``P * C * T(P) / N`` with C the
+  clock rate — the paper's machine-comparable work metric;
+- *work efficiency*: ``T(1) / (T(P) * P)``;
+- *flop-rate efficiency*: ``f(P) / f(1)`` with ``f`` the per-processor
+  flop rate.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.machine import MachineModel
+from repro.perfmodel.simulate import PHASES, RunReport
+
+
+def cycles_per_particle(
+    report: RunReport, machine: MachineModel
+) -> dict[str, float]:
+    """Aggregate CPU cycles per particle, split by phase (+ comm, total)."""
+    factor = report.P * machine.clock_hz / report.N
+    out = {ph: report.phase_seconds[ph] * factor for ph in PHASES}
+    out["comm"] = report.comm * factor
+    out["total"] = report.total * factor
+    return out
+
+
+def work_efficiency(serial: RunReport, parallel: RunReport) -> float:
+    """``T(1) / (T(P) P)`` — Figure 4.2's work efficiency."""
+    if serial.P != 1:
+        raise ValueError(f"serial report must have P=1, got P={serial.P}")
+    denom = parallel.total * parallel.P
+    return serial.total / denom if denom > 0 else 0.0
+
+
+def flop_rate_efficiency(serial: RunReport, parallel: RunReport) -> float:
+    """``f(P) / f(1)`` with per-processor flop rates — Mflops/s efficiency."""
+    if serial.P != 1:
+        raise ValueError(f"serial report must have P=1, got P={serial.P}")
+    f1 = serial.gflops_avg / serial.P
+    fp = parallel.gflops_avg / parallel.P
+    return fp / f1 if f1 > 0 else 0.0
+
+
+def mflops_per_processor(report: RunReport) -> dict[str, float]:
+    """Per-processor Mflop/s rates: average, peak, max and min over ranks."""
+    totals = report.rank_phase_seconds.sum(axis=1) + report.rank_comm_seconds
+    rank_flops = report.total_flops / report.P  # uniform-rate approximation
+    rates = [
+        rank_flops / t / 1e6 if t > 0 else 0.0 for t in totals
+    ]
+    return {
+        "avg": report.gflops_avg * 1e3 / report.P,
+        "peak": report.gflops_peak * 1e3 / report.P,
+        "max": max(rates),
+        "min": min(rates),
+    }

@@ -1,0 +1,313 @@
+"""Parallel-run simulation: work + communication volumes -> time.
+
+The simulation reproduces the structure of the parallel algorithm of
+Section 3 exactly:
+
+- leaves are partitioned over ``P`` ranks along the Morton curve with
+  equal particle weights (Section 3.1's partitioning);
+- every box's *contributor ranks* form a contiguous rank interval (its
+  subtree's leaves are contiguous on the curve);
+- upward/downward work of a shared box is paid redundantly by each
+  contributor (the paper's deliberate design: "a disadvantage is the
+  redundant computation at the nodes which are close to the root");
+- the upward-equivalent-density and ghost-source exchanges follow the
+  owner gather/scatter of Algorithm 1, with the first contributor as
+  owner, producing per-rank byte and message counts.
+
+Flops and bytes are *measured* from the tree; the machine model converts
+them to seconds.  ``grain_scale`` supports isogranular extrapolation:
+per-rank work scales linearly with the grain and boundary communication
+with its 2/3 power (surface-to-volume), documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.patches import partition_weights
+from repro.kernels.base import Kernel
+from repro.octree.lists import InteractionLists
+from repro.octree.tree import Octree
+from repro.perfmodel.costs import PhaseWork, communication_volumes, compute_work
+from repro.perfmodel.machine import MachineModel
+
+PHASES = ("up", "down_u", "down_v", "down_w", "down_x", "eval")
+
+
+@dataclass
+class RunReport:
+    """Simulated timings of one interaction evaluation on P processors."""
+
+    P: int
+    N: int
+    kernel: str
+    #: mean seconds across ranks, per phase (+ "comm")
+    phase_seconds: dict[str, float]
+    #: per-rank end-to-end seconds
+    rank_seconds: np.ndarray
+    #: per-rank, per-phase seconds (P, len(PHASES))
+    rank_phase_seconds: np.ndarray = field(repr=False, default=None)
+    #: per-rank non-overlapped communication seconds
+    rank_comm_seconds: np.ndarray = field(repr=False, default=None)
+    total_flops: float = 0.0
+    phase_flops: dict[str, float] = field(default_factory=dict)
+    tree_seconds: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Mean interaction time across ranks (the tables' "Total")."""
+        return float(self.rank_seconds.mean())
+
+    @property
+    def ratio(self) -> float:
+        """Max/min rank time — the tables' load-imbalance "Ratio"."""
+        lo = self.rank_seconds.min()
+        return float(self.rank_seconds.max() / lo) if lo > 0 else float("inf")
+
+    @property
+    def comm(self) -> float:
+        return float(self.rank_comm_seconds.mean())
+
+    @property
+    def up(self) -> float:
+        return self.phase_seconds["up"]
+
+    @property
+    def down(self) -> float:
+        return sum(self.phase_seconds[p] for p in PHASES if p != "up")
+
+    @property
+    def gflops_avg(self) -> float:
+        """Aggregate average Gflop/s (total flops / mean wall time)."""
+        return self.total_flops / self.total / 1e9 if self.total > 0 else 0.0
+
+    @property
+    def gflops_peak(self) -> float:
+        """Aggregate rate of the fastest phase (the tables' "Peak")."""
+        best = 0.0
+        for i, phase in enumerate(PHASES):
+            t = self.rank_phase_seconds[:, i].mean()
+            if t > 0:
+                best = max(best, self.phase_flops[phase] / t / 1e9)
+        return best
+
+
+def _leaf_ranks(tree: Octree, P: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partition leaves over ranks; return (leaf indices, starts, rank)."""
+    leaves = np.array(tree.leaves(), dtype=np.int64)
+    starts = np.array([tree.boxes[i].src_start for i in leaves], dtype=np.int64)
+    order = np.argsort(starts, kind="stable")
+    leaves, starts = leaves[order], starts[order]
+    weights = np.array(
+        [max(tree.boxes[i].nsrc, tree.boxes[i].ntrg) for i in leaves], float
+    )
+    rank = partition_weights(weights, P)
+    return leaves, starts, rank
+
+
+def _box_rank_intervals(
+    tree: Octree, leaf_starts: np.ndarray, leaf_rank: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Contributor rank interval [lo, hi] per box (inclusive)."""
+    nb = tree.nboxes
+    lo = np.zeros(nb, dtype=np.int64)
+    hi = np.zeros(nb, dtype=np.int64)
+    for b in tree.boxes:
+        first = np.searchsorted(leaf_starts, b.src_start, side="left")
+        last = np.searchsorted(leaf_starts, b.src_stop, side="left") - 1
+        last = max(last, first)
+        lo[b.index] = leaf_rank[min(first, len(leaf_rank) - 1)]
+        hi[b.index] = leaf_rank[min(last, len(leaf_rank) - 1)]
+    return lo, hi
+
+
+def _interval_add(diff: np.ndarray, lo: int, hi: int, value: float) -> None:
+    """Add ``value`` to ranks ``lo..hi`` via a difference array."""
+    diff[lo] += value
+    diff[hi + 1] -= value
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [list(intervals[0])]
+    for lo, hi in intervals[1:]:
+        if lo <= merged[-1][1] + 1:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def simulate_run(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    p: int,
+    P: int,
+    machine: MachineModel,
+    m2l: str = "fft",
+    work: PhaseWork | None = None,
+    grain_scale: float = 1.0,
+    n_override: int | None = None,
+) -> RunReport:
+    """Simulate one interaction evaluation on ``P`` processors.
+
+    Parameters
+    ----------
+    tree, lists:
+        A *real* tree built over the (possibly scaled-down) workload.
+    p:
+        Surface discretisation order.
+    P:
+        Processor count to simulate.
+    m2l:
+        M2L variant being modelled.
+    work:
+        Optional precomputed :class:`PhaseWork` (reused across P sweeps).
+    grain_scale:
+        Ratio of target grain to model grain, for isogranular
+        extrapolation (flops scale linearly, boundary bytes by the 2/3
+        power).
+    n_override:
+        Report this N instead of the model tree's particle count.
+    """
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    if grain_scale <= 0:
+        raise ValueError(f"grain_scale must be positive, got {grain_scale}")
+    if work is None:
+        work = compute_work(tree, lists, kernel, p, m2l=m2l)
+    N = n_override if n_override is not None else tree.sources.shape[0]
+
+    leaves, leaf_starts, leaf_rank = _leaf_ranks(tree, P)
+    box_lo, box_hi = _box_rank_intervals(tree, leaf_starts, leaf_rank)
+
+    # ---- per-rank flops (redundant work on shared boxes included) ----
+    phase_arrays = {
+        "up": work.up, "down_u": work.down_u, "down_v": work.down_v,
+        "down_w": work.down_w, "down_x": work.down_x, "eval": work.eval,
+    }
+    rank_flops = np.zeros((P, len(PHASES)))
+    for pi, phase in enumerate(PHASES):
+        diff = np.zeros(P + 1)
+        arr = phase_arrays[phase]
+        for b in range(tree.nboxes):
+            if arr[b] > 0:
+                _interval_add(diff, box_lo[b], box_hi[b], arr[b])
+        rank_flops[:, pi] = np.cumsum(diff[:-1])
+    rank_flops *= grain_scale
+
+    # ---- communication (owner gather/scatter, Algorithm 1) ----
+    equiv_uses, source_uses, equiv_bytes, source_bytes = communication_volumes(
+        tree, lists, kernel, p
+    )
+    bytes_in = np.zeros(P + 1)
+    bytes_out = np.zeros(P + 1)
+    msgs = np.zeros(P + 1)
+    for uses, size in ((equiv_uses, equiv_bytes), (source_uses, source_bytes)):
+        for a in range(tree.nboxes):
+            if not uses[a]:
+                continue
+            owner = int(box_lo[a])
+            nbytes = float(size[a])
+            # gather: non-owner contributors -> owner
+            ncontrib = int(box_hi[a] - box_lo[a])
+            if ncontrib > 0:
+                _interval_add(bytes_out, box_lo[a] + 1, box_hi[a], nbytes)
+                _interval_add(msgs, box_lo[a] + 1, box_hi[a], 1.0)
+                bytes_in[owner] += ncontrib * nbytes
+                bytes_in[owner + 1] -= ncontrib * nbytes  # keep diff form
+                msgs[owner] += ncontrib
+                msgs[owner + 1] -= ncontrib
+            # scatter: owner -> user ranks (excluding itself)
+            merged = _merge_intervals([(int(box_lo[t]), int(box_hi[t]))
+                                       for t in uses[a]])
+            nusers = 0
+            for lo, hi in merged:
+                _interval_add(bytes_in, lo, hi, nbytes)
+                _interval_add(msgs, lo, hi, 1.0)
+                nusers += hi - lo + 1
+                if lo <= owner <= hi:
+                    _interval_add(bytes_in, owner, owner, -nbytes)
+                    _interval_add(msgs, owner, owner, -1.0)
+                    nusers -= 1
+            bytes_out[owner] += nusers * nbytes
+            bytes_out[owner + 1] -= nusers * nbytes
+            msgs[owner] += nusers
+            msgs[owner + 1] -= nusers
+    rank_bytes = (np.cumsum(bytes_in[:-1]) + np.cumsum(bytes_out[:-1]))
+    rank_msgs = np.cumsum(msgs[:-1])
+    rank_bytes *= grain_scale ** (2.0 / 3.0)
+
+    # ---- convert to time ----
+    rank_phase_sec = rank_flops / np.array(
+        [machine.rate(ph, kernel.name) for ph in PHASES]
+    )
+    comm_raw = rank_msgs * machine.latency + rank_bytes / machine.bandwidth
+    # Collective overheads of the communication stage: combining the
+    # per-box owner/"taken" information is an Allreduce over the global
+    # tree array (Section 3.2), paid by every rank.
+    comm_raw += machine.allreduce_time(tree.nboxes * machine.tree_entry_bytes, P)
+    comm_sec = comm_raw * (1.0 - machine.overlap_fraction) if P > 1 else comm_raw * 0
+    rank_total = rank_phase_sec.sum(axis=1) + comm_sec
+
+    phase_flops_total = {ph: float(rank_flops[:, i].sum())
+                         for i, ph in enumerate(PHASES)}
+    return RunReport(
+        P=P,
+        N=int(round(N * grain_scale)) if n_override is None else N,
+        kernel=kernel.name,
+        phase_seconds={
+            **{ph: float(rank_phase_sec[:, i].mean()) for i, ph in enumerate(PHASES)},
+            "comm": float(comm_sec.mean()),
+        },
+        rank_seconds=rank_total,
+        rank_phase_seconds=rank_phase_sec,
+        rank_comm_seconds=comm_sec,
+        total_flops=float(rank_flops.sum()),
+        phase_flops=phase_flops_total,
+        tree_seconds=simulate_tree_time(
+            tree, P, machine,
+            n_effective=(N if n_override is not None
+                         else N * grain_scale),
+            grain_scale=grain_scale,
+        ),
+    )
+
+
+def simulate_tree_time(
+    tree: Octree,
+    P: int,
+    machine: MachineModel,
+    n_effective: int | None = None,
+    grain_scale: float = 1.0,
+) -> float:
+    """Tree construction + communication phase (the tables' "Gen/Comm").
+
+    Three components mirroring Section 3.1: (a) parallel local work
+    (Morton sort + level-by-level box splitting), (b) the initial gather
+    of all surface patches on a single processor ("we first gather all
+    input surface patches on a single processor"), (c) per-level
+    Allreduce over the global tree array.  Component (b) is what stops
+    the paper's tree phase from scaling (their Section 4 observation (5)).
+    """
+    N = (
+        n_effective
+        if n_effective is not None
+        else tree.sources.shape[0] * grain_scale
+    )
+    local = machine.tree_local_per_particle * N / P
+    gather = (N * 24.0 / machine.bandwidth) if P > 1 else 0.0
+    # Box counts scale ~linearly with N for fixed s, so the scaled tree's
+    # global tree array is grain_scale times larger per level.
+    allreduce = sum(
+        machine.allreduce_time(
+            len(lv) * grain_scale * machine.tree_entry_bytes, P
+        )
+        for lv in tree.levels
+    )
+    return local + gather + allreduce

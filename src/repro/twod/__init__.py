@@ -1,0 +1,40 @@
+"""The two-dimensional kernel-independent FMM.
+
+Section 2 of the paper poses the method for ``R^d (d = 2, 3)``; the
+experiments are 3D, but the algorithm is dimension-generic.  This
+subpackage is the complete 2D instantiation: quadtree, square
+equivalent/check surfaces, the adaptive U/V/W/X lists, and the dense
+M2L evaluator, with the 2D kernels of the same PDE family:
+
+- Laplace:          ``-log(r) / (2 pi)``
+- modified Laplace: ``K_0(lam r) / (2 pi)`` (modified Bessel)
+- Stokes:           ``(1/4 pi mu) (-log(r) I + r (x) r / r^2)``
+
+Note the 2D kernels are *not* homogeneous (the logarithm shifts under
+scaling), so translation operators are precomputed per level — the
+machinery handles this exactly like the 3D modified Laplace case.
+"""
+
+from repro.twod.kernels import (
+    Kernel2D,
+    Laplace2DKernel,
+    ModifiedLaplace2DKernel,
+    Stokes2DKernel,
+)
+from repro.twod.fmm import KIFMM2D, FMM2DOptions
+from repro.twod.quadtree import Quadtree, build_quadtree
+from repro.twod.lists import build_lists_2d
+from repro.twod.direct import direct_evaluate_2d
+
+__all__ = [
+    "Kernel2D",
+    "Laplace2DKernel",
+    "ModifiedLaplace2DKernel",
+    "Stokes2DKernel",
+    "KIFMM2D",
+    "FMM2DOptions",
+    "Quadtree",
+    "build_quadtree",
+    "build_lists_2d",
+    "direct_evaluate_2d",
+]

@@ -1,0 +1,18 @@
+"""Direct O(N^2) summation baseline for the 2D kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.twod.kernels import Kernel2D
+
+
+def direct_evaluate_2d(
+    kernel: Kernel2D,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    density: np.ndarray,
+    block: int = 4096,
+) -> np.ndarray:
+    """``u_i = sum_j G(x_i, y_j) phi_j`` by direct summation in 2D."""
+    return kernel.apply(targets, sources, density, block=block)

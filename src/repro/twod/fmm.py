@@ -1,0 +1,273 @@
+"""The 2D kernel-independent FMM: operators, evaluator, public API.
+
+Same structure as the 3D core, with two simplifications appropriate to
+2D: the kernels are inhomogeneous (logarithms), so every operator is
+cached per level anyway; and the M2L translations use the dense
+per-offset operators (27 offsets per level, each a small
+``(4p-4) x (4p-4)`` matrix — the FFT route buys little in 2D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.pinv import regularized_pinv
+from repro.twod.kernels import Kernel2D
+from repro.twod.lists import InteractionLists2D, build_lists_2d
+from repro.twod.quadtree import Quadtree, build_quadtree
+from repro.twod.surfaces import (
+    INNER_RADIUS_2D,
+    OUTER_RADIUS_2D,
+    n_surface_points_2d,
+    scaled_surface_2d,
+)
+from repro.util.flops import FlopCounter
+from repro.util.timing import PhaseTimer
+
+
+@dataclass
+class FMM2DOptions:
+    """Tuning knobs of the 2D method (see :class:`FMMOptions`)."""
+
+    p: int = 8
+    max_points: int = 40
+    inner: float = INNER_RADIUS_2D
+    outer: float = OUTER_RADIUS_2D
+    rcond: float = 1e-12
+    max_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.p < 2:
+            raise ValueError(f"p must be >= 2, got {self.p}")
+        if self.max_points < 1:
+            raise ValueError(f"max_points must be >= 1, got {self.max_points}")
+        if not 1.0 < self.inner < self.outer < 3.0:
+            raise ValueError(
+                f"need 1 < inner < outer < 3, got {self.inner}, {self.outer}"
+            )
+
+
+class OperatorCache2D:
+    """Per-level 2D translation operators (always per level: log kernels)."""
+
+    def __init__(self, kernel: Kernel2D, p: int, root_side: float,
+                 inner: float, outer: float, rcond: float) -> None:
+        self.kernel = kernel
+        self.p = p
+        self.root_side = float(root_side)
+        self.inner = float(inner)
+        self.outer = float(outer)
+        self.rcond = float(rcond)
+        self.n_surf = n_surface_points_2d(p)
+        self._uc2ue: dict[int, np.ndarray] = {}
+        self._dc2de: dict[int, np.ndarray] = {}
+        self._m2m: dict[tuple[int, int], np.ndarray] = {}
+        self._l2l: dict[tuple[int, int], np.ndarray] = {}
+        self._m2l: dict[tuple[int, tuple[int, int]], np.ndarray] = {}
+
+    def half_width(self, level: int) -> float:
+        return self.root_side / (1 << level) / 2.0
+
+    def up_equiv(self, center, level):
+        return scaled_surface_2d(self.p, center, self.half_width(level), self.inner)
+
+    def up_check(self, center, level):
+        return scaled_surface_2d(self.p, center, self.half_width(level), self.outer)
+
+    def down_equiv(self, center, level):
+        return scaled_surface_2d(self.p, center, self.half_width(level), self.outer)
+
+    def down_check(self, center, level):
+        return scaled_surface_2d(self.p, center, self.half_width(level), self.inner)
+
+    def uc2ue(self, level: int) -> np.ndarray:
+        if level not in self._uc2ue:
+            z = np.zeros(2)
+            K = self.kernel.matrix(self.up_check(z, level), self.up_equiv(z, level))
+            self._uc2ue[level] = regularized_pinv(K, self.rcond)
+        return self._uc2ue[level]
+
+    def dc2de(self, level: int) -> np.ndarray:
+        if level not in self._dc2de:
+            z = np.zeros(2)
+            K = self.kernel.matrix(
+                self.down_check(z, level), self.down_equiv(z, level)
+            )
+            self._dc2de[level] = regularized_pinv(K, self.rcond)
+        return self._dc2de[level]
+
+    def m2m_check(self, child_level: int, quadrant: int) -> np.ndarray:
+        key = (child_level, quadrant)
+        if key not in self._m2m:
+            parent_r = self.half_width(child_level - 1)
+            off = np.array(
+                [0.5 if quadrant & 1 else -0.5, 0.5 if quadrant & 2 else -0.5]
+            ) * parent_r
+            self._m2m[key] = self.kernel.matrix(
+                self.up_check(np.zeros(2), child_level - 1),
+                self.up_equiv(off, child_level),
+            )
+        return self._m2m[key]
+
+    def l2l_check(self, child_level: int, quadrant: int) -> np.ndarray:
+        key = (child_level, quadrant)
+        if key not in self._l2l:
+            parent_r = self.half_width(child_level - 1)
+            off = np.array(
+                [0.5 if quadrant & 1 else -0.5, 0.5 if quadrant & 2 else -0.5]
+            ) * parent_r
+            self._l2l[key] = self.kernel.matrix(
+                self.down_check(off, child_level),
+                self.down_equiv(np.zeros(2), child_level - 1),
+            )
+        return self._l2l[key]
+
+    def m2l_check(self, level: int, offset: tuple[int, int]) -> np.ndarray:
+        if max(abs(o) for o in offset) < 2:
+            raise ValueError(f"offset {offset} is adjacent; not a V-list pair")
+        key = (level, tuple(int(o) for o in offset))
+        if key not in self._m2l:
+            side = 2.0 * self.half_width(level)
+            delta = np.asarray(offset, dtype=np.float64) * side
+            self._m2l[key] = self.kernel.matrix(
+                self.down_check(delta, level), self.up_equiv(np.zeros(2), level)
+            )
+        return self._m2l[key]
+
+
+class KIFMM2D:
+    """Public 2D evaluator (API parallel to :class:`repro.KIFMM`)."""
+
+    def __init__(self, kernel: Kernel2D, options: FMM2DOptions | None = None):
+        self.kernel = kernel
+        self.options = options or FMM2DOptions()
+        self.tree: Quadtree | None = None
+        self.lists: InteractionLists2D | None = None
+        self.cache: OperatorCache2D | None = None
+        self.flops = FlopCounter()
+        self.timer = PhaseTimer()
+
+    def setup(self, sources: np.ndarray, targets: np.ndarray | None = None):
+        opts = self.options
+        with self.timer.phase("tree"):
+            self.tree = build_quadtree(
+                sources, targets, max_points=opts.max_points,
+                max_depth=opts.max_depth,
+            )
+            self.lists = build_lists_2d(self.tree)
+        self.cache = OperatorCache2D(
+            self.kernel, opts.p, self.tree.root_side,
+            opts.inner, opts.outer, opts.rcond,
+        )
+        return self
+
+    def apply(self, density: np.ndarray) -> np.ndarray:
+        """One interaction evaluation in the plane."""
+        if self.tree is None:
+            raise RuntimeError("call setup() before apply()")
+        tree, lists, cache, kernel = self.tree, self.lists, self.cache, self.kernel
+        md, qd = kernel.source_dof, kernel.target_dof
+        ns, nt = tree.sources.shape[0], tree.targets.shape[0]
+        phi = np.asarray(density, dtype=np.float64).reshape(ns, md)
+        n_surf = cache.n_surf
+        nb = tree.nboxes
+        boxes = tree.boxes
+
+        ue = np.zeros((nb, n_surf * md))
+        has_ue = np.zeros(nb, dtype=bool)
+        with self.timer.phase("up"):
+            for level in range(tree.depth, -1, -1):
+                for bi in tree.levels[level]:
+                    b = boxes[bi]
+                    if b.nsrc == 0:
+                        continue
+                    center = tree.center(bi)
+                    if b.is_leaf:
+                        K = kernel.matrix(
+                            cache.up_check(center, level), tree.src_points(bi)
+                        )
+                        check = K @ phi[tree.src_indices(bi)].reshape(-1)
+                    else:
+                        check = np.zeros(n_surf * qd)
+                        for ci in b.children:
+                            if not has_ue[ci]:
+                                continue
+                            child = boxes[ci]
+                            quad = (child.anchor[0] & 1) | (
+                                (child.anchor[1] & 1) << 1
+                            )
+                            check += cache.m2m_check(child.level, quad) @ ue[ci]
+                    ue[bi] = cache.uc2ue(level) @ check
+                    has_ue[bi] = True
+
+        dc = np.zeros((nb, n_surf * qd))
+        has_dc = np.zeros(nb, dtype=bool)
+        de = np.zeros((nb, n_surf * md))
+        has_de = np.zeros(nb, dtype=bool)
+        potential = np.zeros((nt, qd))
+        with self.timer.phase("down"):
+            for level in range(1, tree.depth + 1):
+                for bi in tree.levels[level]:
+                    b = boxes[bi]
+                    if b.ntrg == 0:
+                        continue
+                    center = tree.center(bi)
+                    if has_de[b.parent]:
+                        quad = (b.anchor[0] & 1) | ((b.anchor[1] & 1) << 1)
+                        dc[bi] += cache.l2l_check(level, quad) @ de[b.parent]
+                        has_dc[bi] = True
+                    for ai in self.lists.V[bi]:
+                        if not has_ue[ai]:
+                            continue
+                        a = boxes[ai]
+                        offset = (
+                            b.anchor[0] - a.anchor[0],
+                            b.anchor[1] - a.anchor[1],
+                        )
+                        dc[bi] += cache.m2l_check(level, offset) @ ue[ai]
+                        has_dc[bi] = True
+                    if len(lists.X[bi]):
+                        check_pts = cache.down_check(center, level)
+                        for ai in lists.X[bi]:
+                            a = boxes[ai]
+                            if a.nsrc == 0:
+                                continue
+                            K = kernel.matrix(check_pts, tree.src_points(ai))
+                            dc[bi] += K @ phi[tree.src_indices(ai)].reshape(-1)
+                            has_dc[bi] = True
+                    if has_dc[bi]:
+                        de[bi] = cache.dc2de(level) @ dc[bi]
+                        has_de[bi] = True
+                    if not b.is_leaf:
+                        continue
+                    trg_pts = tree.trg_points(bi)
+                    trg_idx = tree.trg_indices(bi)
+                    local = np.zeros(b.ntrg * qd)
+                    if has_de[bi]:
+                        K = kernel.matrix(trg_pts, cache.down_equiv(center, level))
+                        local += K @ de[bi]
+                    for ai in lists.U[bi]:
+                        a = boxes[ai]
+                        if a.nsrc == 0:
+                            continue
+                        K = kernel.matrix(trg_pts, tree.src_points(ai))
+                        local += K @ phi[tree.src_indices(ai)].reshape(-1)
+                    for ai in lists.W[bi]:
+                        if not has_ue[ai]:
+                            continue
+                        a = boxes[ai]
+                        K = kernel.matrix(
+                            trg_pts, cache.up_equiv(tree.center(ai), a.level)
+                        )
+                        local += K @ ue[ai]
+                    potential[trg_idx] += local.reshape(b.ntrg, qd)
+
+            root = boxes[0]
+            if root.is_leaf and root.ntrg > 0 and root.nsrc > 0:
+                K = kernel.matrix(tree.trg_points(0), tree.src_points(0))
+                potential[tree.trg_indices(0)] += (
+                    K @ phi[tree.src_indices(0)].reshape(-1)
+                ).reshape(root.ntrg, qd)
+        return potential

@@ -1,0 +1,141 @@
+"""Single-layer kernels of 2D elliptic PDEs.
+
+The 2D fundamental solutions carry logarithms (Laplace, Stokes) or
+modified Bessel functions (screened Laplace), none of which have the
+homogeneity the 3D kernels enjoy — a good stress test of the
+kernel-independent machinery, which needs nothing but evaluations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy.special import k0
+
+_TWO_PI = 2.0 * np.pi
+
+
+class Kernel2D(ABC):
+    """A single-layer kernel ``G(x, y)`` in the plane.
+
+    Mirrors :class:`repro.kernels.base.Kernel` with 2-vectors.
+    """
+
+    name: str = "abstract2d"
+    dim: int = 2
+    source_dof: int = 1
+    target_dof: int = 1
+    flops_per_pair: int = 0
+
+    @abstractmethod
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        """``(nt * target_dof, ns * source_dof)`` interaction matrix."""
+
+    def apply(
+        self,
+        targets: np.ndarray,
+        sources: np.ndarray,
+        density: np.ndarray,
+        block: int = 4096,
+    ) -> np.ndarray:
+        """Matrix-free blocked evaluation ``u = K phi``."""
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        phi = np.asarray(density, dtype=np.float64).reshape(-1)
+        if phi.shape[0] != sources.shape[0] * self.source_dof:
+            raise ValueError(
+                f"density has {phi.shape[0]} entries, expected "
+                f"{sources.shape[0] * self.source_dof}"
+            )
+        out = np.empty(targets.shape[0] * self.target_dof)
+        for start in range(0, targets.shape[0], block):
+            stop = min(start + block, targets.shape[0])
+            sub = self.matrix(targets[start:stop], sources)
+            out[start * self.target_dof : stop * self.target_dof] = sub @ phi
+        return out.reshape(targets.shape[0], self.target_dof)
+
+    @staticmethod
+    def _displacements(
+        targets: np.ndarray, sources: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        if targets.ndim != 2 or targets.shape[1] != 2:
+            raise ValueError(f"targets must be (nt, 2), got {targets.shape}")
+        if sources.ndim != 2 or sources.shape[1] != 2:
+            raise ValueError(f"sources must be (ns, 2), got {sources.shape}")
+        diff = targets[:, None, :] - sources[None, :, :]
+        r2 = np.einsum("tsd,tsd->ts", diff, diff)
+        return diff, r2
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Laplace2DKernel(Kernel2D):
+    """``S(x, y) = -log(r) / (2 pi)``, the 2D Laplace kernel."""
+
+    name = "laplace2d"
+    flops_per_pair = 14
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        _, r2 = self._displacements(targets, sources)
+        with np.errstate(divide="ignore"):
+            vals = np.where(r2 > 0.0, -0.5 * np.log(r2), 0.0)
+        return vals / _TWO_PI
+
+
+class ModifiedLaplace2DKernel(Kernel2D):
+    """``S(x, y) = K_0(lam r) / (2 pi)`` for ``alpha u - Delta u = 0``.
+
+    ``K_0`` is the modified Bessel function of the second kind — the
+    kind of special function a kernel-dependent FMM would have to expand
+    analytically, and exactly what the paper's approach sidesteps.
+    """
+
+    name = "modified_laplace2d"
+    flops_per_pair = 30
+
+    def __init__(self, lam: float = 1.0) -> None:
+        if lam <= 0:
+            raise ValueError(f"screening parameter must be positive, got {lam}")
+        self.lam = float(lam)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        _, r2 = self._displacements(targets, sources)
+        r = np.sqrt(r2)
+        with np.errstate(invalid="ignore"):
+            vals = np.where(r > 0.0, k0(self.lam * r), 0.0)
+        return np.nan_to_num(vals, nan=0.0, posinf=0.0) / _TWO_PI
+
+    def __repr__(self) -> str:
+        return f"ModifiedLaplace2DKernel(lam={self.lam})"
+
+
+class Stokes2DKernel(Kernel2D):
+    """The 2D Stokeslet ``(1/4 pi mu)(-log(r) I + r (x) r / r^2)``."""
+
+    name = "stokes2d"
+    source_dof = 2
+    target_dof = 2
+    flops_per_pair = 32
+
+    def __init__(self, mu: float = 1.0) -> None:
+        if mu <= 0:
+            raise ValueError(f"viscosity must be positive, got {mu}")
+        self.mu = float(mu)
+
+    def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        diff, r2 = self._displacements(targets, sources)
+        nt, ns = r2.shape
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logterm = np.where(r2 > 0.0, -0.5 * np.log(r2), 0.0)
+            inv_r2 = np.where(r2 > 0.0, 1.0 / r2, 0.0)
+        blocks = np.einsum("tsi,tsj->tsij", diff, diff) * inv_r2[:, :, None, None]
+        idx = np.arange(2)
+        blocks[:, :, idx, idx] += logterm[:, :, None]
+        blocks /= 4.0 * np.pi * self.mu
+        return blocks.transpose(0, 2, 1, 3).reshape(nt * 2, ns * 2)
+
+    def __repr__(self) -> str:
+        return f"Stokes2DKernel(mu={self.mu})"

@@ -1,0 +1,73 @@
+"""U/V/W/X interaction lists on the quadtree.
+
+Identical definitions to the 3D case (see :mod:`repro.octree.lists`),
+with 8 colleagues instead of 26 and at most ``6^2 - 3^2 = 27`` V-list
+entries per box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.twod.quadtree import Quadtree, boxes_adjacent_2d
+
+
+@dataclass
+class InteractionLists2D:
+    U: list[np.ndarray]
+    V: list[np.ndarray]
+    W: list[np.ndarray]
+    X: list[np.ndarray]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "U": sum(len(u) for u in self.U),
+            "V": sum(len(v) for v in self.V),
+            "W": sum(len(w) for w in self.W),
+            "X": sum(len(x) for x in self.X),
+        }
+
+
+def build_lists_2d(tree: Quadtree) -> InteractionLists2D:
+    """Construct the adaptive lists; same walk as the 3D version."""
+    nb = tree.nboxes
+    U: list[set[int]] = [set() for _ in range(nb)]
+    V: list[set[int]] = [set() for _ in range(nb)]
+    W: list[set[int]] = [set() for _ in range(nb)]
+    X: list[set[int]] = [set() for _ in range(nb)]
+    boxes = tree.boxes
+
+    for b in boxes:
+        if b.parent >= 0:
+            for pc in tree.colleagues(b.parent, include_self=True):
+                for child in boxes[pc].children:
+                    if child != b.index and not boxes_adjacent_2d(
+                        boxes[child], b
+                    ):
+                        V[b.index].add(child)
+        if not b.is_leaf:
+            continue
+        U[b.index].add(b.index)
+        for col in tree.colleagues(b.index):
+            stack = [col]
+            while stack:
+                a = stack.pop()
+                abox = boxes[a]
+                if boxes_adjacent_2d(abox, b):
+                    if abox.is_leaf:
+                        U[b.index].add(a)
+                        U[a].add(b.index)
+                    else:
+                        stack.extend(abox.children)
+                else:
+                    W[b.index].add(a)
+                    X[a].add(b.index)
+
+    def _freeze(sets):
+        return [np.array(sorted(s), dtype=np.int64) for s in sets]
+
+    return InteractionLists2D(
+        U=_freeze(U), V=_freeze(V), W=_freeze(W), X=_freeze(X)
+    )

@@ -1,0 +1,262 @@
+"""Adaptive quadtree: the 2D computation tree.
+
+Mirrors :mod:`repro.octree.tree` in the plane — 2D Morton keys (16 bits
+per dimension), level-by-level adaptive splitting with at most ``s``
+points per leaf, pruned empty quadrants, Morton-contiguous point ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_U = np.uint64
+
+#: Deepest supported quadtree level (16 bits per dimension).
+MAX_DEPTH_2D = 16
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits: bit i -> bit 2*i."""
+    x = x.astype(np.uint64) & _U(0xFFFF)
+    x = (x | (x << _U(8))) & _U(0x00FF00FF)
+    x = (x | (x << _U(4))) & _U(0x0F0F0F0F)
+    x = (x | (x << _U(2))) & _U(0x33333333)
+    x = (x | (x << _U(1))) & _U(0x55555555)
+    return x
+
+
+def anchor_to_key_2d(ix, iy) -> np.ndarray:
+    """Interleave 2D integer coordinates into Morton keys."""
+    return _part1by1(np.asarray(ix)) | (_part1by1(np.asarray(iy)) << _U(1))
+
+
+def encode_points_2d(
+    points: np.ndarray, corner: np.ndarray, side: float
+) -> np.ndarray:
+    """Depth-``MAX_DEPTH_2D`` Morton keys of points in the root square."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2), got {points.shape}")
+    if side <= 0:
+        raise ValueError(f"root side must be positive, got {side}")
+    scaled = (points - np.asarray(corner, dtype=np.float64)) / side
+    if scaled.size and (scaled.min() < -1e-12 or scaled.max() > 1 + 1e-12):
+        raise ValueError("points fall outside the root square")
+    cells = np.clip(
+        (scaled * (1 << MAX_DEPTH_2D)).astype(np.int64),
+        0,
+        (1 << MAX_DEPTH_2D) - 1,
+    )
+    return anchor_to_key_2d(cells[:, 0], cells[:, 1])
+
+
+@dataclass
+class Box2D:
+    """One quadtree node; ranges index the Morton-sorted permutation."""
+
+    index: int
+    level: int
+    anchor: tuple[int, int]
+    parent: int
+    src_start: int
+    src_stop: int
+    trg_start: int
+    trg_stop: int
+    children: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def nsrc(self) -> int:
+        return self.src_stop - self.src_start
+
+    @property
+    def ntrg(self) -> int:
+        return self.trg_stop - self.trg_start
+
+
+def boxes_adjacent_2d(a: Box2D, b: Box2D) -> bool:
+    """Closed squares touch or overlap (works across levels)."""
+    level = max(a.level, b.level)
+    sa, sb = 1 << (level - a.level), 1 << (level - b.level)
+    for d in range(2):
+        if a.anchor[d] * sa > (b.anchor[d] + 1) * sb:
+            return False
+        if b.anchor[d] * sb > (a.anchor[d] + 1) * sa:
+            return False
+    return True
+
+
+@dataclass
+class Quadtree:
+    """The 2D computation tree (API parallel to :class:`Octree`)."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+    root_corner: np.ndarray
+    root_side: float
+    max_points: int
+    shared_points: bool
+    boxes: list[Box2D] = field(default_factory=list)
+    levels: list[list[int]] = field(default_factory=list)
+    src_perm: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    trg_perm: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    index: dict[tuple[int, tuple[int, int]], int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels) - 1
+
+    @property
+    def nboxes(self) -> int:
+        return len(self.boxes)
+
+    def leaves(self) -> list[int]:
+        return [b.index for b in self.boxes if b.is_leaf]
+
+    def colleagues(self, index: int, include_self: bool = False) -> list[int]:
+        box = self.boxes[index]
+        n = 1 << box.level
+        out = []
+        ix, iy = box.anchor
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == dy == 0:
+                    if include_self:
+                        out.append(index)
+                    continue
+                jx, jy = ix + dx, iy + dy
+                if 0 <= jx < n and 0 <= jy < n:
+                    hit = self.index.get((box.level, (jx, jy)))
+                    if hit is not None:
+                        out.append(hit)
+        return out
+
+    def center(self, index: int) -> np.ndarray:
+        b = self.boxes[index]
+        side = self.root_side / (1 << b.level)
+        return self.root_corner + (np.asarray(b.anchor, float) + 0.5) * side
+
+    def half_width(self, index: int) -> float:
+        return self.root_side / (1 << self.boxes[index].level) / 2.0
+
+    def src_indices(self, index: int) -> np.ndarray:
+        b = self.boxes[index]
+        return self.src_perm[b.src_start : b.src_stop]
+
+    def trg_indices(self, index: int) -> np.ndarray:
+        b = self.boxes[index]
+        return self.trg_perm[b.trg_start : b.trg_stop]
+
+    def src_points(self, index: int) -> np.ndarray:
+        return self.sources[self.src_indices(index)]
+
+    def trg_points(self, index: int) -> np.ndarray:
+        return self.targets[self.trg_indices(index)]
+
+
+def _root_square(points: np.ndarray, pad: float = 1e-6) -> tuple[np.ndarray, float]:
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    side = float((hi - lo).max())
+    side = side * (1 + pad) if side > 0 else 1.0
+    center = (lo + hi) / 2.0
+    return center - side / 2.0, side
+
+
+def build_quadtree(
+    sources: np.ndarray,
+    targets: np.ndarray | None = None,
+    max_points: int = 40,
+    max_depth: int = MAX_DEPTH_2D,
+    root: tuple[np.ndarray, float] | None = None,
+) -> Quadtree:
+    """Build the adaptive quadtree (2D analogue of ``build_tree``)."""
+    sources = np.ascontiguousarray(sources, dtype=np.float64)
+    if sources.ndim != 2 or sources.shape[1] != 2:
+        raise ValueError(f"sources must be (n, 2), got {sources.shape}")
+    shared = targets is None
+    targets_arr = sources if shared else np.ascontiguousarray(targets, np.float64)
+    if max_points < 1:
+        raise ValueError(f"max_points must be >= 1, got {max_points}")
+    if not 1 <= max_depth <= MAX_DEPTH_2D:
+        raise ValueError(f"max_depth must be in [1, {MAX_DEPTH_2D}]")
+
+    if root is None:
+        allpts = sources if shared else np.vstack([sources, targets_arr])
+        corner, side = _root_square(allpts)
+    else:
+        corner, side = np.asarray(root[0], dtype=np.float64), float(root[1])
+
+    src_keys = encode_points_2d(sources, corner, side)
+    src_perm = np.argsort(src_keys, kind="stable")
+    src_sorted = src_keys[src_perm]
+    if shared:
+        trg_perm, trg_sorted = src_perm, src_sorted
+    else:
+        trg_keys = encode_points_2d(targets_arr, corner, side)
+        trg_perm = np.argsort(trg_keys, kind="stable")
+        trg_sorted = trg_keys[trg_perm]
+
+    tree = Quadtree(
+        sources=sources,
+        targets=targets_arr,
+        root_corner=corner,
+        root_side=side,
+        max_points=max_points,
+        shared_points=shared,
+        src_perm=src_perm,
+        trg_perm=trg_perm,
+    )
+    tree.boxes.append(
+        Box2D(0, 0, (0, 0), -1, 0, sources.shape[0], 0, targets_arr.shape[0])
+    )
+    tree.index[(0, (0, 0))] = 0
+    tree.levels.append([0])
+
+    frontier = [0]
+    level = 0
+    while frontier and level < max_depth:
+        next_frontier: list[int] = []
+        shift = _U(2 * (MAX_DEPTH_2D - level - 1))
+        for bi in frontier:
+            box = tree.boxes[bi]
+            if box.nsrc <= max_points and box.ntrg <= max_points:
+                continue
+            ix, iy = box.anchor
+            base = _U(anchor_to_key_2d(ix, iy)) << _U(2)
+            bounds = (base + np.arange(5, dtype=np.uint64)) << shift
+            s_cuts = box.src_start + np.searchsorted(
+                src_sorted[box.src_start : box.src_stop], bounds, side="left"
+            )
+            t_cuts = box.trg_start + np.searchsorted(
+                trg_sorted[box.trg_start : box.trg_stop], bounds, side="left"
+            )
+            kids = []
+            for c in range(4):
+                if s_cuts[c] == s_cuts[c + 1] and t_cuts[c] == t_cuts[c + 1]:
+                    continue
+                child_anchor = (2 * ix + (c & 1), 2 * iy + ((c >> 1) & 1))
+                child = Box2D(
+                    index=len(tree.boxes),
+                    level=level + 1,
+                    anchor=child_anchor,
+                    parent=bi,
+                    src_start=int(s_cuts[c]),
+                    src_stop=int(s_cuts[c + 1]),
+                    trg_start=int(t_cuts[c]),
+                    trg_stop=int(t_cuts[c + 1]),
+                )
+                tree.boxes.append(child)
+                tree.index[(level + 1, child_anchor)] = child.index
+                kids.append(child.index)
+            box.children = tuple(kids)
+            next_frontier.extend(kids)
+        if next_frontier:
+            tree.levels.append(next_frontier)
+        frontier = next_frontier
+        level += 1
+    return tree

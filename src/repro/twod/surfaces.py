@@ -1,0 +1,48 @@
+"""Square equivalent/check surfaces for the 2D method.
+
+A box of half-width ``r`` gets surfaces on the boundary nodes of a
+``p x p`` lattice spanning ``radius * r * [-1, 1]^2`` (``4p - 4``
+nodes); the same radius factors as 3D (inner 1.05, outer 2.95) satisfy
+the Section 2.1 placement constraints, which are dimension-independent.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+INNER_RADIUS_2D = 1.05
+OUTER_RADIUS_2D = 2.95
+
+
+def n_surface_points_2d(p: int) -> int:
+    """Boundary nodes of a ``p x p`` lattice: ``4p - 4``."""
+    if p < 2:
+        raise ValueError(f"surface order p must be >= 2, got {p}")
+    return 4 * p - 4
+
+
+@lru_cache(maxsize=32)
+def surface_grid_2d(p: int) -> np.ndarray:
+    """Relative coordinates of the square-boundary nodes on [-1, 1]^2."""
+    if p < 2:
+        raise ValueError(f"surface order p must be >= 2, got {p}")
+    idx = np.indices((p, p)).reshape(2, -1).T
+    on_boundary = ((idx == 0) | (idx == p - 1)).any(axis=1)
+    rel = 2.0 * idx[on_boundary].astype(np.float64) / (p - 1) - 1.0
+    rel = np.ascontiguousarray(rel)
+    rel.setflags(write=False)
+    return rel
+
+
+def scaled_surface_2d(
+    p: int, center: np.ndarray, half_width: float, radius: float
+) -> np.ndarray:
+    """Boundary nodes of ``center + radius * half_width * [-1, 1]^2``."""
+    if half_width <= 0 or radius <= 0:
+        raise ValueError("half_width and radius must be positive")
+    return (
+        np.asarray(center, dtype=np.float64)
+        + radius * half_width * surface_grid_2d(p)
+    )

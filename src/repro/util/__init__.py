@@ -1,0 +1,7 @@
+"""Shared utilities: phase timing, flop accounting, table rendering."""
+
+from repro.util.flops import FlopCounter
+from repro.util.timing import PhaseTimer
+from repro.util.tables import format_table
+
+__all__ = ["FlopCounter", "PhaseTimer", "format_table"]

@@ -1,0 +1,80 @@
+"""Plain-text charts for the figure benchmarks.
+
+The paper's Figures 4.2/4.3 are stacked bar + line charts; this
+repository renders them as terminal bar charts so the benchmark output
+is self-contained (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    vmax = max(max(values), 0.0)
+    label_w = max(len(str(lb)) for lb in labels)
+    for lb, v in zip(labels, values):
+        n = 0 if vmax == 0 else int(round(width * max(v, 0.0) / vmax))
+        lines.append(
+            f"{str(lb).rjust(label_w)} | {'#' * n}{' ' * (width - n)} "
+            f"{v:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Stacked horizontal bars (one row per label, one glyph per series).
+
+    The analogue of the paper's per-phase stacked bars: each series gets
+    a distinct fill character, proportional to its share of the row.
+    """
+    glyphs = "#=+*o.~^"
+    names = list(series)
+    if len(names) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} series supported")
+    for name in names:
+        if len(series[name]) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    rows = [
+        [float(series[name][i]) for name in names] for i in range(len(labels))
+    ]
+    totals = [sum(r) for r in rows]
+    vmax = max(totals) if totals else 0.0
+    label_w = max((len(str(lb)) for lb in labels), default=1)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{g}={n}" for g, n in zip(glyphs, names))
+    lines.append(f"legend: {legend}")
+    for lb, row, total in zip(labels, rows, totals):
+        bar = ""
+        if vmax > 0:
+            for g, v in zip(glyphs, row):
+                bar += g * int(round(width * v / vmax))
+        lines.append(
+            f"{str(lb).rjust(label_w)} | {bar.ljust(width)} {total:.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text table rendering in the style of the paper's Tables 4.1–4.3."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0.00"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.2f}" if abs(value) >= 0.01 else f"{value:.2e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Every cell is formatted with :func:`_fmt`; columns are right-aligned the
+    way the paper typesets its numeric scalability tables.
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Wall-clock phase timing.
+
+Mirrors the phase decomposition the paper instruments with PETSc profiling:
+the interaction computation is split into upward, communication and
+downward (U/V/W/X) stages whose times are reported separately.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("up"):
+            ...  # upward pass
+        timer.get("up")  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = defaultdict(float)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._seconds[name] += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] += seconds
+
+    def get(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._seconds.values())
+
+    def by_phase(self) -> dict[str, float]:
+        return dict(self._seconds)
+
+    def reset(self) -> None:
+        self._seconds.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self._seconds.items()))
+        return f"PhaseTimer({parts})"

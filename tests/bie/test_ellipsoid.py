@@ -1,0 +1,135 @@
+"""Ellipsoid, composite and propeller surface tests."""
+
+import numpy as np
+import pytest
+
+from repro.bie.surfaces import (
+    CompositeSurface,
+    EllipsoidSurface,
+    SphereSurface,
+    propeller_surface,
+    rotation_matrix,
+)
+
+
+class TestRotationMatrix:
+    def test_orthogonal(self):
+        R = rotation_matrix(np.array([1.0, 2.0, 3.0]), 0.7)
+        assert np.allclose(R @ R.T, np.eye(3))
+        assert np.linalg.det(R) == pytest.approx(1.0)
+
+    def test_quarter_turn_z(self):
+        R = rotation_matrix(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+        assert np.allclose(R @ np.array([1.0, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    def test_zero_axis_is_identity(self):
+        assert np.allclose(rotation_matrix(np.zeros(3), 1.0), np.eye(3))
+
+
+class TestEllipsoidSurface:
+    def test_points_on_ellipsoid(self):
+        axes = np.array([2.0, 1.0, 0.5])
+        e = EllipsoidSurface(np.zeros(3), axes, 500)
+        vals = ((e.points / axes) ** 2).sum(axis=1)
+        assert np.allclose(vals, 1.0, atol=1e-10)
+
+    def test_sphere_limit(self):
+        """Equal semi-axes reduce to a sphere with uniform weights."""
+        e = EllipsoidSurface(np.zeros(3), np.full(3, 1.5), 300)
+        area = 4 * np.pi * 1.5**2
+        assert e.weights.sum() == pytest.approx(area, rel=1e-10)
+        assert np.allclose(e.weights, e.weights[0])
+
+    def test_surface_area_quadrature(self):
+        """Weights sum to the ellipsoid area (vs Thomsen's approximation)."""
+        a, b, c = 1.0, 0.8, 0.6
+        e = EllipsoidSurface(np.zeros(3), np.array([a, b, c]), 8000)
+        p = 1.6075
+        thomsen = 4 * np.pi * (
+            ((a * b) ** p + (a * c) ** p + (b * c) ** p) / 3
+        ) ** (1 / p)
+        assert e.weights.sum() == pytest.approx(thomsen, rel=0.01)
+
+    def test_normals_orthogonal_to_surface(self):
+        """n ~ gradient of the level set (x/a^2, y/b^2, z/c^2)."""
+        axes = np.array([2.0, 1.0, 0.5])
+        e = EllipsoidSurface(np.zeros(3), axes, 200)
+        grad = e.points / axes**2
+        grad /= np.linalg.norm(grad, axis=1, keepdims=True)
+        assert np.allclose(e.normals, grad, atol=1e-10)
+
+    def test_rotate_preserves_shape(self):
+        e = EllipsoidSurface(np.ones(3), np.array([1.0, 0.5, 0.25]), 100)
+        w_before = e.weights.copy()
+        d_before = np.linalg.norm(e.points - e.center, axis=1)
+        R = rotation_matrix(np.array([1.0, 1.0, 0.0]), 1.1)
+        e.rotate(R)
+        assert np.allclose(e.weights, w_before)
+        assert np.allclose(
+            np.linalg.norm(e.points - e.center, axis=1), d_before
+        )
+        assert np.allclose(np.linalg.norm(e.normals, axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EllipsoidSurface(np.zeros(3), np.array([1.0, -1.0, 1.0]), 100)
+        with pytest.raises(ValueError):
+            EllipsoidSurface(np.zeros(3), np.ones(3), 2)
+
+
+class TestCompositeSurface:
+    def test_concatenation(self):
+        s1 = SphereSurface(np.zeros(3), 1.0, 30)
+        s2 = SphereSurface(np.array([3.0, 0, 0]), 0.5, 20)
+        c = CompositeSurface([s1, s2], center=np.zeros(3))
+        assert c.n == 50
+        assert c.points.shape == (50, 3)
+        assert c.weights.shape == (50,)
+        assert c.normals.shape == (50, 3)
+
+    def test_translate_moves_all(self):
+        s1 = SphereSurface(np.zeros(3), 1.0, 10)
+        s2 = SphereSurface(np.array([2.0, 0, 0]), 1.0, 10)
+        c = CompositeSurface([s1, s2], center=np.array([1.0, 0, 0]))
+        c.translate(np.array([0.0, 0.0, 5.0]))
+        assert np.allclose(c.center, [1, 0, 5])
+        assert np.allclose(s2.center, [2, 0, 5])
+
+    def test_rotate_about_assembly_center(self):
+        s = SphereSurface(np.array([1.0, 0, 0]), 0.2, 10)
+        c = CompositeSurface([s], center=np.zeros(3))
+        c.rotate(rotation_matrix(np.array([0.0, 0, 1.0]), np.pi / 2))
+        assert np.allclose(s.center, [0, 1, 0], atol=1e-12)
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            CompositeSurface([], center=np.zeros(3))
+
+
+class TestPropeller:
+    def test_structure(self):
+        prop = propeller_surface(np.zeros(3), nblades=3)
+        assert len(prop.members) == 4  # hub + 3 blades
+        assert prop.n == prop.points.shape[0]
+
+    def test_blades_symmetric(self):
+        prop = propeller_surface(np.zeros(3), nblades=4)
+        blade_centers = [m.center for m in prop.members[1:]]
+        radii = [np.linalg.norm(c) for c in blade_centers]
+        assert np.allclose(radii, radii[0])
+        # blades lie in the x-y plane
+        assert np.allclose([c[2] for c in blade_centers], 0.0)
+
+    def test_rotation_sweeps_blades(self):
+        prop = propeller_surface(np.zeros(3), nblades=2)
+        tip_before = prop.members[1].center.copy()
+        prop.rotate(rotation_matrix(np.array([0.0, 0, 1.0]), np.pi / 2))
+        tip_after = prop.members[1].center
+        assert np.linalg.norm(tip_after - tip_before) > 0.5
+        assert np.linalg.norm(tip_after) == pytest.approx(
+            np.linalg.norm(tip_before)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            propeller_surface(np.zeros(3), nblades=0)

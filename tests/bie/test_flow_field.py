@@ -1,0 +1,59 @@
+"""Off-surface velocity evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro.bie import (
+    SphereSurface,
+    StokesSingleLayer,
+    evaluate_velocity,
+    solve_single_layer,
+)
+from repro.core.fmm import FMMOptions
+
+
+@pytest.fixture(scope="module")
+def solved_translating_sphere():
+    s = SphereSurface(np.zeros(3), 1.0, 400)
+    op = StokesSingleLayer([s], mu=1.0, use_fmm=False)
+    u_bc = np.tile([0.0, 0.0, 1.0], (op.n, 1))
+    phi = solve_single_layer(op, u_bc, tol=1e-8)
+    return op, phi
+
+
+def test_velocity_decays_far_away(solved_translating_sphere):
+    op, phi = solved_translating_sphere
+    near = evaluate_velocity(op, phi, np.array([[0.0, 0.0, 1.5]]))
+    far = evaluate_velocity(op, phi, np.array([[0.0, 0.0, 30.0]]))
+    assert np.linalg.norm(far) < 0.1 * np.linalg.norm(near)
+
+
+def test_matches_analytic_stokes_flow(solved_translating_sphere):
+    """Velocity around a translating sphere: the classical solution.
+
+    On the axis of motion at distance r: u_z = U (3R/(2r) - R^3/(2r^3)).
+    """
+    op, phi = solved_translating_sphere
+    r = 2.5
+    u = evaluate_velocity(op, phi, np.array([[0.0, 0.0, r]]))
+    expected = 3.0 / (2 * r) - 1.0 / (2 * r**3)
+    assert u[0, 2] == pytest.approx(expected, rel=0.01)
+    assert abs(u[0, 0]) < 1e-3 and abs(u[0, 1]) < 1e-3
+
+
+def test_fmm_path_matches_direct(solved_translating_sphere, rng):
+    op, phi = solved_translating_sphere
+    pts = rng.uniform(1.5, 3.0, size=(50, 3))
+    direct = evaluate_velocity(op, phi, pts, use_fmm=False)
+    via_fmm = evaluate_velocity(
+        op, phi, pts, use_fmm=True, options=FMMOptions(p=6, max_points=60)
+    )
+    assert np.linalg.norm(via_fmm - direct) / np.linalg.norm(direct) < 1e-4
+
+
+def test_no_slip_on_surface(solved_translating_sphere):
+    """Approaching the surface, the flow tends to the body velocity."""
+    op, phi = solved_translating_sphere
+    probe = np.array([[1.05, 0.0, 0.0]])  # just outside the equator
+    u = evaluate_velocity(op, phi, probe)
+    assert u[0, 2] == pytest.approx(1.0, abs=0.15)

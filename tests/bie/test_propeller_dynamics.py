@@ -1,0 +1,49 @@
+"""Propeller rotation inside the time stepper."""
+
+import numpy as np
+import pytest
+
+from repro.bie import (
+    RigidBody,
+    SedimentationSimulation,
+    SphereSurface,
+    propeller_surface,
+)
+
+
+def test_prescribed_body_geometry_rotates():
+    prop = propeller_surface(np.zeros(3), nblades=2, n_per_blade=40, n_hub=30)
+    blade_center_before = prop.members[1].center.copy()
+    falling = RigidBody(SphereSurface(np.array([0.0, 0, 2.5]), 0.4, 60))
+    stirrer = RigidBody(
+        prop, angular_velocity=np.array([0.0, 0.0, -np.pi]), prescribed=True
+    )
+    sim = SedimentationSimulation(
+        [falling, stirrer], gravity_force=np.array([0, 0, -2.0]),
+        use_fmm=False, tol=1e-4,
+    )
+    sim.step(0.5)  # half period: blades rotate by pi/2... (omega*dt = pi/2)
+    blade_center_after = prop.members[1].center
+    # rotated about z by -pi/2: (x, y) -> (y, -x)
+    expected = np.array(
+        [blade_center_before[1], -blade_center_before[0], 0.0]
+    )
+    assert np.allclose(blade_center_after, expected, atol=1e-10)
+
+
+def test_sphere_descends_past_propeller():
+    falling = RigidBody(SphereSurface(np.array([0.5, 0, 2.0]), 0.35, 80))
+    stirrer = RigidBody(
+        propeller_surface(np.zeros(3), nblades=3, n_per_blade=40, n_hub=30),
+        angular_velocity=np.array([0.0, 0.0, -2.0]),
+        prescribed=True,
+    )
+    sim = SedimentationSimulation(
+        [falling, stirrer], gravity_force=np.array([0, 0, -3.0]),
+        use_fmm=False, tol=1e-4,
+    )
+    frames = sim.run(2, dt=0.05)
+    z = [f.positions[0][2] for f in frames]
+    assert z[1] < z[0] < 2.0
+    # the propeller hub never translates
+    assert np.allclose(frames[-1].positions[1], 0.0)

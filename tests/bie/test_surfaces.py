@@ -1,0 +1,76 @@
+"""Surface discretisation and rigid-body kinematics tests."""
+
+import numpy as np
+import pytest
+
+from repro.bie.surfaces import RigidBody, SphereSurface
+
+
+class TestSphereSurface:
+    def test_points_on_sphere(self):
+        s = SphereSurface(np.array([1.0, 0, 0]), 0.5, 100)
+        r = np.linalg.norm(s.points - s.center, axis=1)
+        assert np.allclose(r, 0.5)
+
+    def test_weights_sum_to_area(self):
+        s = SphereSurface(np.zeros(3), 2.0, 64)
+        assert s.weights.sum() == pytest.approx(4 * np.pi * 4.0)
+
+    def test_quadrature_integrates_linear_functions(self):
+        """sum w x over the sphere = area * center (symmetry check)."""
+        c = np.array([0.3, -0.7, 1.1])
+        s = SphereSurface(c, 1.0, 2000)
+        centroid = (s.points * s.weights[:, None]).sum(axis=0) / s.weights.sum()
+        assert np.allclose(centroid, c, atol=2e-3)
+
+    def test_normals_unit_outward(self):
+        s = SphereSurface(np.ones(3), 0.7, 50)
+        n = s.normals
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+        assert np.allclose(n, (s.points - s.center) / 0.7)
+
+    def test_translate(self):
+        s = SphereSurface(np.zeros(3), 1.0, 20)
+        old = s.points.copy()
+        s.translate(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(s.center, [1, 2, 3])
+        assert np.allclose(s.points, old + np.array([1.0, 2.0, 3.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SphereSurface(np.zeros(3), -1.0, 10)
+        with pytest.raises(ValueError):
+            SphereSurface(np.zeros(3), 1.0, 2)
+
+
+class TestRigidBody:
+    def test_pure_translation(self):
+        body = RigidBody(
+            SphereSurface(np.zeros(3), 1.0, 30),
+            velocity=np.array([1.0, 0, 0]),
+        )
+        v = body.surface_velocity()
+        assert np.allclose(v, [1.0, 0, 0])
+
+    def test_pure_rotation(self):
+        omega = np.array([0.0, 0.0, 2.0])
+        body = RigidBody(
+            SphereSurface(np.zeros(3), 1.0, 200), angular_velocity=omega
+        )
+        v = body.surface_velocity()
+        # velocity orthogonal to both omega and radius; |v| = |omega| sin(theta)
+        rel = body.surface.points
+        assert np.allclose(np.einsum("ni,ni->n", v, rel), 0.0, atol=1e-12)
+        assert np.allclose(v[:, 2], 0.0)
+        expected = np.linalg.norm(np.cross(np.broadcast_to(omega, rel.shape), rel), axis=1)
+        assert np.allclose(np.linalg.norm(v, axis=1), expected)
+
+    def test_rotation_about_center_not_origin(self):
+        c = np.array([5.0, 0.0, 0.0])
+        body = RigidBody(
+            SphereSurface(c, 1.0, 100),
+            angular_velocity=np.array([0.0, 0.0, 1.0]),
+        )
+        v = body.surface_velocity()
+        # speeds bounded by |omega| * radius, independent of the offset c
+        assert np.linalg.norm(v, axis=1).max() <= 1.0 + 1e-12

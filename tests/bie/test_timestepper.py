@@ -1,0 +1,112 @@
+"""Sedimentation time-stepper tests (the Figure 4.1 scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.bie import RigidBody, SedimentationSimulation, SphereSurface
+
+
+def _free_sphere(z=2.0, n=150):
+    return RigidBody(SphereSurface(np.array([0.0, 0.0, z]), 0.5, n))
+
+
+def _stirrer(n=150, omega=-2.0):
+    return RigidBody(
+        SphereSurface(np.zeros(3), 0.8, n),
+        angular_velocity=np.array([0.0, 0.0, omega]),
+        prescribed=True,
+    )
+
+
+class TestForceBalance:
+    def test_isolated_sphere_settles_at_stokes_velocity(self):
+        """Far from everything, U = F / (6 pi mu R)."""
+        body = RigidBody(SphereSurface(np.zeros(3), 0.5, 400))
+        sim = SedimentationSimulation(
+            [body], gravity_force=np.array([0.0, 0.0, -3.0]),
+            use_fmm=False, tol=1e-7,
+        )
+        frame = sim.step(0.01)
+        expected = -3.0 / (6 * np.pi * 1.0 * 0.5)
+        assert frame.free_velocity[2] == pytest.approx(expected, rel=0.02)
+        assert abs(frame.free_velocity[0]) < 1e-6
+
+    def test_falls_in_gravity_direction(self):
+        sim = SedimentationSimulation(
+            [_free_sphere(), _stirrer()],
+            gravity_force=np.array([0.0, 0.0, -5.0]),
+            use_fmm=False,
+        )
+        frame = sim.step(0.05)
+        assert frame.free_velocity[2] < 0
+
+    def test_nearby_body_retards_settling(self):
+        """Hydrodynamic interaction slows the sedimenting sphere."""
+        free_iso = RigidBody(SphereSurface(np.array([0.0, 0, 2.0]), 0.5, 150))
+        sim_iso = SedimentationSimulation(
+            [free_iso], gravity_force=np.array([0, 0, -5.0]), use_fmm=False
+        )
+        u_iso = sim_iso.step(0.01).free_velocity[2]
+
+        sim_near = SedimentationSimulation(
+            [_free_sphere(z=1.5), _stirrer(omega=0.0)],
+            gravity_force=np.array([0, 0, -5.0]),
+            use_fmm=False,
+        )
+        u_near = sim_near.step(0.01).free_velocity[2]
+        assert abs(u_near) < abs(u_iso)
+
+
+class TestTrajectory:
+    def test_positions_advance(self):
+        sim = SedimentationSimulation(
+            [_free_sphere(), _stirrer()],
+            gravity_force=np.array([0.0, 0.0, -5.0]),
+            use_fmm=False,
+        )
+        frames = sim.run(3, dt=0.05)
+        assert len(frames) == 3
+        z = [f.positions[0][2] for f in frames]
+        assert z[0] > z[1] > z[2]  # monotone descent
+        # stirrer never moves (prescribed zero translation)
+        assert np.allclose(frames[-1].positions[1], 0.0)
+
+    def test_time_advances(self):
+        sim = SedimentationSimulation(
+            [_free_sphere()], gravity_force=np.array([0, 0, -1.0]),
+            use_fmm=False,
+        )
+        sim.run(2, dt=0.1)
+        assert sim.time == pytest.approx(0.2)
+
+    def test_matvecs_accumulate(self):
+        """Each step runs tens of interaction evaluations (Section 3)."""
+        sim = SedimentationSimulation(
+            [_free_sphere()], gravity_force=np.array([0, 0, -1.0]),
+            use_fmm=False,
+        )
+        frames = sim.run(2, dt=0.1)
+        assert frames[0].matvecs >= 10
+        assert frames[1].matvecs > frames[0].matvecs
+
+
+class TestValidation:
+    def test_requires_exactly_one_free_body(self):
+        with pytest.raises(ValueError):
+            SedimentationSimulation(
+                [_stirrer()], gravity_force=np.zeros(3), use_fmm=False
+            )
+        with pytest.raises(ValueError):
+            SedimentationSimulation(
+                [_free_sphere(), _free_sphere(z=4.0)],
+                gravity_force=np.zeros(3),
+                use_fmm=False,
+            )
+
+    def test_rejects_bad_dt(self):
+        sim = SedimentationSimulation(
+            [_free_sphere()], gravity_force=np.array([0, 0, -1.0]),
+            use_fmm=False,
+        )
+        with pytest.raises(ValueError):
+            sim.step(0.0)

@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LaplaceKernel,
+    ModifiedLaplaceKernel,
+    NavierKernel,
+    StokesKernel,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(200301)
+
+
+@pytest.fixture(
+    params=[
+        LaplaceKernel(),
+        ModifiedLaplaceKernel(lam=1.5),
+        StokesKernel(mu=0.7),
+        NavierKernel(mu=1.0, nu=0.3),
+    ],
+    ids=["laplace", "modified_laplace", "stokes", "navier"],
+)
+def kernel(request):
+    """All four kernels — used to assert kernel independence."""
+    return request.param
+
+
+@pytest.fixture(
+    params=[LaplaceKernel(), StokesKernel(mu=0.7)], ids=["laplace", "stokes"]
+)
+def fast_kernel(request):
+    """A scalar and a vector kernel, for the more expensive tests."""
+    return request.param
+
+
+def uniform_cloud(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.uniform(-1.0, 1.0, size=(n, 3))
+
+
+def clustered_cloud(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Corner-clustered points: deep adaptive trees, non-empty W/X lists."""
+    corners = np.array(
+        [[i & 1, (i >> 1) & 1, (i >> 2) & 1] for i in range(8)], dtype=np.float64
+    )
+    per = max(1, -(-n // 8))  # ceil division so at least n points exist
+    blocks = [
+        c + 0.08 * np.abs(rng.standard_normal((per, 3))) for c in corners
+    ]
+    return np.vstack(blocks)[:n]

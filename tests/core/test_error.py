@@ -1,0 +1,40 @@
+"""A-posteriori error estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.error import estimate_error
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels import LaplaceKernel
+
+
+def test_estimates_match_reality(rng):
+    pts = rng.uniform(-1, 1, size=(500, 3))
+    phi = rng.random((500, 1))
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=6, max_points=30)).setup(pts)
+    u = fmm.apply(phi)
+    err = estimate_error(fmm, phi, u, nsamples=500, rng=rng)  # full check
+    assert err < 1e-4
+    # a subsample estimate is within an order of magnitude of the truth
+    err_sub = estimate_error(fmm, phi, u, nsamples=50, rng=rng)
+    assert err / 30 < err_sub < err * 30
+
+
+def test_recomputes_potential_when_omitted(rng):
+    pts = rng.uniform(-1, 1, size=(200, 3))
+    phi = rng.random((200, 1))
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=30)).setup(pts)
+    err = estimate_error(fmm, phi, nsamples=50, rng=rng)
+    assert np.isfinite(err)
+
+
+def test_requires_setup():
+    with pytest.raises(RuntimeError):
+        estimate_error(KIFMM(LaplaceKernel()), np.zeros((5, 1)))
+
+
+def test_rejects_bad_nsamples(rng):
+    pts = rng.uniform(-1, 1, size=(100, 3))
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=3, max_points=30)).setup(pts)
+    with pytest.raises(ValueError):
+        estimate_error(fmm, np.zeros((100, 1)), nsamples=0)

@@ -1,0 +1,95 @@
+"""Property-based tests on the full FMM (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels import LaplaceKernel
+from repro.kernels.direct import direct_evaluate, relative_error
+
+
+@st.composite
+def point_cloud(draw):
+    """Random size, seed and clustering level."""
+    n = draw(st.integers(min_value=5, max_value=250))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    cluster = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    if cluster:
+        centers = rng.uniform(-1, 1, size=(4, 3))
+        pts = np.vstack(
+            [c + 0.05 * rng.standard_normal((max(1, n // 4), 3)) for c in centers]
+        )[:n]
+    else:
+        pts = rng.uniform(-1, 1, size=(n, 3))
+    return pts, rng
+
+
+class TestFMMProperties:
+    @given(point_cloud())
+    @settings(max_examples=15, deadline=None)
+    def test_accuracy_any_configuration(self, cloud):
+        """FMM stays within tolerance for arbitrary sizes/distributions."""
+        pts, rng = cloud
+        n = pts.shape[0]
+        phi = rng.standard_normal((n, 1))
+        fmm = KIFMM(LaplaceKernel(), FMMOptions(p=5, max_points=20)).setup(pts)
+        u = fmm.apply(phi)
+        exact = direct_evaluate(LaplaceKernel(), pts, pts, phi)
+        assert relative_error(u, exact) < 5e-3
+
+    @given(point_cloud(), st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_scaling_linearity(self, cloud, alpha):
+        pts, rng = cloud
+        n = pts.shape[0]
+        phi = rng.standard_normal((n, 1))
+        fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=20)).setup(pts)
+        u1 = fmm.apply(phi)
+        u2 = fmm.apply(alpha * phi)
+        assert np.allclose(u2, alpha * u1, atol=1e-10 * max(1.0, abs(alpha)))
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_translation_invariance(self, seed):
+        """Shifting the whole geometry shifts nothing in the potentials."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-1, 1, size=(150, 3))
+        phi = rng.standard_normal((150, 1))
+        opts = FMMOptions(p=5, max_points=20)
+        u0 = KIFMM(LaplaceKernel(), opts).setup(pts).apply(phi)
+        shift = rng.uniform(-10, 10, size=3)
+        u1 = KIFMM(LaplaceKernel(), opts).setup(pts + shift).apply(phi)
+        assert relative_error(u1, u0) < 1e-6
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_geometric_scale_invariance(self, seed):
+        """Laplace homogeneity: scaling geometry by a scales u by 1/a."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-1, 1, size=(150, 3))
+        phi = rng.standard_normal((150, 1))
+        a = 3.5
+        opts = FMMOptions(p=5, max_points=20)
+        u0 = KIFMM(LaplaceKernel(), opts).setup(pts).apply(phi)
+        u1 = KIFMM(LaplaceKernel(), opts).setup(a * pts).apply(phi)
+        assert relative_error(u1, u0 / a) < 1e-6
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=10, deadline=None)
+    def test_superposition_of_sources(self, nsplit):
+        """Potential of a union equals sum of the parts' potentials."""
+        rng = np.random.default_rng(nsplit)
+        src = rng.uniform(-1, 1, size=(200, 3))
+        trg = rng.uniform(-0.5, 0.5, size=(60, 3))
+        phi = rng.standard_normal((200, 1))
+        opts = FMMOptions(p=5, max_points=20)
+        full = KIFMM(LaplaceKernel(), opts).setup(src, trg).apply(phi)
+        k = min(nsplit, 199)
+        ua = KIFMM(LaplaceKernel(), opts).setup(src[:k], trg).apply(phi[:k])
+        ub = KIFMM(LaplaceKernel(), opts).setup(src[k:], trg).apply(phi[k:])
+        # the parts build different trees, so errors differ within the
+        # p=5 discretisation tolerance
+        assert relative_error(ua + ub, full) < 1e-4

@@ -1,0 +1,164 @@
+"""Operator cache tests: shapes, homogeneous rescaling, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.precompute import OperatorCache, octant_offset
+from repro.core.surfaces import n_surface_points
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel, StokesKernel
+
+
+def _fresh_cache(kernel, p=4, root=2.0, **kw):
+    return OperatorCache(kernel, p, root, **kw)
+
+
+class TestOctantOffset:
+    def test_all_octants_distinct(self):
+        offsets = {tuple(octant_offset(c)) for c in range(8)}
+        assert len(offsets) == 8
+
+    def test_magnitude(self):
+        for c in range(8):
+            assert np.all(np.abs(octant_offset(c)) == 0.5)
+
+    def test_bit_convention(self):
+        assert np.allclose(octant_offset(0), [-0.5, -0.5, -0.5])
+        assert np.allclose(octant_offset(1), [0.5, -0.5, -0.5])
+        assert np.allclose(octant_offset(2), [-0.5, 0.5, -0.5])
+        assert np.allclose(octant_offset(4), [-0.5, -0.5, 0.5])
+
+    def test_rejects_bad_octant(self):
+        with pytest.raises(ValueError):
+            octant_offset(8)
+        with pytest.raises(ValueError):
+            octant_offset(-1)
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "kernel", [LaplaceKernel(), StokesKernel()], ids=["laplace", "stokes"]
+    )
+    def test_operator_shapes(self, kernel):
+        p = 4
+        n = n_surface_points(p)
+        m, q = kernel.source_dof, kernel.target_dof
+        cache = _fresh_cache(kernel, p=p)
+        assert cache.uc2ue(2).shape == (n * m, n * q)
+        assert cache.dc2de(2).shape == (n * m, n * q)
+        assert cache.m2m_check(2, 3).shape == (n * q, n * m)
+        assert cache.l2l_check(2, 5).shape == (n * q, n * m)
+        assert cache.m2l_check(2, (2, 0, -1)).shape == (n * q, n * m)
+
+    def test_surface_points(self):
+        cache = _fresh_cache(LaplaceKernel(), p=4, root=2.0)
+        c = np.array([0.5, 0.5, 0.5])
+        r = cache.half_width(1)  # 0.5
+        up_e = cache.up_equiv_points(c, 1)
+        up_c = cache.up_check_points(c, 1)
+        assert np.abs(up_e - c).max() == pytest.approx(cache.inner * r)
+        assert np.abs(up_c - c).max() == pytest.approx(cache.outer * r)
+        dn_e = cache.down_equiv_points(c, 1)
+        dn_c = cache.down_check_points(c, 1)
+        assert np.abs(dn_e - c).max() == pytest.approx(cache.outer * r)
+        assert np.abs(dn_c - c).max() == pytest.approx(cache.inner * r)
+
+
+class TestHomogeneousScaling:
+    """Scaled operators must equal direct computation at that level."""
+
+    @pytest.mark.parametrize(
+        "kernel", [LaplaceKernel(), StokesKernel()], ids=["laplace", "stokes"]
+    )
+    def test_scaling_matches_direct(self, kernel):
+        p = 3
+        cache = _fresh_cache(kernel, p=p)
+        # force direct computation by masquerading as inhomogeneous
+        direct = _fresh_cache(kernel, p=p)
+        direct.kernel = _Inhomog(kernel)
+        for level in (1, 3):
+            assert np.allclose(cache.uc2ue(level), direct.uc2ue(level), atol=1e-10)
+            assert np.allclose(cache.dc2de(level), direct.dc2de(level))
+            assert np.allclose(
+                cache.m2l_check(level, (0, 2, 0)),
+                direct.m2l_check(level, (0, 2, 0)),
+            )
+        for child_level in (1, 2):
+            for octant in (0, 7):
+                assert np.allclose(
+                    cache.m2m_check(child_level, octant),
+                    direct.m2m_check(child_level, octant),
+                )
+                assert np.allclose(
+                    cache.l2l_check(child_level, octant),
+                    direct.l2l_check(child_level, octant),
+                )
+
+    def test_inhomogeneous_kernel_differs_by_level(self):
+        cache = _fresh_cache(ModifiedLaplaceKernel(lam=2.0), p=3)
+        m0 = cache.m2l_check(1, (2, 0, 0))
+        m1 = cache.m2l_check(3, (2, 0, 0))
+        # no scalar multiple relates the two levels
+        ratio = m1 / m0
+        assert ratio.std() / abs(ratio.mean()) > 1e-3
+
+
+class _Inhomog:
+    """Wrapper hiding a kernel's homogeneity (forces per-level compute)."""
+
+    def __init__(self, kernel):
+        self._k = kernel
+        self.homogeneity = None
+
+    def __getattr__(self, name):
+        return getattr(self._k, name)
+
+
+class TestValidation:
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            OperatorCache(LaplaceKernel(), 4, 1.0, inner=0.9, outer=2.9)
+        with pytest.raises(ValueError):
+            OperatorCache(LaplaceKernel(), 4, 1.0, inner=1.1, outer=3.5)
+        with pytest.raises(ValueError):
+            OperatorCache(LaplaceKernel(), 4, 1.0, inner=2.0, outer=1.5)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(ValueError):
+            OperatorCache(LaplaceKernel(), 4, -1.0)
+
+    def test_rejects_adjacent_m2l_offset(self):
+        cache = _fresh_cache(LaplaceKernel())
+        with pytest.raises(ValueError):
+            cache.m2l_check(2, (1, 0, 0))
+        with pytest.raises(ValueError):
+            cache.m2l_check(2, (1, 1, 1))
+
+    def test_rejects_bad_levels(self):
+        cache = _fresh_cache(LaplaceKernel())
+        with pytest.raises(ValueError):
+            cache.m2m_check(0, 0)
+        with pytest.raises(ValueError):
+            cache.half_width(-1)
+
+
+class TestInversionQuality:
+    def test_uc2ue_reconstructs_far_field(self, rng):
+        """An equivalent density from uc2ue reproduces the far potential.
+
+        This is equation (2.1) end to end: random interior sources, solve
+        for the equivalent density, compare potentials at far points.
+        """
+        kernel = LaplaceKernel()
+        cache = _fresh_cache(kernel, p=6, root=2.0)
+        level = 1
+        center = np.zeros(3)
+        r = cache.half_width(level)
+        src = rng.uniform(-r, r, size=(20, 3))
+        phi = rng.standard_normal(20)
+        check = kernel.matrix(cache.up_check_points(center, level), src) @ phi
+        ue = cache.uc2ue(level) @ check
+        far = rng.standard_normal((15, 3))
+        far = center + (far / np.linalg.norm(far, axis=1, keepdims=True)) * (6 * r)
+        exact = kernel.matrix(far, src) @ phi
+        approx = kernel.matrix(far, cache.up_equiv_points(center, level)) @ ue
+        assert np.allclose(approx, exact, rtol=1e-6)

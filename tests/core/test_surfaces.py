@@ -1,0 +1,105 @@
+"""Equivalent/check surface tests, including the Section 2.1 constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.surfaces import (
+    INNER_RADIUS,
+    OUTER_RADIUS,
+    n_surface_points,
+    scaled_surface,
+    surface_flat_indices,
+    surface_grid,
+    surface_lattice_indices,
+)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("p", [2, 3, 4, 6, 8, 10])
+    def test_node_count_formula(self, p):
+        expected = p**3 - (p - 2) ** 3
+        assert n_surface_points(p) == expected
+        assert surface_grid(p).shape == (expected, 3)
+        assert surface_lattice_indices(p).shape == (expected, 3)
+        assert surface_flat_indices(p).shape == (expected,)
+
+    def test_p2_is_cube_corners(self):
+        assert n_surface_points(2) == 8
+
+    def test_rejects_small_p(self):
+        with pytest.raises(ValueError):
+            n_surface_points(1)
+        with pytest.raises(ValueError):
+            surface_grid(1)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    def test_all_nodes_on_boundary(self, p):
+        g = surface_grid(p)
+        on_face = np.isclose(np.abs(g), 1.0).any(axis=1)
+        assert on_face.all()
+
+    def test_grid_matches_lattice(self):
+        p = 5
+        idx = surface_lattice_indices(p)
+        g = surface_grid(p)
+        assert np.allclose(g, 2.0 * idx / (p - 1) - 1.0)
+
+    def test_flat_indices_consistent(self):
+        p = 4
+        idx = surface_lattice_indices(p)
+        flat = surface_flat_indices(p)
+        assert np.array_equal(flat, idx[:, 0] * p * p + idx[:, 1] * p + idx[:, 2])
+
+    def test_scaled_surface(self):
+        center = np.array([1.0, 2.0, 3.0])
+        pts = scaled_surface(4, center, half_width=0.5, radius=2.0)
+        rel = (pts - center) / (0.5 * 2.0)
+        assert np.abs(rel).max() == pytest.approx(1.0)
+        assert pts.shape == (n_surface_points(4), 3)
+
+    def test_scaled_surface_validation(self):
+        with pytest.raises(ValueError):
+            scaled_surface(4, np.zeros(3), half_width=0.0, radius=1.0)
+        with pytest.raises(ValueError):
+            scaled_surface(4, np.zeros(3), half_width=1.0, radius=-1.0)
+
+    def test_cached_arrays_are_readonly(self):
+        g = surface_grid(6)
+        with pytest.raises(ValueError):
+            g[0, 0] = 99.0
+
+
+class TestPaperConstraints:
+    """The placement constraints from the Section 2.1 'Summary'."""
+
+    def test_radii_ordering(self):
+        assert 1.0 < INNER_RADIUS < OUTER_RADIUS < 3.0
+
+    def test_up_surfaces_between_box_and_far_range(self):
+        # y^{B,u} (inner) and x^{B,u} (outer) lie between B (radius 1)
+        # and F^B (radius 3); the check surface encloses the equivalent.
+        assert INNER_RADIUS > 1.0 and OUTER_RADIUS < 3.0
+        assert OUTER_RADIUS > INNER_RADIUS
+
+    def test_parent_up_equiv_encloses_children(self):
+        # child half width r/2 at offset r/2: its equivalent surface
+        # reaches (0.5 + 0.5 * INNER) * r, which must be < INNER * r.
+        child_extent = 0.5 + 0.5 * INNER_RADIUS
+        assert child_extent < INNER_RADIUS
+
+    def test_up_equiv_disjoint_from_v_list_down_check(self):
+        # nearest V-list box center is 4r away; the target's downward
+        # check surface (inner) and source's upward equivalent surface
+        # (inner) must not intersect.
+        assert INNER_RADIUS + INNER_RADIUS < 4.0
+
+    def test_child_down_equiv_inside_parent_down_equiv(self):
+        # child down equiv reaches (0.5 + 0.5 * OUTER) * R from the parent
+        # center (R = parent half width); parent's is OUTER * R.
+        child_extent = 0.5 + 0.5 * OUTER_RADIUS
+        assert child_extent < OUTER_RADIUS
+
+    def test_down_equiv_encloses_down_check(self):
+        assert OUTER_RADIUS > INNER_RADIUS

@@ -1,0 +1,169 @@
+"""Workload generator tests: spheres, distributions, patches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    SurfacePatch,
+    corner_clusters,
+    partition_weights,
+    sample_sphere,
+    sphere_grid_patches,
+    sphere_grid_points,
+    uniform_cube,
+)
+
+
+class TestSphereSampling:
+    @pytest.mark.parametrize("method", ["latlon", "fibonacci"])
+    def test_points_on_surface(self, method):
+        c = np.array([1.0, -2.0, 0.5])
+        pts = sample_sphere(c, 0.7, 200, method=method)
+        assert pts.shape == (200, 3)
+        r = np.linalg.norm(pts - c, axis=1)
+        assert np.allclose(r, 0.7, atol=1e-12)
+
+    def test_latlon_nonuniform(self):
+        """The paper's sampling is non-uniform (denser near poles)."""
+        pts = sample_sphere(np.zeros(3), 1.0, 2000, method="latlon")
+        z = np.abs(pts[:, 2])
+        polar = (z > 0.9).sum()
+        equatorial = (z < 0.1).sum()
+        # a uniform sampling would put ~2.3x more points near the equator
+        # band than the polar caps; latlon flips that
+        assert polar > equatorial
+
+    def test_fibonacci_quasi_uniform(self):
+        pts = sample_sphere(np.zeros(3), 1.0, 2000, method="fibonacci")
+        z = pts[:, 2]
+        # z-coordinates uniformly distributed for uniform sphere sampling
+        hist, _ = np.histogram(z, bins=10, range=(-1, 1))
+        assert hist.min() > 0.7 * hist.max()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            sample_sphere(np.zeros(3), -1.0, 10)
+        with pytest.raises(ValueError):
+            sample_sphere(np.zeros(3), 1.0, 0)
+        with pytest.raises(ValueError):
+            sample_sphere(np.zeros(3), 1.0, 10, method="nope")
+
+
+class TestSphereGrid:
+    def test_point_count_and_bounds(self):
+        pts = sphere_grid_points(10_000, grid=8)
+        assert abs(pts.shape[0] - 10_000) <= 512
+        assert np.all(pts >= -1.0) and np.all(pts <= 1.0)
+
+    def test_patch_structure(self):
+        patches = sphere_grid_patches(4096, grid=4)
+        assert len(patches) == 64
+        for p in patches:
+            assert p.weight == p.points.shape[0]
+
+    def test_spheres_disjoint(self):
+        """Sphere radius < half grid spacing, so spheres never touch."""
+        patches = sphere_grid_patches(2048, grid=4)
+        c0 = patches[0].centroid
+        c1 = patches[1].centroid
+        spacing = np.abs(c1 - c0).max()
+        r = np.linalg.norm(patches[0].points[0] - patches[0].centroid)
+        assert 2 * r < spacing
+
+
+class TestDistributions:
+    def test_uniform_cube_bounds(self, rng):
+        pts = uniform_cube(1000, rng, low=-2.0, high=3.0)
+        assert pts.shape == (1000, 3)
+        assert pts.min() >= -2.0 and pts.max() <= 3.0
+
+    def test_corner_clusters_count_and_bounds(self, rng):
+        pts = corner_clusters(999, rng)
+        assert pts.shape == (999, 3)
+        assert pts.min() >= -2.0 and pts.max() <= 2.0
+
+    def test_corner_clusters_are_clustered(self, rng):
+        pts = corner_clusters(4000, rng, spread=0.05)
+        # most points within 0.5 of some corner
+        corners = np.array(
+            [[x, y, z] for x in (-1, 1) for y in (-1, 1) for z in (-1, 1)],
+            dtype=float,
+        )
+        d = np.min(
+            np.linalg.norm(pts[:, None, :] - corners[None], axis=2), axis=1
+        )
+        assert (d < 0.5).mean() > 0.95
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_cube(-1, rng)
+        with pytest.raises(ValueError):
+            uniform_cube(5, rng, low=1.0, high=0.0)
+        with pytest.raises(ValueError):
+            corner_clusters(10, rng, spread=0.0)
+
+
+class TestPatches:
+    def test_patch_validation(self):
+        with pytest.raises(ValueError):
+            SurfacePatch(points=np.zeros((5, 2)), weight=1.0)
+        with pytest.raises(ValueError):
+            SurfacePatch(points=np.zeros((5, 3)), weight=-1.0)
+
+    def test_centroid(self):
+        p = SurfacePatch(points=np.array([[0.0, 0, 0], [2.0, 0, 0]]), weight=2)
+        assert np.allclose(p.centroid, [1.0, 0, 0])
+
+
+class TestPartitionWeights:
+    def test_contiguous_and_complete(self, rng):
+        w = rng.random(100)
+        parts = partition_weights(w, 7)
+        assert parts.min() == 0 and parts.max() == 6
+        assert np.all(np.diff(parts) >= 0)  # contiguous runs
+
+    def test_balance_uniform_weights(self):
+        parts = partition_weights(np.ones(100), 4)
+        counts = np.bincount(parts, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_part(self, rng):
+        assert np.all(partition_weights(rng.random(10), 1) == 0)
+
+    def test_more_parts_than_items(self):
+        parts = partition_weights(np.ones(3), 10)
+        assert len(parts) == 3
+        assert parts.max() <= 9
+
+    def test_zero_weights_handled(self):
+        parts = partition_weights(np.zeros(10), 3)
+        assert parts.min() >= 0 and parts.max() <= 2
+
+    def test_empty(self):
+        assert partition_weights(np.empty(0), 3).size == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            partition_weights(np.ones(5), 0)
+        with pytest.raises(ValueError):
+            partition_weights(np.array([-1.0]), 2)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_weight_balance(self, weights, nparts):
+        w = np.array(weights)
+        parts = partition_weights(w, nparts)
+        assert len(parts) == len(w)
+        assert np.all(np.diff(parts) >= 0)
+        total = w.sum()
+        if total > 0:
+            ideal = total / nparts
+            for r in range(nparts):
+                # each part's weight differs from ideal by < the largest item
+                part_w = w[parts == r].sum()
+                assert part_w <= ideal + w.max() + 1e-9

@@ -1,0 +1,111 @@
+"""Derived kernel tests: gradients and dipoles."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel, StokesKernel
+from repro.kernels.derived import (
+    LaplaceDipoleKernel,
+    LaplaceGradientKernel,
+    ModifiedLaplaceDipoleKernel,
+    ModifiedLaplaceGradientKernel,
+    dipole_kernel_for,
+    gradient_kernel_for,
+)
+
+
+def _fd_gradient(kernel, x0, y, h=1e-6):
+    """Finite-difference gradient of the scalar kernel at the target."""
+    g = np.zeros(3)
+    for i, e in enumerate(np.eye(3)):
+        up = kernel.matrix((x0 + h * e).reshape(1, 3), y)[0, 0]
+        dn = kernel.matrix((x0 - h * e).reshape(1, 3), y)[0, 0]
+        g[i] = (up - dn) / (2 * h)
+    return g
+
+
+class TestGradientKernels:
+    @pytest.mark.parametrize(
+        "base,grad",
+        [
+            (LaplaceKernel(), LaplaceGradientKernel()),
+            (ModifiedLaplaceKernel(1.3), ModifiedLaplaceGradientKernel(1.3)),
+        ],
+        ids=["laplace", "modified_laplace"],
+    )
+    def test_matches_finite_differences(self, base, grad, rng):
+        x0 = np.array([0.7, -0.3, 0.5])
+        y = rng.standard_normal((1, 3)) + 3.0
+        analytic = grad.matrix(x0.reshape(1, 3), y).ravel()
+        assert np.allclose(analytic, _fd_gradient(base, x0, y), atol=1e-7)
+
+    def test_shape_and_ordering(self, rng):
+        k = LaplaceGradientKernel()
+        x = rng.standard_normal((4, 3))
+        y = rng.standard_normal((5, 3)) + 4.0
+        K = k.matrix(x, y)
+        assert K.shape == (12, 5)
+        # row t*3+i is component i at target t
+        single = k.matrix(x[2:3], y)
+        assert np.allclose(K[6:9], single)
+
+    def test_homogeneity(self, rng):
+        k = LaplaceGradientKernel()
+        x = rng.standard_normal((2, 3))
+        y = rng.standard_normal((2, 3)) + 3.0
+        assert np.allclose(k.matrix(2 * x, 2 * y), k.matrix(x, y) / 4.0)
+
+
+class TestDipoleKernels:
+    @pytest.mark.parametrize(
+        "base,dip",
+        [
+            (LaplaceKernel(), LaplaceDipoleKernel()),
+            (ModifiedLaplaceKernel(0.8), ModifiedLaplaceDipoleKernel(0.8)),
+        ],
+        ids=["laplace", "modified_laplace"],
+    )
+    def test_matches_finite_difference_dipole(self, base, dip, rng):
+        """A dipole is the limit of two opposite charges."""
+        x = rng.standard_normal((1, 3)) + 3.0
+        y0 = np.zeros(3)
+        d = np.array([0.3, -0.5, 0.8])
+        h = 1e-6
+        plus = base.matrix(x, (y0 + h * d / 2).reshape(1, 3))[0, 0]
+        minus = base.matrix(x, (y0 - h * d / 2).reshape(1, 3))[0, 0]
+        fd = (plus - minus) / h
+        analytic = dip.matrix(x, y0.reshape(1, 3)) @ d
+        assert analytic[0] == pytest.approx(fd, abs=1e-7)
+
+    def test_gradient_dipole_duality(self, rng):
+        """grad_y G = -grad_x G for translation-invariant kernels."""
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((4, 3)) + 4.0
+        grad = LaplaceGradientKernel().matrix(x, y)  # (3nt, ns)
+        dip = LaplaceDipoleKernel().matrix(x, y)  # (nt, 3ns)
+        nt, ns = 3, 4
+        g = grad.reshape(nt, 3, ns)
+        d = dip.reshape(nt, ns, 3)
+        assert np.allclose(d, -g.transpose(0, 2, 1))
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            ModifiedLaplaceDipoleKernel(lam=0.0)
+        with pytest.raises(ValueError):
+            ModifiedLaplaceGradientKernel(lam=-1.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(
+            gradient_kernel_for(LaplaceKernel()), LaplaceGradientKernel
+        )
+        k = dipole_kernel_for(ModifiedLaplaceKernel(2.0))
+        assert isinstance(k, ModifiedLaplaceDipoleKernel)
+        assert k.lam == 2.0
+
+    def test_unregistered_kernel_raises(self):
+        with pytest.raises(ValueError):
+            gradient_kernel_for(StokesKernel())
+        with pytest.raises(ValueError):
+            dipole_kernel_for(StokesKernel())

@@ -1,0 +1,81 @@
+"""Contract tests every kernel implementation must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LaplaceKernel,
+    ModifiedLaplaceKernel,
+    NavierKernel,
+    StokesKernel,
+)
+from repro.kernels.derived import (
+    LaplaceDipoleKernel,
+    LaplaceGradientKernel,
+    ModifiedLaplaceDipoleKernel,
+    ModifiedLaplaceGradientKernel,
+)
+
+ALL = [
+    LaplaceKernel(),
+    ModifiedLaplaceKernel(1.3),
+    StokesKernel(0.8),
+    NavierKernel(1.2, 0.25),
+    LaplaceGradientKernel(),
+    LaplaceDipoleKernel(),
+    ModifiedLaplaceGradientKernel(0.9),
+    ModifiedLaplaceDipoleKernel(0.9),
+]
+IDS = [k.name for k in ALL]
+
+
+@pytest.mark.parametrize("kernel", ALL, ids=IDS)
+class TestKernelContract:
+    def test_matrix_shape(self, kernel, rng):
+        x = rng.standard_normal((5, 3))
+        y = rng.standard_normal((7, 3)) + 5.0
+        K = kernel.matrix(x, y)
+        assert K.shape == (5 * kernel.target_dof, 7 * kernel.source_dof)
+
+    def test_coincident_pairs_vanish(self, kernel, rng):
+        pts = rng.standard_normal((3, 3))
+        K = kernel.matrix(pts, pts)
+        q, m = kernel.target_dof, kernel.source_dof
+        for i in range(3):
+            block = K[i * q : (i + 1) * q, i * m : (i + 1) * m]
+            assert np.all(block == 0.0), f"diagonal block {i} nonzero"
+
+    def test_all_entries_finite(self, kernel, rng):
+        x = rng.standard_normal((6, 3))
+        K = kernel.matrix(x, x)
+        assert np.all(np.isfinite(K))
+
+    def test_row_ordering_point_major(self, kernel, rng):
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((2, 3)) + 4.0
+        K = kernel.matrix(x, y)
+        q = kernel.target_dof
+        K1 = kernel.matrix(x[1:2], y)
+        assert np.allclose(K[q : 2 * q], K1)
+
+    def test_apply_consistent(self, kernel, rng):
+        x = rng.standard_normal((4, 3))
+        y = rng.standard_normal((6, 3)) + 3.0
+        phi = rng.standard_normal((6, kernel.source_dof))
+        assert np.allclose(
+            kernel.apply(x, y, phi).ravel(), kernel.matrix(x, y) @ phi.ravel()
+        )
+
+    def test_flop_cost_positive(self, kernel):
+        assert kernel.flops_per_pair > 0
+
+    def test_homogeneity_declaration_consistent(self, kernel, rng):
+        if kernel.homogeneity is None:
+            return
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((3, 3)) + 4.0
+        a = 1.7
+        assert np.allclose(
+            kernel.matrix(a * x, a * y),
+            a**kernel.homogeneity * kernel.matrix(x, y),
+        )

@@ -1,0 +1,112 @@
+"""Laplace kernel: values, PDE property, homogeneity, interface."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LaplaceKernel
+
+
+@pytest.fixture
+def kern():
+    return LaplaceKernel()
+
+
+class TestValues:
+    def test_point_value(self, kern):
+        x = np.array([[1.0, 0.0, 0.0]])
+        y = np.array([[0.0, 0.0, 0.0]])
+        assert kern.matrix(x, y)[0, 0] == pytest.approx(1.0 / (4.0 * np.pi))
+
+    def test_distance_two(self, kern):
+        x = np.array([[0.0, 2.0, 0.0]])
+        y = np.zeros((1, 3))
+        assert kern.matrix(x, y)[0, 0] == pytest.approx(1.0 / (8.0 * np.pi))
+
+    def test_symmetry_in_arguments(self, kern, rng):
+        x = rng.standard_normal((5, 3))
+        y = rng.standard_normal((7, 3))
+        assert np.allclose(kern.matrix(x, y), kern.matrix(y, x).T)
+
+    def test_translation_invariance(self, kern, rng):
+        x = rng.standard_normal((4, 3))
+        y = rng.standard_normal((6, 3))
+        shift = np.array([0.3, -1.2, 2.0])
+        assert np.allclose(kern.matrix(x, y), kern.matrix(x + shift, y + shift))
+
+    def test_coincident_pair_is_zero(self, kern):
+        pts = np.array([[0.5, 0.5, 0.5]])
+        assert kern.matrix(pts, pts)[0, 0] == 0.0
+
+    def test_positive_everywhere(self, kern, rng):
+        x = rng.standard_normal((10, 3))
+        y = rng.standard_normal((10, 3)) + 5.0
+        assert np.all(kern.matrix(x, y) > 0)
+
+
+class TestPDE:
+    def test_harmonic_away_from_singularity(self, kern):
+        """Finite-difference Laplacian of G vanishes away from the pole."""
+        y = np.zeros((1, 3))
+        x0 = np.array([0.7, 0.4, -0.3])
+        h = 1e-4
+
+        def u(p):
+            return kern.matrix(p.reshape(1, 3), y)[0, 0]
+
+        lap = sum(
+            u(x0 + h * e) + u(x0 - h * e) - 2 * u(x0)
+            for e in np.eye(3)
+        ) / h**2
+        assert abs(lap) < 1e-4
+
+    def test_decay_at_infinity(self, kern):
+        y = np.zeros((1, 3))
+        near = kern.matrix(np.array([[1.0, 0, 0]]), y)[0, 0]
+        far = kern.matrix(np.array([[100.0, 0, 0]]), y)[0, 0]
+        assert far == pytest.approx(near / 100.0)
+
+
+class TestHomogeneity:
+    def test_declared_degree_matches(self, kern, rng):
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((4, 3))
+        a = 3.7
+        assert np.allclose(
+            kern.matrix(a * x, a * y), a**kern.homogeneity * kern.matrix(x, y)
+        )
+
+
+class TestInterface:
+    def test_metadata(self, kern):
+        assert kern.source_dof == 1
+        assert kern.target_dof == 1
+        assert kern.homogeneity == -1.0
+        assert kern.flops_per_pair > 0
+
+    def test_apply_matches_matrix(self, kern, rng):
+        x = rng.standard_normal((9, 3))
+        y = rng.standard_normal((11, 3))
+        phi = rng.standard_normal(11)
+        u = kern.apply(x, y, phi, block=4)
+        assert np.allclose(u.ravel(), kern.matrix(x, y) @ phi)
+
+    def test_apply_block_invariance(self, kern, rng):
+        x = rng.standard_normal((20, 3))
+        y = rng.standard_normal((15, 3))
+        phi = rng.standard_normal(15)
+        assert np.allclose(
+            kern.apply(x, y, phi, block=3), kern.apply(x, y, phi, block=1000)
+        )
+
+    def test_rejects_bad_shapes(self, kern):
+        good = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            kern.matrix(np.zeros((3, 2)), good)
+        with pytest.raises(ValueError):
+            kern.matrix(good, np.zeros(3))
+        with pytest.raises(ValueError):
+            kern.apply(good, good, np.zeros(5))
+
+    def test_equality_and_hash(self):
+        assert LaplaceKernel() == LaplaceKernel()
+        assert hash(LaplaceKernel()) == hash(LaplaceKernel())

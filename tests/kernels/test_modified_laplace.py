@@ -1,0 +1,70 @@
+"""Modified Laplace (Yukawa) kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LaplaceKernel, ModifiedLaplaceKernel
+
+
+class TestValues:
+    def test_point_value(self):
+        kern = ModifiedLaplaceKernel(lam=2.0)
+        x = np.array([[1.0, 0.0, 0.0]])
+        y = np.zeros((1, 3))
+        expected = np.exp(-2.0) / (4.0 * np.pi)
+        assert kern.matrix(x, y)[0, 0] == pytest.approx(expected)
+
+    def test_small_lambda_approaches_laplace(self, rng):
+        x = rng.standard_normal((5, 3))
+        y = rng.standard_normal((6, 3)) + 3.0
+        tiny = ModifiedLaplaceKernel(lam=1e-8).matrix(x, y)
+        laplace = LaplaceKernel().matrix(x, y)
+        assert np.allclose(tiny, laplace, rtol=1e-6)
+
+    def test_screening_faster_decay(self):
+        kern = ModifiedLaplaceKernel(lam=1.0)
+        y = np.zeros((1, 3))
+        near = kern.matrix(np.array([[1.0, 0, 0]]), y)[0, 0]
+        far = kern.matrix(np.array([[10.0, 0, 0]]), y)[0, 0]
+        # screened interaction decays much faster than 1/r
+        assert far < near / 10.0 / 100.0
+
+    def test_coincident_pair_is_zero(self):
+        pts = np.array([[1.0, 2.0, 3.0]])
+        assert ModifiedLaplaceKernel().matrix(pts, pts)[0, 0] == 0.0
+
+
+class TestPDE:
+    def test_satisfies_modified_helmholtz(self):
+        """FD check of alpha*u - Delta u = 0 with alpha = lambda^2."""
+        lam = 1.3
+        kern = ModifiedLaplaceKernel(lam=lam)
+        y = np.zeros((1, 3))
+        x0 = np.array([0.8, -0.2, 0.5])
+        h = 1e-4
+
+        def u(p):
+            return kern.matrix(p.reshape(1, 3), y)[0, 0]
+
+        lap = sum(
+            u(x0 + h * e) + u(x0 - h * e) - 2 * u(x0) for e in np.eye(3)
+        ) / h**2
+        assert lam**2 * u(x0) - lap == pytest.approx(0.0, abs=1e-4)
+
+
+class TestInterface:
+    def test_not_homogeneous(self):
+        assert ModifiedLaplaceKernel().homogeneity is None
+
+    def test_rejects_nonpositive_lambda(self):
+        with pytest.raises(ValueError):
+            ModifiedLaplaceKernel(lam=0.0)
+        with pytest.raises(ValueError):
+            ModifiedLaplaceKernel(lam=-1.0)
+
+    def test_repr_mentions_lambda(self):
+        assert "2.5" in repr(ModifiedLaplaceKernel(lam=2.5))
+
+    def test_distinct_lambdas_not_equal(self):
+        assert ModifiedLaplaceKernel(1.0) != ModifiedLaplaceKernel(2.0)
+        assert ModifiedLaplaceKernel(1.5) == ModifiedLaplaceKernel(1.5)

@@ -1,0 +1,82 @@
+"""Navier (Kelvin) elastostatic kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import NavierKernel, StokesKernel
+
+
+class TestValues:
+    def test_tensor_symmetry(self, rng):
+        kern = NavierKernel(mu=1.0, nu=0.25)
+        x = rng.standard_normal((1, 3))
+        y = rng.standard_normal((1, 3)) + 3.0
+        K = kern.matrix(x, y)
+        assert np.allclose(K, K.T)
+
+    def test_incompressible_limit_matches_stokes(self, rng):
+        """As nu -> 1/2 the Kelvin solution becomes (half) the Stokeslet."""
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((4, 3)) + 3.0
+        nu = 0.5 - 1e-9
+        kelvin = NavierKernel(mu=1.0, nu=nu).matrix(x, y)
+        stokes = StokesKernel(mu=1.0).matrix(x, y)
+        # 1/(16 pi mu (1-nu)) -> 1/(8 pi mu) and (3-4nu) -> 1
+        assert np.allclose(kelvin, stokes, rtol=1e-6)
+
+    def test_homogeneity(self, rng):
+        kern = NavierKernel()
+        x = rng.standard_normal((2, 3))
+        y = rng.standard_normal((2, 3)) + 2.0
+        assert np.allclose(kern.matrix(2 * x, 2 * y), kern.matrix(x, y) / 2.0)
+
+    def test_shear_modulus_scaling(self, rng):
+        x = rng.standard_normal((2, 3))
+        y = rng.standard_normal((2, 3)) + 2.0
+        K1 = NavierKernel(mu=1.0, nu=0.3).matrix(x, y)
+        K3 = NavierKernel(mu=3.0, nu=0.3).matrix(x, y)
+        assert np.allclose(K3, K1 / 3.0)
+
+
+class TestPDE:
+    def test_navier_equation(self):
+        """FD check of mu Delta u + (lambda+mu) grad div u = 0 off the pole."""
+        mu, nu = 1.0, 0.3
+        lam = 2.0 * mu * nu / (1.0 - 2.0 * nu)
+        kern = NavierKernel(mu=mu, nu=nu)
+        y = np.zeros((1, 3))
+        force = np.array([0.5, -0.2, 1.0])
+        x0 = np.array([0.7, 0.6, -0.5])
+        h = 2e-4
+
+        def u(p):
+            return kern.matrix(p.reshape(1, 3), y) @ force
+
+        eye = np.eye(3)
+        lap_u = sum(u(x0 + h * e) + u(x0 - h * e) - 2 * u(x0) for e in eye) / h**2
+
+        def div_u(p):
+            return sum(
+                (u(p + h * e)[i] - u(p - h * e)[i]) / (2 * h)
+                for i, e in enumerate(eye)
+            )
+
+        grad_div = np.array(
+            [(div_u(x0 + h * e) - div_u(x0 - h * e)) / (2 * h) for e in eye]
+        )
+        residual = mu * lap_u + (lam + mu) * grad_div
+        assert np.allclose(residual, 0.0, atol=5e-3)
+
+
+class TestInterface:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            NavierKernel(mu=-1.0)
+        with pytest.raises(ValueError):
+            NavierKernel(nu=0.5)
+        with pytest.raises(ValueError):
+            NavierKernel(nu=-1.5)
+
+    def test_dofs(self):
+        kern = NavierKernel()
+        assert kern.source_dof == kern.target_dof == 3

@@ -1,0 +1,133 @@
+"""Stokes (Stokeslet) kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import StokesKernel
+
+
+@pytest.fixture
+def kern():
+    return StokesKernel(mu=1.0)
+
+
+class TestValues:
+    def test_block_structure(self, kern):
+        x = np.array([[2.0, 0.0, 0.0]])
+        y = np.zeros((1, 3))
+        K = kern.matrix(x, y)
+        assert K.shape == (3, 3)
+        r = 2.0
+        pref = 1.0 / (8.0 * np.pi)
+        # r along x: G = pref (I/r + diag(r^2,0,0)/r^3)
+        assert K[0, 0] == pytest.approx(pref * (1 / r + 1 / r))
+        assert K[1, 1] == pytest.approx(pref / r)
+        assert K[2, 2] == pytest.approx(pref / r)
+        assert K[0, 1] == pytest.approx(0.0)
+
+    def test_tensor_symmetry(self, kern, rng):
+        """G_ij(x, y) = G_ji(x, y): the Oseen tensor is symmetric."""
+        x = rng.standard_normal((1, 3))
+        y = rng.standard_normal((1, 3)) + 4.0
+        K = kern.matrix(x, y)
+        assert np.allclose(K, K.T)
+
+    def test_reciprocity(self, kern, rng):
+        x = rng.standard_normal((4, 3))
+        y = rng.standard_normal((5, 3)) + 3.0
+        assert np.allclose(kern.matrix(x, y), kern.matrix(y, x).T)
+
+    def test_viscosity_scaling(self, rng):
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((3, 3)) + 2.0
+        K1 = StokesKernel(mu=1.0).matrix(x, y)
+        K4 = StokesKernel(mu=4.0).matrix(x, y)
+        assert np.allclose(K4, K1 / 4.0)
+
+    def test_coincident_pair_is_zero(self, kern):
+        pts = np.array([[0.1, 0.2, 0.3]])
+        assert np.all(kern.matrix(pts, pts) == 0.0)
+
+
+class TestPDE:
+    def test_incompressibility(self, kern):
+        """div_x u = 0 for the flow of a point force (FD check)."""
+        y = np.zeros((1, 3))
+        force = np.array([0.3, -1.0, 0.7])
+        x0 = np.array([0.9, 0.5, -0.4])
+        h = 1e-5
+
+        def u(p):
+            return kern.matrix(p.reshape(1, 3), y) @ force
+
+        div = sum(
+            (u(x0 + h * e)[i] - u(x0 - h * e)[i]) / (2 * h)
+            for i, e in enumerate(np.eye(3))
+        )
+        assert abs(div) < 1e-6
+
+    def test_momentum_balance(self, kern):
+        """mu Delta u = grad p with p = r.f/(4 pi r^3) (FD check)."""
+        y = np.zeros((1, 3))
+        force = np.array([1.0, 0.0, 0.0])
+        x0 = np.array([0.6, 0.3, 0.2])
+        h = 2e-4
+
+        def u(p):
+            return kern.matrix(p.reshape(1, 3), y) @ force
+
+        def pressure(p):
+            r = np.linalg.norm(p)
+            return p @ force / (4.0 * np.pi * r**3)
+
+        lap_u = sum(
+            u(x0 + h * e) + u(x0 - h * e) - 2 * u(x0) for e in np.eye(3)
+        ) / h**2
+        grad_p = np.array(
+            [
+                (pressure(x0 + h * e) - pressure(x0 - h * e)) / (2 * h)
+                for e in np.eye(3)
+            ]
+        )
+        assert np.allclose(lap_u, grad_p, atol=1e-4)
+
+
+class TestHomogeneity:
+    def test_declared_degree_matches(self, kern, rng):
+        x = rng.standard_normal((3, 3))
+        y = rng.standard_normal((4, 3)) + 2.0
+        a = 2.3
+        assert np.allclose(
+            kern.matrix(a * x, a * y), a**kern.homogeneity * kern.matrix(x, y)
+        )
+
+
+class TestInterface:
+    def test_dofs(self, kern):
+        assert kern.source_dof == 3
+        assert kern.target_dof == 3
+
+    def test_matrix_shape(self, kern, rng):
+        K = kern.matrix(rng.standard_normal((4, 3)), rng.standard_normal((7, 3)))
+        assert K.shape == (12, 21)
+
+    def test_apply_matches_matrix(self, kern, rng):
+        x = rng.standard_normal((6, 3))
+        y = rng.standard_normal((5, 3))
+        phi = rng.standard_normal((5, 3))
+        u = kern.apply(x, y, phi, block=2)
+        assert np.allclose(u.ravel(), kern.matrix(x, y) @ phi.ravel())
+
+    def test_point_major_ordering(self, kern, rng):
+        """Row t*3+i is component i of target t."""
+        x = rng.standard_normal((2, 3))
+        y = rng.standard_normal((1, 3)) + 5.0
+        K = kern.matrix(x, y)
+        K0 = kern.matrix(x[:1], y)
+        K1 = kern.matrix(x[1:], y)
+        assert np.allclose(K[:3], K0)
+        assert np.allclose(K[3:], K1)
+
+    def test_rejects_nonpositive_viscosity(self):
+        with pytest.raises(ValueError):
+            StokesKernel(mu=0.0)

@@ -1,0 +1,90 @@
+"""Restarted GMRES tests."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import gmres
+
+
+def _mv(A):
+    return lambda x: A @ x
+
+
+class TestConvergence:
+    def test_identity(self, rng):
+        b = rng.standard_normal(10)
+        res = gmres(lambda x: x, b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(res.x, b)
+        assert res.iterations <= 2
+
+    def test_spd_system(self, rng):
+        A = rng.standard_normal((20, 20))
+        A = A @ A.T + 20 * np.eye(20)
+        b = rng.standard_normal(20)
+        res = gmres(_mv(A), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-7)
+
+    def test_nonsymmetric_system(self, rng):
+        A = rng.standard_normal((15, 15)) + 15 * np.eye(15)
+        b = rng.standard_normal(15)
+        res = gmres(_mv(A), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-7)
+
+    def test_exact_in_n_iterations(self, rng):
+        """Full GMRES converges in at most n steps."""
+        n = 12
+        A = rng.standard_normal((n, n)) + n * np.eye(n)
+        res = gmres(_mv(A), rng.standard_normal(n), tol=1e-12, restart=n)
+        assert res.converged
+        assert res.iterations <= n
+
+    def test_restart_still_converges(self, rng):
+        A = rng.standard_normal((30, 30))
+        A = A @ A.T + 30 * np.eye(30)
+        b = rng.standard_normal(30)
+        res = gmres(_mv(A), b, tol=1e-8, restart=5, maxiter=300)
+        assert res.converged
+
+    def test_initial_guess(self, rng):
+        A = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        b = rng.standard_normal(10)
+        x_exact = np.linalg.solve(A, b)
+        res = gmres(_mv(A), b, x0=x_exact, tol=1e-10)
+        assert res.converged
+        assert res.iterations == 0
+
+
+class TestEdgeCases:
+    def test_zero_rhs(self):
+        res = gmres(lambda x: 2 * x, np.zeros(5))
+        assert res.converged
+        assert np.all(res.x == 0.0)
+
+    def test_maxiter_reports_failure(self, rng):
+        # a rotation-like, badly non-normal system with tiny budget
+        A = np.triu(np.ones((40, 40))) - 0.99 * np.eye(40)
+        res = gmres(_mv(A), rng.standard_normal(40), tol=1e-14, maxiter=3)
+        assert not res.converged
+        assert res.iterations <= 3
+        assert res.residual > 0
+
+    def test_history_tracks_residuals(self, rng):
+        A = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        res = gmres(_mv(A), rng.standard_normal(10), tol=1e-10)
+        assert len(res.history) == res.iterations
+        # within one restart cycle the residual never increases
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(res.history, res.history[1:]))
+
+    def test_matrix_free_counts_applications(self, rng):
+        calls = []
+        A = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+
+        def matvec(x):
+            calls.append(1)
+            return A @ x
+
+        gmres(matvec, rng.standard_normal(8), tol=1e-10)
+        assert len(calls) >= 1

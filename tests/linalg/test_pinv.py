@@ -1,0 +1,63 @@
+"""Regularised pseudo-inverse tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import regularized_pinv
+
+
+class TestWellConditioned:
+    def test_inverts_square_matrix(self, rng):
+        A = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        assert np.allclose(regularized_pinv(A) @ A, np.eye(6), atol=1e-10)
+
+    def test_least_squares_property(self, rng):
+        A = rng.standard_normal((10, 4))
+        b = rng.standard_normal(10)
+        x = regularized_pinv(A) @ b
+        # residual orthogonal to range(A)
+        assert np.allclose(A.T @ (A @ x - b), 0.0, atol=1e-10)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_moore_penrose_conditions(self, m, n):
+        A = np.random.default_rng(m * 10 + n).standard_normal((m, n))
+        P = regularized_pinv(A, rcond=1e-13)
+        assert np.allclose(A @ P @ A, A, atol=1e-8)
+        assert np.allclose(P @ A @ P, P, atol=1e-8)
+
+
+class TestRegularisation:
+    def test_truncates_small_singular_values(self):
+        # rank-1 matrix plus tiny noise: pinv without truncation explodes
+        u = np.array([1.0, 0.0])
+        A = np.outer(u, u) + 1e-14 * np.array([[0, 1], [1, 0]])
+        P = regularized_pinv(A, rcond=1e-8)
+        assert np.abs(P).max() < 10.0  # the 1e14 mode was cut
+
+    def test_zero_matrix(self):
+        P = regularized_pinv(np.zeros((3, 4)))
+        assert P.shape == (4, 3)
+        assert np.all(P == 0.0)
+
+    def test_cutoff_monotone(self, rng):
+        """Stronger truncation never increases the inverse's norm."""
+        A = rng.standard_normal((8, 8))
+        A = A @ np.diag(10.0 ** -np.arange(8)) @ rng.standard_normal((8, 8))
+        norms = [
+            np.linalg.norm(regularized_pinv(A, rcond=rc))
+            for rc in (1e-14, 1e-8, 1e-4, 1e-1)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(norms, norms[1:]))
+
+
+class TestValidation:
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            regularized_pinv(np.zeros(5))
+
+    def test_rejects_negative_rcond(self):
+        with pytest.raises(ValueError):
+            regularized_pinv(np.eye(2), rcond=-1.0)

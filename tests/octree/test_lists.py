@@ -1,0 +1,128 @@
+"""Interaction list invariants, including the completeness theorem.
+
+The decisive test is *completeness*: for every (source leaf, target leaf)
+pair, the interaction between their particles must be accounted for by
+exactly one mechanism — U (direct), V (M2L at some ancestor pair), W
+(source ancestor's equivalent density at the target leaf) or X (source
+leaf onto some target ancestor's check surface).  Double counting or
+omission would silently corrupt potentials.
+"""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_lists, build_tree
+from repro.octree.lists import verify_lists
+
+from tests.conftest import clustered_cloud, uniform_cloud
+
+
+def _ancestors_or_self(tree, i):
+    out = [i]
+    while tree.boxes[out[-1]].parent >= 0:
+        out.append(tree.boxes[out[-1]].parent)
+    return out
+
+
+def _coverage_count(tree, lists, src_leaf, trg_leaf):
+    """How many mechanisms account for the (src_leaf, trg_leaf) pair."""
+    count = 0
+    src_anc = _ancestors_or_self(tree, src_leaf)
+    trg_anc = _ancestors_or_self(tree, trg_leaf)
+    # U: direct near interaction
+    if src_leaf in set(lists.U[trg_leaf]):
+        count += 1
+    # V: M2L between some ancestor pair
+    for b in trg_anc:
+        vset = set(lists.V[b])
+        for a in src_anc:
+            if a in vset:
+                count += 1
+    # W: a source ancestor's upward density evaluated at the target leaf
+    wset = set(lists.W[trg_leaf])
+    for a in src_anc:
+        if a in wset:
+            count += 1
+    # X: the source leaf's points onto a target ancestor's check surface
+    for b in trg_anc:
+        if src_leaf in set(lists.X[b]):
+            count += 1
+    return count
+
+
+@pytest.mark.parametrize("cloud", ["uniform", "clustered"])
+def test_completeness(rng, cloud):
+    pts = (
+        uniform_cloud(rng, 400) if cloud == "uniform" else clustered_cloud(rng, 400)
+    )
+    tree = build_tree(pts, max_points=15)
+    lists = build_lists(tree)
+    leaves = tree.leaves()
+    for t in leaves:
+        for s in leaves:
+            assert _coverage_count(tree, lists, s, t) == 1, (
+                f"pair (src={s}, trg={t}) covered "
+                f"{_coverage_count(tree, lists, s, t)} times"
+            )
+
+
+@pytest.mark.parametrize("cloud", ["uniform", "clustered"])
+def test_structural_invariants(rng, cloud):
+    pts = (
+        uniform_cloud(rng, 600) if cloud == "uniform" else clustered_cloud(rng, 600)
+    )
+    tree = build_tree(pts, max_points=20)
+    lists = build_lists(tree)
+    verify_lists(tree, lists)
+
+
+def test_v_list_size_bound(rng):
+    """At most 189 V-list entries (6^3 - 3^3) per box."""
+    tree = build_tree(uniform_cloud(rng, 2000), max_points=20)
+    lists = build_lists(tree)
+    assert max((len(v) for v in lists.V), default=0) <= 189
+
+
+def test_uniform_tree_has_no_w_or_x(rng):
+    """A perfectly level-balanced tree has empty W and X lists."""
+    # regular grid of points -> uniform refinement
+    g = np.linspace(0.05, 0.95, 8)
+    pts = np.array(np.meshgrid(g, g, g)).reshape(3, -1).T
+    tree = build_tree(pts, max_points=10)
+    levels = {tree.boxes[i].level for i in tree.leaves()}
+    if len(levels) == 1:  # sanity: uniform refinement happened
+        lists = build_lists(tree)
+        assert all(len(w) == 0 for w in lists.W)
+        assert all(len(x) == 0 for x in lists.X)
+
+
+def test_clustered_tree_has_w_and_x(rng):
+    tree = build_tree(clustered_cloud(rng, 800), max_points=15)
+    lists = build_lists(tree)
+    counts = lists.counts()
+    assert counts["W"] > 0
+    assert counts["X"] > 0
+    assert counts["W"] == counts["X"]  # duality pairs
+
+
+def test_u_symmetry(rng):
+    tree = build_tree(clustered_cloud(rng, 500), max_points=15)
+    lists = build_lists(tree)
+    for i in tree.leaves():
+        for j in lists.U[i]:
+            assert i in set(lists.U[j]), f"U not symmetric for ({i}, {j})"
+
+
+def test_single_box_tree(rng):
+    tree = build_tree(uniform_cloud(rng, 5), max_points=60)
+    lists = build_lists(tree)
+    assert list(lists.U[0]) == [0]
+    assert len(lists.V[0]) == len(lists.W[0]) == len(lists.X[0]) == 0
+
+
+def test_counts_reports_totals(rng):
+    tree = build_tree(uniform_cloud(rng, 300), max_points=20)
+    lists = build_lists(tree)
+    c = lists.counts()
+    assert c["U"] == sum(len(u) for u in lists.U)
+    assert c["V"] == sum(len(v) for v in lists.V)

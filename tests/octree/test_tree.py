@@ -1,0 +1,191 @@
+"""Adaptive octree construction invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import build_tree
+from repro.octree.box import box_contains, boxes_adjacent
+
+from tests.conftest import clustered_cloud, uniform_cloud
+
+
+def _check_invariants(tree):
+    """Structural invariants every tree must satisfy."""
+    # root covers everything
+    root = tree.boxes[0]
+    assert root.src_start == 0 and root.src_stop == tree.sources.shape[0]
+    for b in tree.boxes:
+        # ranges are well-formed
+        assert b.src_start <= b.src_stop
+        assert b.trg_start <= b.trg_stop
+        if b.parent >= 0:
+            p = tree.boxes[b.parent]
+            assert p.level == b.level - 1
+            assert box_contains(p, b)
+        if not b.is_leaf:
+            # children tile the parent's point ranges
+            kids = [tree.boxes[c] for c in b.children]
+            assert sum(k.nsrc for k in kids) == b.nsrc
+            assert sum(k.ntrg for k in kids) == b.ntrg
+            for k in kids:
+                assert k.parent == b.index
+        # index lookup agrees
+        assert tree.index[(b.level, b.anchor)] == b.index
+    # every source index appears exactly once across leaves
+    leaf_src = np.concatenate(
+        [tree.src_indices(i) for i in tree.leaves()]
+    ) if tree.leaves() else np.empty(0)
+    assert sorted(leaf_src.tolist()) == list(range(tree.sources.shape[0]))
+    # points geometrically inside their leaf
+    for i in tree.leaves():
+        b = tree.boxes[i]
+        side = tree.root_side / (1 << b.level)
+        lo = tree.root_corner + np.array(b.anchor) * side
+        pts = tree.src_points(i)
+        if pts.size:
+            assert np.all(pts >= lo - 1e-9)
+            assert np.all(pts <= lo + side + 1e-9)
+
+
+class TestConstruction:
+    def test_uniform_invariants(self, rng):
+        tree = build_tree(uniform_cloud(rng, 800), max_points=30)
+        _check_invariants(tree)
+
+    def test_clustered_invariants(self, rng):
+        tree = build_tree(clustered_cloud(rng, 800), max_points=25)
+        _check_invariants(tree)
+        assert tree.depth >= 3  # clustering forces deep refinement
+
+    def test_leaf_capacity(self, rng):
+        tree = build_tree(uniform_cloud(rng, 1000), max_points=40)
+        for i in tree.leaves():
+            b = tree.boxes[i]
+            assert b.nsrc <= 40
+
+    def test_single_box_when_few_points(self, rng):
+        tree = build_tree(uniform_cloud(rng, 10), max_points=60)
+        assert tree.nboxes == 1
+        assert tree.boxes[0].is_leaf
+
+    def test_max_depth_respected(self, rng):
+        pts = np.zeros((100, 3))
+        pts += rng.standard_normal((100, 3)) * 1e-12  # pathological cluster
+        tree = build_tree(pts, max_points=10, max_depth=5)
+        assert tree.depth <= 5
+
+    def test_separate_targets(self, rng):
+        src = uniform_cloud(rng, 300)
+        trg = uniform_cloud(rng, 200) * 0.5
+        tree = build_tree(src, trg, max_points=20)
+        _check_invariants(tree)
+        assert not tree.shared_points
+        trg_leaf = np.concatenate([tree.trg_indices(i) for i in tree.leaves()])
+        assert sorted(trg_leaf.tolist()) == list(range(200))
+
+    def test_deterministic(self, rng):
+        pts = uniform_cloud(rng, 500)
+        t1 = build_tree(pts, max_points=30)
+        t2 = build_tree(pts, max_points=30)
+        assert t1.nboxes == t2.nboxes
+        assert [b.anchor for b in t1.boxes] == [b.anchor for b in t2.boxes]
+
+    def test_explicit_root(self, rng):
+        pts = rng.random((100, 3)) * 0.5 + 0.25
+        tree = build_tree(pts, max_points=10, root=(np.zeros(3), 1.0))
+        assert tree.root_side == 1.0
+        assert np.allclose(tree.root_corner, 0.0)
+
+    def test_levels_ordering(self, rng):
+        tree = build_tree(uniform_cloud(rng, 600), max_points=20)
+        for level, ids in enumerate(tree.levels):
+            for i in ids:
+                assert tree.boxes[i].level == level
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=20, deadline=None)
+    def test_any_point_count(self, n):
+        pts = np.random.default_rng(n).random((n, 3))
+        tree = build_tree(pts, max_points=17)
+        _check_invariants(tree)
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((5, 3)), max_points=0)
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((5, 3)), max_depth=0)
+
+
+class TestColleagues:
+    def test_against_brute_force(self, rng):
+        tree = build_tree(uniform_cloud(rng, 600), max_points=20)
+        for b in tree.boxes:
+            expected = {
+                o.index
+                for o in tree.boxes
+                if o.level == b.level
+                and o.index != b.index
+                and all(abs(o.anchor[d] - b.anchor[d]) <= 1 for d in range(3))
+            }
+            assert set(tree.colleagues(b.index)) == expected
+
+    def test_include_self(self, rng):
+        tree = build_tree(uniform_cloud(rng, 200), max_points=20)
+        i = tree.leaves()[0]
+        assert i in tree.colleagues(i, include_self=True)
+        assert i not in tree.colleagues(i)
+
+    def test_colleagues_are_adjacent(self, rng):
+        tree = build_tree(clustered_cloud(rng, 500), max_points=20)
+        for b in tree.boxes:
+            for c in tree.colleagues(b.index):
+                assert boxes_adjacent(tree.boxes[c], b)
+
+
+class TestGeometry:
+    def test_center_and_half_width(self, rng):
+        tree = build_tree(uniform_cloud(rng, 300), max_points=30)
+        root = tree.boxes[0]
+        assert np.allclose(
+            tree.center(0), tree.root_corner + tree.root_side / 2
+        )
+        assert tree.half_width(0) == pytest.approx(tree.root_side / 2)
+        for b in tree.boxes:
+            if b.parent >= 0:
+                assert tree.half_width(b.index) == pytest.approx(
+                    tree.half_width(b.parent) / 2
+                )
+        assert root.is_leaf or len(root.children) >= 1
+
+    def test_statistics(self, rng):
+        tree = build_tree(uniform_cloud(rng, 400), max_points=25)
+        st_ = tree.statistics()
+        assert st_["nboxes"] == tree.nboxes
+        assert st_["nleaves"] == len(tree.leaves())
+        assert st_["max_leaf_src"] <= 25
+
+
+class TestAdjacency:
+    def test_self_adjacent(self, rng):
+        tree = build_tree(uniform_cloud(rng, 100), max_points=20)
+        b = tree.boxes[0]
+        assert boxes_adjacent(b, b)
+
+    def test_parent_child_adjacent(self, rng):
+        tree = build_tree(uniform_cloud(rng, 300), max_points=20)
+        for b in tree.boxes:
+            if b.parent >= 0:
+                assert boxes_adjacent(tree.boxes[b.parent], b)
+
+    def test_cross_level_adjacency(self):
+        from repro.octree.box import Box
+
+        big = Box(0, 1, (0, 0, 0), -1, 0, 0, 0, 0)
+        small_touching = Box(1, 2, (2, 0, 0), -1, 0, 0, 0, 0)
+        small_far = Box(2, 2, (3, 3, 3), -1, 0, 0, 0, 0)
+        assert boxes_adjacent(big, small_touching)
+        assert not boxes_adjacent(big, small_far)

@@ -1,0 +1,75 @@
+"""Octree edge cases beyond the main construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_lists, build_tree
+from repro.octree.lists import verify_lists
+
+
+class TestDegenerateInputs:
+    def test_single_point(self):
+        tree = build_tree(np.array([[0.5, 0.5, 0.5]]), max_points=10)
+        assert tree.nboxes == 1
+        lists = build_lists(tree)
+        verify_lists(tree, lists)
+
+    def test_two_coincident_points(self):
+        pts = np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]])
+        tree = build_tree(pts, max_points=1, max_depth=4)
+        # coincident points cannot be separated: the depth cap applies
+        assert tree.depth <= 4
+        leaf_src = np.concatenate([tree.src_indices(i) for i in tree.leaves()])
+        assert sorted(leaf_src.tolist()) == [0, 1]
+
+    def test_collinear_points(self, rng):
+        t = rng.random(200)
+        pts = np.stack([t, 0.5 * np.ones_like(t), 0.5 * np.ones_like(t)], axis=1)
+        tree = build_tree(pts, max_points=20)
+        lists = build_lists(tree)
+        verify_lists(tree, lists)
+        # a line along x refines essentially one-dimensionally: children
+        # per box never exceed 2 occupied octants beyond the root level
+        for b in tree.boxes:
+            if not b.is_leaf and b.level >= 1:
+                assert len(b.children) <= 2
+
+    def test_extreme_aspect_cloud(self, rng):
+        pts = rng.random((300, 3)) * np.array([100.0, 1.0, 0.01])
+        tree = build_tree(pts, max_points=25)
+        # bounding cube side must cover the largest extent
+        assert tree.root_side >= 99.0
+        leaf_src = np.concatenate([tree.src_indices(i) for i in tree.leaves()])
+        assert len(leaf_src) == 300
+
+    def test_zero_sources_with_targets(self, rng):
+        src = rng.random((50, 3))
+        trg = rng.random((0, 3))
+        tree = build_tree(src, trg, max_points=10)
+        assert tree.boxes[0].ntrg == 0
+        for i in tree.leaves():
+            assert tree.trg_points(i).shape == (0, 3)
+
+    def test_duplicated_cloud(self, rng):
+        """Many exact duplicates: sort stability and range math hold."""
+        base = rng.random((40, 3))
+        pts = np.repeat(base, 5, axis=0)
+        tree = build_tree(pts, max_points=8, max_depth=6)
+        leaf_src = np.concatenate([tree.src_indices(i) for i in tree.leaves()])
+        assert sorted(leaf_src.tolist()) == list(range(200))
+
+
+class TestListsAfterEdgeCases:
+    def test_fmm_on_line_distribution(self, rng):
+        from repro.core.fmm import FMMOptions, KIFMM
+        from repro.kernels import LaplaceKernel
+        from repro.kernels.direct import direct_evaluate, relative_error
+
+        t = rng.random(400)
+        pts = np.stack([t, 0.3 + 0.01 * rng.random(400), 0.5 * np.ones(400)],
+                       axis=1)
+        phi = rng.standard_normal((400, 1))
+        fmm = KIFMM(LaplaceKernel(), FMMOptions(p=6, max_points=20)).setup(pts)
+        u = fmm.apply(phi)
+        exact = direct_evaluate(LaplaceKernel(), pts, pts, phi)
+        assert relative_error(u, exact) < 1e-3

@@ -1,0 +1,57 @@
+"""Owner assignment tests (the Section 3.2 three-step procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.owners import assign_owners, gather_contributors
+from repro.parallel.simmpi import PerRank, run_spmd
+
+
+class TestAssignOwners:
+    def test_sole_contributor_owns(self):
+        contrib = np.array(
+            [[True, False, True], [False, True, True]]
+        )  # 2 ranks, 3 boxes
+        owner = assign_owners(contrib)
+        assert owner[0] == 0
+        assert owner[1] == 1
+        assert owner[2] in (0, 1)
+
+    def test_owner_is_a_contributor(self, rng):
+        contrib = rng.random((4, 50)) < 0.4
+        contrib[0, contrib.sum(axis=0) == 0] = True  # no orphan boxes
+        owner = assign_owners(contrib)
+        for b in range(50):
+            assert contrib[owner[b], b]
+
+    def test_deterministic(self, rng):
+        contrib = rng.random((3, 30)) < 0.5
+        contrib[0] = True
+        assert np.array_equal(assign_owners(contrib), assign_owners(contrib))
+
+    def test_balances_load(self):
+        """All-shared boxes spread across contributors."""
+        contrib = np.ones((4, 100), dtype=bool)
+        owner = assign_owners(contrib)
+        counts = np.bincount(owner, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_orphan_box_falls_to_rank_zero(self):
+        contrib = np.zeros((2, 1), dtype=bool)
+        assert assign_owners(contrib)[0] == 0
+
+
+class TestGatherContributors:
+    def test_matrices_identical_on_all_ranks(self):
+        def main(comm):
+            local_src = np.array([comm.rank == 0, True, False])
+            local_trg = np.array([True, comm.rank == 1, False])
+            return gather_contributors(comm, local_src, local_trg)
+
+        results = run_spmd(2, main)
+        src0, trg0 = results[0]
+        src1, trg1 = results[1]
+        assert np.array_equal(src0, src1)
+        assert np.array_equal(trg0, trg1)
+        assert src0[0, 0] and not src0[1, 0]
+        assert trg0[0, 0] and trg0[1, 0]

@@ -1,0 +1,74 @@
+"""Morton-curve partitioning tests."""
+
+import numpy as np
+
+from repro.geometry import sphere_grid_patches
+from repro.parallel.partition import (
+    morton_order_patches,
+    partition_patches,
+    partition_points,
+    points_for_ranks,
+)
+
+
+class TestPatchPartition:
+    def test_all_patches_assigned_once(self):
+        patches = sphere_grid_patches(4096, grid=4)
+        parts = partition_patches(patches, 5)
+        seen = np.concatenate(parts)
+        assert sorted(seen.tolist()) == list(range(len(patches)))
+
+    def test_weight_balance(self):
+        patches = sphere_grid_patches(8192, grid=4)
+        parts = partition_patches(patches, 8)
+        weights = [sum(patches[i].weight for i in p) for p in parts]
+        total = sum(weights)
+        assert max(weights) < 2 * total / 8
+
+    def test_single_rank_gets_everything(self):
+        patches = sphere_grid_patches(512, grid=2)
+        parts = partition_patches(patches, 1)
+        assert len(parts[0]) == len(patches)
+
+    def test_morton_order_deterministic(self):
+        patches = sphere_grid_patches(1024, grid=4)
+        o1 = morton_order_patches(patches)
+        o2 = morton_order_patches(patches)
+        assert np.array_equal(o1, o2)
+
+    def test_morton_order_is_spatially_local(self):
+        """Consecutive patches along the curve are near each other."""
+        patches = sphere_grid_patches(4096, grid=8)
+        order = morton_order_patches(patches)
+        centroids = np.array([patches[i].centroid for i in order])
+        jumps = np.linalg.norm(np.diff(centroids, axis=0), axis=1)
+        # median hop is one grid cell (0.25), not a random jump (~1)
+        assert np.median(jumps) < 0.5
+
+
+class TestPointPartition:
+    def test_disjoint_cover(self, rng):
+        pts = rng.random((500, 3))
+        parts = partition_points(pts, 7)
+        seen = np.concatenate(parts)
+        assert sorted(seen.tolist()) == list(range(500))
+
+    def test_balanced_counts(self, rng):
+        parts = partition_points(rng.random((1000, 3)), 8)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input(self):
+        parts = partition_points(np.empty((0, 3)), 3)
+        assert all(len(p) == 0 for p in parts)
+
+
+class TestPointsForRanks:
+    def test_index_mapping_consistent(self):
+        patches = sphere_grid_patches(2048, grid=4)
+        allpts = np.vstack([p.points for p in patches])
+        pts, idx = points_for_ranks(patches, 4)
+        for r in range(4):
+            assert np.allclose(pts[r], allpts[idx[r]])
+        combined = np.concatenate(idx)
+        assert sorted(combined.tolist()) == list(range(allpts.shape[0]))

@@ -1,0 +1,73 @@
+"""Unit tests of the parallel evaluator's building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.core.precompute import OperatorCache
+from repro.kernels import LaplaceKernel
+from repro.octree import build_tree
+from repro.parallel.pfmm import _octant, _upward_local
+
+from tests.conftest import clustered_cloud
+
+
+class TestOctant:
+    def test_all_children_distinct(self, rng):
+        tree = build_tree(rng.uniform(-1, 1, (200, 3)), max_points=20)
+        for b in tree.boxes:
+            if b.is_leaf:
+                continue
+            octants = {_octant(tree.boxes[c]) for c in b.children}
+            assert len(octants) == len(b.children)
+            assert all(0 <= o < 8 for o in octants)
+
+    def test_matches_anchor_parity(self, rng):
+        tree = build_tree(rng.uniform(-1, 1, (200, 3)), max_points=20)
+        for b in tree.boxes:
+            if b.parent < 0:
+                continue
+            o = _octant(b)
+            assert (o & 1) == (b.anchor[0] & 1)
+            assert ((o >> 1) & 1) == (b.anchor[1] & 1)
+            assert ((o >> 2) & 1) == (b.anchor[2] & 1)
+
+
+class TestUpwardLocal:
+    def test_full_data_matches_sequential_densities(self, rng):
+        """One rank holding everything: partial densities are the global
+        equivalent densities the sequential evaluator would build."""
+        kernel = LaplaceKernel()
+        pts = clustered_cloud(rng, 400)
+        phi = rng.standard_normal((400, 1))
+        tree = build_tree(pts, max_points=25)
+        cache = OperatorCache(kernel, 4, tree.root_side)
+        ue, has_ue = _upward_local(tree, kernel, cache, phi)
+        # compare a leaf's density against a direct S2M computation
+        leaf = tree.leaves()[0]
+        b = tree.boxes[leaf]
+        K = kernel.matrix(
+            cache.up_check_points(tree.center(leaf), b.level),
+            tree.src_points(leaf),
+        )
+        expected = cache.uc2ue(b.level) @ (
+            K @ phi[tree.src_indices(leaf)].reshape(-1)
+        )
+        assert np.allclose(ue[leaf], expected)
+        # every box with sources has a density
+        for b in tree.boxes:
+            assert has_ue[b.index] == (b.nsrc > 0)
+
+    def test_linearity_of_partials(self, rng):
+        """Partial densities are linear in the local sources — the
+        property the owner-side summation relies on."""
+        kernel = LaplaceKernel()
+        pts = clustered_cloud(rng, 300)
+        tree = build_tree(pts, max_points=25)
+        cache = OperatorCache(kernel, 4, tree.root_side)
+        p1 = rng.standard_normal((300, 1))
+        p2 = rng.standard_normal((300, 1))
+        ue1, _ = _upward_local(tree, kernel, cache, p1)
+        ue2, _ = _upward_local(tree, kernel, cache, p2)
+        ue12, _ = _upward_local(tree, kernel, cache, p1 + p2)
+        assert np.allclose(ue12, ue1 + ue2, atol=1e-12)

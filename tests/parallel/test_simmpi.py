@@ -1,0 +1,137 @@
+"""Simulated MPI runtime tests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.simmpi import PerRank, run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(5))
+                return None
+            return comm.recv(0)
+
+        results = run_spmd(2, main)
+        assert np.array_equal(results[1], np.arange(5))
+
+    def test_tags_demultiplex(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "beta", tag="b")
+                comm.send(1, "alpha", tag="a")
+                return None
+            # receive in the opposite order of sending
+            return comm.recv(0, tag="a"), comm.recv(0, tag="b")
+
+        results = run_spmd(2, main)
+        assert results[1] == ("alpha", "beta")
+
+    def test_many_messages_preserve_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(1, i)
+                return None
+            return [comm.recv(0) for _ in range(50)]
+
+        assert run_spmd(2, main)[1] == list(range(50))
+
+    def test_invalid_rank_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(5, "x")
+
+        with pytest.raises(ValueError):
+            run_spmd(2, main)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("op,expected", [("sum", 6), ("max", 3), ("min", 0)])
+    def test_allreduce_ops(self, op, expected):
+        def main(comm):
+            return comm.allreduce(np.array([comm.rank]), op=op)
+
+        results = run_spmd(4, main)
+        for r in results:
+            assert r[0] == expected
+
+    def test_allreduce_array_shape(self):
+        def main(comm):
+            return comm.allreduce(np.full((2, 3), comm.rank + 1.0))
+
+        results = run_spmd(3, main)
+        assert np.all(results[0] == 6.0)
+        assert results[0].shape == (2, 3)
+
+    def test_repeated_collectives_generation_safe(self):
+        def main(comm):
+            out = []
+            for i in range(20):
+                out.append(int(comm.allreduce(np.array([comm.rank + i]))[0]))
+            return out
+
+        results = run_spmd(3, main)
+        expected = [3 * i + 3 for i in range(20)]
+        assert results[0] == expected
+        assert results[1] == expected
+
+    def test_allgather(self):
+        def main(comm):
+            return comm.allgather(comm.rank * 10)
+
+        results = run_spmd(4, main)
+        assert results[2] == [0, 10, 20, 30]
+
+    def test_unknown_op_raises(self):
+        def main(comm):
+            comm.allreduce(np.zeros(1), op="median")
+
+        with pytest.raises(ValueError):
+            run_spmd(2, main)
+
+
+class TestRunner:
+    def test_single_rank(self):
+        assert run_spmd(1, lambda comm: comm.size) == [1]
+
+    def test_per_rank_arguments(self):
+        def main(comm, mine, shared):
+            return mine + shared
+
+        results = run_spmd(3, main, PerRank([1, 2, 3]), 10)
+        assert results == [11, 12, 13]
+
+    def test_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 died")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            run_spmd(3, main)
+
+    def test_rejects_bad_nranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+
+class TestStats:
+    def test_traffic_accounting(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(100), phase="ghost")
+            else:
+                comm.recv(0)
+            comm.allreduce(np.zeros(10))
+            return comm.stats
+
+        stats = run_spmd(2, main)
+        assert stats[0].messages_sent == 1
+        assert stats[0].bytes_sent == 800
+        assert stats[0].by_phase["ghost"] == 800
+        assert stats[1].messages_sent == 0
+        assert stats[0].allreduce_calls == 1
+        assert stats[0].allreduce_bytes == 80

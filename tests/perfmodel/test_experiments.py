@@ -1,0 +1,47 @@
+"""Experiment-driver and report-formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import LaplaceKernel
+from repro.perfmodel.experiments import (
+    ScalingRow,
+    TABLE_HEADERS,
+    fixed_size_scaling,
+)
+from repro.util.tables import format_table
+
+
+class TestScalingRow:
+    def test_from_report_roundtrip(self, rng):
+        reports = fixed_size_scaling(
+            LaplaceKernel(), rng.uniform(-1, 1, (1500, 3)), [1, 4],
+            p=4, max_points=40,
+        )
+        row = ScalingRow.from_report(reports[0])
+        assert row.P == 1
+        assert row.total == pytest.approx(reports[0].total)
+        t = row.as_tuple()
+        assert len(t) == len(TABLE_HEADERS)
+
+    def test_rows_render(self, rng):
+        reports = fixed_size_scaling(
+            LaplaceKernel(), rng.uniform(-1, 1, (1000, 3)), [1],
+            p=4, max_points=40,
+        )
+        rows = [ScalingRow.from_report(r).as_tuple() for r in reports]
+        text = format_table(TABLE_HEADERS, rows, title="t")
+        assert "Gen/Comm" in text
+        assert len(text.splitlines()) == 4
+
+    def test_monotone_p_sweep_reuses_tree(self, rng):
+        """The fixed-size driver must produce decreasing totals."""
+        reports = fixed_size_scaling(
+            LaplaceKernel(), rng.uniform(-1, 1, (2000, 3)),
+            [1, 2, 4, 8], p=4, max_points=40,
+        )
+        totals = [r.total for r in reports]
+        assert totals == sorted(totals, reverse=True)
+        # all reports share the same flop volume at P=1 scale (no
+        # redundancy) vs small growth at P=8
+        assert reports[3].total_flops >= reports[0].total_flops

@@ -1,0 +1,75 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--kernel", "warp", "--n", "10"])
+
+
+class TestEvaluate:
+    def test_basic(self, capsys):
+        rc = main(["evaluate", "--n", "500", "--p", "3", "--s", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel=laplace" in out
+        assert "tree:" in out
+
+    def test_check_reports_error(self, capsys):
+        rc = main(
+            ["evaluate", "--n", "400", "--p", "4", "--check",
+             "--samples", "50"]
+        )
+        assert rc == 0
+        assert "relative error" in capsys.readouterr().out
+
+    def test_stokes_corners(self, capsys):
+        rc = main(
+            ["evaluate", "--kernel", "stokes", "--workload", "corners",
+             "--n", "300", "--p", "3"]
+        )
+        assert rc == 0
+        assert "kernel=stokes" in capsys.readouterr().out
+
+
+class TestAccuracy:
+    def test_sweep(self, capsys):
+        rc = main(
+            ["accuracy", "--n", "400", "--orders", "2,4", "--p", "4",
+             "--samples", "50"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy sweep" in out
+        assert out.count("\n") >= 4
+
+    def test_bad_orders(self):
+        with pytest.raises(SystemExit):
+            main(["accuracy", "--n", "100", "--orders", "2,x"])
+
+
+class TestScaling:
+    def test_fixed(self, capsys):
+        rc = main(
+            ["scaling", "--mode", "fixed", "--n", "100000",
+             "--model-n", "5000", "--procs", "1,4", "--p", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fixed-size scaling" in out
+
+    def test_isogranular(self, capsys):
+        rc = main(
+            ["scaling", "--mode", "isogranular", "--grain", "2000",
+             "--cap", "4000", "--procs", "1,4", "--p", "4"]
+        )
+        assert rc == 0
+        assert "isogranular scaling" in capsys.readouterr().out

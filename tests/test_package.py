@@ -1,0 +1,47 @@
+"""Package-level API surface tests."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_end_to_end_one_liner(self):
+        """The README quickstart, miniaturised."""
+        rng = np.random.default_rng(1)
+        points = rng.random((300, 3))
+        density = rng.random((300, 3))
+        fmm = repro.KIFMM(
+            repro.StokesKernel(mu=1.0),
+            repro.FMMOptions(p=4, max_points=40),
+        )
+        fmm.setup(points)
+        velocity = fmm.apply(density)
+        exact = repro.direct_evaluate(
+            repro.StokesKernel(mu=1.0), points, points, density
+        )
+        rel = np.linalg.norm(velocity - exact) / np.linalg.norm(exact)
+        assert rel < 1e-3
+
+
+class TestPerfmodelRobustness:
+    def test_more_ranks_than_leaves(self, rng):
+        """Idle ranks must not break the simulation (finite ratio)."""
+        from repro.kernels import LaplaceKernel
+        from repro.octree import build_lists, build_tree
+        from repro.perfmodel import TCS1, simulate_run
+
+        tree = build_tree(rng.uniform(-1, 1, (400, 3)), max_points=40)
+        lists = build_lists(tree)
+        r = simulate_run(tree, lists, LaplaceKernel(), 4, 128, TCS1)
+        assert np.isfinite(r.total)
+        assert np.isfinite(r.ratio)
+        assert r.total > 0

@@ -1,0 +1,48 @@
+"""Property-based tests for 2D Morton encoding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twod.quadtree import MAX_DEPTH_2D, anchor_to_key_2d
+
+COORD = st.integers(min_value=0, max_value=(1 << MAX_DEPTH_2D) - 1)
+
+
+@given(COORD, COORD)
+@settings(max_examples=150)
+def test_key_in_range(ix, iy):
+    key = int(anchor_to_key_2d(ix, iy))
+    assert 0 <= key < (1 << (2 * MAX_DEPTH_2D))
+
+
+@given(COORD, COORD, COORD, COORD)
+@settings(max_examples=150)
+def test_injective(ax, ay, bx, by):
+    ka = int(anchor_to_key_2d(ax, ay))
+    kb = int(anchor_to_key_2d(bx, by))
+    if (ax, ay) != (bx, by):
+        assert ka != kb
+    else:
+        assert ka == kb
+
+
+@given(COORD, COORD)
+@settings(max_examples=100)
+def test_bit_interleaving_structure(ix, iy):
+    """Even bits carry x, odd bits carry y."""
+    key = int(anchor_to_key_2d(ix, iy))
+    rx = ry = 0
+    for bit in range(MAX_DEPTH_2D):
+        rx |= ((key >> (2 * bit)) & 1) << bit
+        ry |= ((key >> (2 * bit + 1)) & 1) << bit
+    assert rx == ix
+    assert ry == iy
+
+
+def test_vectorised_matches_scalar(rng):
+    ix = rng.integers(0, 1 << MAX_DEPTH_2D, size=50)
+    iy = rng.integers(0, 1 << MAX_DEPTH_2D, size=50)
+    keys = anchor_to_key_2d(ix, iy)
+    for i in range(50):
+        assert int(keys[i]) == int(anchor_to_key_2d(ix[i], iy[i]))

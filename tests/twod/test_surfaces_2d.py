@@ -1,0 +1,80 @@
+"""2D surface discretisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.twod.surfaces import (
+    INNER_RADIUS_2D,
+    OUTER_RADIUS_2D,
+    n_surface_points_2d,
+    scaled_surface_2d,
+    surface_grid_2d,
+)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("p", [2, 4, 8, 12])
+    def test_node_count(self, p):
+        assert n_surface_points_2d(p) == 4 * p - 4
+        assert surface_grid_2d(p).shape == (4 * p - 4, 2)
+
+    def test_rejects_small_p(self):
+        with pytest.raises(ValueError):
+            n_surface_points_2d(1)
+
+
+class TestGeometry:
+    def test_nodes_on_square_boundary(self):
+        g = surface_grid_2d(6)
+        assert np.isclose(np.abs(g), 1.0).any(axis=1).all()
+
+    def test_scaled_surface(self):
+        c = np.array([2.0, -1.0])
+        pts = scaled_surface_2d(4, c, half_width=0.5, radius=2.0)
+        assert np.abs(pts - c).max() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_surface_2d(4, np.zeros(2), half_width=-1.0, radius=1.0)
+
+    def test_constraints(self):
+        # the same Section 2.1 placement constraints as 3D
+        assert 1.0 < INNER_RADIUS_2D < OUTER_RADIUS_2D < 3.0
+        assert 0.5 + 0.5 * INNER_RADIUS_2D < INNER_RADIUS_2D
+        assert INNER_RADIUS_2D + INNER_RADIUS_2D < 4.0
+
+    def test_cached_readonly(self):
+        g = surface_grid_2d(5)
+        with pytest.raises(ValueError):
+            g[0, 0] = 7.0
+
+
+class TestOperators2D:
+    def test_uc2ue_reconstructs_far_field(self, rng):
+        """Equation (2.1) end to end in the plane."""
+        from repro.twod.fmm import OperatorCache2D
+        from repro.twod.kernels import Laplace2DKernel
+
+        kernel = Laplace2DKernel()
+        cache = OperatorCache2D(kernel, p=10, root_side=2.0,
+                                inner=1.05, outer=2.95, rcond=1e-12)
+        level = 1
+        r = cache.half_width(level)
+        src = rng.uniform(-r, r, size=(15, 2))
+        phi = rng.standard_normal(15)
+        phi -= phi.mean()  # zero total charge: no far log-growth mismatch
+        check = kernel.matrix(cache.up_check(np.zeros(2), level), src) @ phi
+        ue = cache.uc2ue(level) @ check
+        theta = np.linspace(0, 2 * np.pi, 12, endpoint=False)
+        far = 6 * r * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        exact = kernel.matrix(far, src) @ phi
+        approx = kernel.matrix(far, cache.up_equiv(np.zeros(2), level)) @ ue
+        assert np.allclose(approx, exact, atol=1e-8)
+
+    def test_m2l_rejects_adjacent(self):
+        from repro.twod.fmm import OperatorCache2D
+        from repro.twod.kernels import Laplace2DKernel
+
+        cache = OperatorCache2D(Laplace2DKernel(), 4, 1.0, 1.05, 2.95, 1e-12)
+        with pytest.raises(ValueError):
+            cache.m2l_check(2, (1, 0))

@@ -1,0 +1,56 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.util.ascii_chart import bar_chart, stacked_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [3.0], title="T", unit="s")
+        assert out.splitlines()[0] == "T"
+        assert "3s" in out
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "#" not in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestStackedChart:
+    def test_glyphs_proportional(self):
+        out = stacked_chart(
+            ["p1"], {"up": [2.0], "down": [2.0]}, width=10
+        )
+        row = out.splitlines()[-1]
+        assert row.count("#") == 5
+        assert row.count("=") == 5
+
+    def test_legend(self):
+        out = stacked_chart(["x"], {"alpha": [1.0]})
+        assert "legend: #=alpha" in out
+
+    def test_totals_shown(self):
+        out = stacked_chart(["x"], {"a": [1.5], "b": [0.5]})
+        assert "2" in out.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stacked_chart(["a", "b"], {"s": [1.0]})
+        too_many = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError):
+            stacked_chart(["a"], too_many)

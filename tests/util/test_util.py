@@ -1,0 +1,101 @@
+"""Utility tests: flop counter, phase timer, table formatting."""
+
+import time
+
+import pytest
+
+from repro.util import FlopCounter, PhaseTimer, format_table
+
+
+class TestFlopCounter:
+    def test_accumulation(self):
+        fc = FlopCounter()
+        fc.add("up", 100)
+        fc.add("up", 50)
+        fc.add("down_v", 25)
+        assert fc.get("up") == 150
+        assert fc.total == 175
+        assert fc.by_phase() == {"up": 150, "down_v": 25}
+
+    def test_pairs(self):
+        fc = FlopCounter()
+        fc.add_pairs("direct", 10, 13)
+        assert fc.get("direct") == 130
+
+    def test_merge(self):
+        a, b = FlopCounter(), FlopCounter()
+        a.add("up", 1)
+        b.add("up", 2)
+        b.add("eval", 3)
+        a.merge(b)
+        assert a.get("up") == 3
+        assert a.get("eval") == 3
+
+    def test_reset(self):
+        fc = FlopCounter()
+        fc.add("x", 5)
+        fc.reset()
+        assert fc.total == 0
+
+    def test_unknown_phase_is_zero(self):
+        assert FlopCounter().get("nothing") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FlopCounter().add("up", -1)
+
+
+class TestPhaseTimer:
+    def test_phase_context(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            time.sleep(0.01)
+        assert t.get("a") >= 0.009
+        assert t.total == t.get("a")
+
+    def test_nested_accumulation(self):
+        t = PhaseTimer()
+        for _ in range(3):
+            with t.phase("x"):
+                pass
+        assert t.get("x") >= 0.0
+        assert list(t.by_phase()) == ["x"]
+
+    def test_manual_add_and_reset(self):
+        t = PhaseTimer()
+        t.add("manual", 2.5)
+        assert t.get("manual") == 2.5
+        t.reset()
+        assert t.total == 0.0
+
+    def test_exception_still_records(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("bad"):
+                raise RuntimeError("boom")
+        assert t.get("bad") >= 0.0
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 4.1")
+        assert out.splitlines()[0] == "Table 4.1"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
