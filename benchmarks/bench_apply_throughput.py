@@ -1,0 +1,142 @@
+"""Throughput of ``setup()`` vs repeated ``apply()`` (PR tracking bench).
+
+The paper's parallel implementation "is designed to achieve maximum
+efficiency in the multiplication phase" (Section 3): one geometry setup
+is amortised over tens of interaction evaluations inside Krylov loops.
+This bench records, for Laplace and Stokes at N in {2k, 20k}:
+
+- ``setup()`` wall-clock (tree + lists + operators + execution plan),
+- mean ``apply()`` wall-clock and points/second, per evaluator phase,
+- the speedup of the planned ("batched") evaluator over the seed's
+  per-box ("naive") path on identical inputs.
+
+Results land in ``BENCH_apply.json`` at the repository root so the
+performance trajectory is tracked across PRs.  Run directly::
+
+    python benchmarks/bench_apply_throughput.py [--quick] [--out PATH]
+
+or through pytest (uses --quick sizes)::
+
+    python -m pytest benchmarks/bench_apply_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.kernels.direct import relative_error
+from repro.util.tables import format_table
+
+_ROOT = Path(__file__).resolve().parent.parent
+_KERNELS = {"laplace": LaplaceKernel, "stokes": StokesKernel}
+
+
+def _measure(kernel_name: str, n: int, plan: str, napply: int) -> dict:
+    """Setup once, apply ``napply`` times; return timings and phases."""
+    kernel = _KERNELS[kernel_name]()
+    rng = np.random.default_rng(2003)
+    pts = rng.random((n, 3))
+    phi = rng.standard_normal((n, kernel.source_dof))
+    fmm = KIFMM(kernel, FMMOptions(plan=plan))
+    t0 = time.perf_counter()
+    fmm.setup(pts)
+    t_setup = time.perf_counter() - t0
+    u = fmm.apply(phi)  # warm operator caches / plan buffers
+    fmm.timer.reset()
+    t0 = time.perf_counter()
+    for _ in range(napply):
+        fmm.apply(phi)
+    t_apply = (time.perf_counter() - t0) / napply
+    phases = {
+        k: round(v / napply, 6)
+        for k, v in sorted(fmm.timer.by_phase().items())
+        if k not in ("tree", "plan")
+    }
+    return {
+        "kernel": kernel_name,
+        "n": n,
+        "plan": plan,
+        "m2l": "fft",
+        "applies": napply,
+        "setup_seconds": round(t_setup, 4),
+        "apply_seconds": round(t_apply, 4),
+        "points_per_second": round(n / t_apply, 1),
+        "phase_seconds": phases,
+        "_potential": u,
+    }
+
+
+def run(quick: bool = False, out: Path | None = None) -> dict:
+    sizes = [2_000] if quick else [2_000, 20_000]
+    napply = 1 if quick else 3
+    results = []
+    for kernel_name in ("laplace", "stokes"):
+        for n in sizes:
+            batched = _measure(kernel_name, n, "batched", napply)
+            # One naive apply is enough: it is the slow reference.
+            naive = _measure(kernel_name, n, "naive", 1)
+            agree = relative_error(
+                batched.pop("_potential"), naive.pop("_potential")
+            )
+            batched["speedup_vs_naive"] = round(
+                naive["apply_seconds"] / batched["apply_seconds"], 2
+            )
+            batched["relative_error_vs_naive"] = float(f"{agree:.3e}")
+            results.append(batched)
+            results.append(naive)
+    report = {
+        "bench": "apply_throughput",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "results": results,
+    }
+    rows = [
+        (
+            r["kernel"],
+            r["n"],
+            r["plan"],
+            r["setup_seconds"],
+            r["apply_seconds"],
+            r["points_per_second"],
+            r.get("speedup_vs_naive", ""),
+        )
+        for r in results
+    ]
+    print(format_table(
+        ("kernel", "N", "plan", "setup s", "apply s", "pts/s", "speedup"),
+        rows,
+        title="apply() throughput (fft M2L, defaults p=6, s=60)",
+    ))
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    return report
+
+
+def test_apply_throughput():
+    """Bench smoke: the planned path must beat per-box and agree with it."""
+    report = run(quick=True)
+    for r in report["results"]:
+        if r["plan"] == "batched":
+            assert r["relative_error_vs_naive"] < 1e-10
+            assert r["speedup_vs_naive"] > 1.0
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes, one apply per config")
+    ap.add_argument("--out", type=Path, default=_ROOT / "BENCH_apply.json")
+    args = ap.parse_args()
+    run(quick=args.quick, out=args.out)

@@ -65,7 +65,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
     density = rng.random((pts.shape[0], kernel.source_dof))
-    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l,
+                      plan=args.plan)
     fmm = KIFMM(kernel, opts)
     t0 = time.perf_counter()
     fmm.setup(pts)
@@ -75,7 +76,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     t_eval = time.perf_counter() - t0
     stats = fmm.tree.statistics()
     print(f"kernel={kernel.name} N={pts.shape[0]} p={args.p} s={args.s} "
-          f"m2l={args.m2l}")
+          f"m2l={args.m2l} plan={args.plan}")
     print(f"tree: {stats['nboxes']} boxes, {stats['nleaves']} leaves, "
           f"depth {stats['depth']}")
     print(f"setup: {t_setup:.2f}s   evaluation: {t_eval:.2f}s")
@@ -175,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(pe)
     pe.add_argument("--n", type=int, default=10_000)
     pe.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    pe.add_argument("--plan", default="batched",
+                    choices=("batched", "naive"),
+                    help="evaluator: precomputed level-batched plan or "
+                         "the per-box reference path")
     pe.add_argument("--check", action="store_true",
                     help="verify against direct summation")
     pe.add_argument("--gradient", action="store_true",

@@ -9,13 +9,16 @@ discretisation (Section 1).
 """
 
 from repro.core.fmm import KIFMM, FMMOptions
+from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.surfaces import surface_grid, surface_lattice_indices
 from repro.core.precompute import OperatorCache
 
 __all__ = [
     "KIFMM",
     "FMMOptions",
+    "ExecutionPlan",
     "OperatorCache",
+    "build_plan",
     "surface_grid",
     "surface_lattice_indices",
 ]

@@ -18,8 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.evaluator import evaluate
+from repro.core.evaluator import evaluate, evaluate_planned, resolve_kernels
 from repro.core.fftm2l import FFTM2L
+from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.precompute import OperatorCache
 from repro.core.surfaces import INNER_RADIUS, OUTER_RADIUS
 from repro.kernels.base import Kernel
@@ -55,6 +56,12 @@ class FMMOptions:
         Apply 2:1 tree balancing after construction (optional; the
         adaptive lists handle unbalanced trees — see
         :mod:`repro.octree.balance`).
+    plan:
+        ``"batched"`` (default) precomputes a level-major execution plan
+        in :meth:`KIFMM.setup` and evaluates with the vectorized
+        :func:`~repro.core.evaluator.evaluate_planned`; ``"naive"`` keeps
+        the per-box reference path.  Kernels that are not translation
+        invariant always use the per-box path.
     """
 
     p: int = 6
@@ -65,6 +72,7 @@ class FMMOptions:
     rcond: float = 1e-12
     max_depth: int = 21
     balance: bool = False
+    plan: str = "batched"
 
     def __post_init__(self) -> None:
         if self.p < 2:
@@ -73,6 +81,15 @@ class FMMOptions:
             raise ValueError(f"max_points must be >= 1, got {self.max_points}")
         if self.m2l not in ("fft", "dense"):
             raise ValueError(f"m2l must be 'fft' or 'dense', got {self.m2l!r}")
+        if not 1.0 < self.inner < self.outer < 3.0:
+            raise ValueError(
+                f"surface radii must satisfy 1 < inner < outer < 3, "
+                f"got inner={self.inner}, outer={self.outer}"
+            )
+        if self.plan not in ("batched", "naive"):
+            raise ValueError(
+                f"plan must be 'batched' or 'naive', got {self.plan!r}"
+            )
 
 
 class KIFMM:
@@ -107,6 +124,7 @@ class KIFMM:
         self.flops = FlopCounter()
         self.timer = PhaseTimer()
         self._fft: FFTM2L | None = None
+        self._plan: ExecutionPlan | None = None
 
     def setup(
         self,
@@ -144,7 +162,45 @@ class KIFMM:
             rcond=opts.rcond,
         )
         self._fft = FFTM2L(self.cache) if opts.m2l == "fft" else None
+        if opts.plan == "batched":
+            with self.timer.phase("plan"):
+                self._plan = build_plan(self.tree, self.lists)
+        else:
+            self._plan = None
         return self
+
+    def _dispatch(
+        self,
+        density: np.ndarray,
+        source_kernel: Kernel | None,
+        target_kernel: Kernel | None,
+        direct_kernel: Kernel | None,
+    ) -> np.ndarray:
+        """Route one evaluation through the planned or the per-box path."""
+        assert self.tree is not None and self.lists is not None
+        assert self.cache is not None
+        kernels = resolve_kernels(
+            self.kernel, source_kernel, target_kernel, direct_kernel
+        )
+        planned = self._plan is not None and all(
+            k.translation_invariant for k in (self.kernel, *kernels)
+        )
+        common = dict(
+            m2l_mode=self.options.m2l,
+            fft_m2l=self._fft,
+            flops=self.flops,
+            timer=self.timer,
+            source_kernel=source_kernel,
+            target_kernel=target_kernel,
+            direct_kernel=direct_kernel,
+        )
+        if planned:
+            return evaluate_planned(
+                self.tree, self._plan, self.kernel, self.cache, density, **common
+            )
+        return evaluate(
+            self.tree, self.lists, self.kernel, self.cache, density, **common
+        )
 
     def apply(self, density: np.ndarray) -> np.ndarray:
         """One interaction evaluation ``u = K phi``.
@@ -160,19 +216,8 @@ class KIFMM:
         """
         if self.tree is None or self.lists is None or self.cache is None:
             raise RuntimeError("call setup() before apply()")
-        return evaluate(
-            self.tree,
-            self.lists,
-            self.kernel,
-            self.cache,
-            density,
-            m2l_mode=self.options.m2l,
-            fft_m2l=self._fft,
-            flops=self.flops,
-            timer=self.timer,
-            source_kernel=self.source_kernel,
-            target_kernel=self.target_kernel,
-            direct_kernel=self.direct_kernel,
+        return self._dispatch(
+            density, self.source_kernel, self.target_kernel, self.direct_kernel
         )
 
     def apply_gradient(self, density: np.ndarray) -> np.ndarray:
@@ -192,17 +237,8 @@ class KIFMM:
                 "apply_gradient() requires default source/target kernels; "
                 "construct a dedicated KIFMM with explicit kernels instead"
             )
-        return evaluate(
-            self.tree,
-            self.lists,
-            self.kernel,
-            self.cache,
-            density,
-            m2l_mode=self.options.m2l,
-            fft_m2l=self._fft,
-            flops=self.flops,
-            timer=self.timer,
-            target_kernel=gradient_kernel_for(self.kernel),
+        return self._dispatch(
+            density, None, gradient_kernel_for(self.kernel), None
         )
 
     def matvec(self, density: np.ndarray) -> np.ndarray:
@@ -215,6 +251,8 @@ class KIFMM:
             raise RuntimeError("call setup() first")
         stats: dict[str, object] = dict(self.tree.statistics())
         stats.update({f"{k}_list": v for k, v in self.lists.counts().items()})
+        if self._plan is not None:
+            stats.update(self._plan.statistics())
         stats["flops"] = self.flops.by_phase()
         stats["seconds"] = self.timer.by_phase()
         return stats

@@ -1,0 +1,500 @@
+"""Precomputed level-batched execution plan for the multiplication phase.
+
+The paper's parallel design "is designed to achieve maximum efficiency in
+the multiplication phase" (Section 3): the tree and interaction lists are
+built once per geometry, then reused across tens of interaction
+evaluations (Krylov loops).  The seed evaluator walked boxes one at a
+time in Python, so interpreter overhead — not flops — dominated
+``KIFMM.apply()``.  This module flattens the tree and the U/V/W/X lists
+into *level-major index arrays* once, in ``KIFMM.setup()``, so every
+``apply()`` reduces to a short sequence of large vectorized operations:
+
+- **Upward pass** — per level, one batched kernel-matrix block per chunk
+  of concatenated leaf sources (S2M via segment-summed columns), one
+  stacked GEMM per occupied child octant (M2M), and one stacked GEMM for
+  the ``uc2ue`` inversion of every source box at the level.
+- **M2L** — V-list pairs grouped by the ≤316 translation-offset classes
+  of a level; FFT mode performs one batched ``rfftn`` over all needed
+  source boxes, one Hadamard ``einsum`` per class, and one batched
+  ``irfftn`` per level; dense mode performs one stacked GEMM per class.
+- **Downward pass** — stacked GEMMs per (level, octant) for L2L and per
+  level for ``dc2de``; L2T as chunked kernel blocks over concatenated
+  leaf targets.
+- **Near field** — U/W/X interactions evaluated with one kernel matrix
+  per *target box* over the concatenated partner sources (instead of one
+  per box *pair*).
+
+The batched S2M/L2T stages shift points into the box-local frame so all
+boxes of a level share one check/equivalent surface; this assumes the
+kernel is translation invariant (``G(x + t, y + t) = G(x, y)``), which
+every kernel of a constant-coefficient elliptic PDE satisfies — see
+:attr:`repro.kernels.base.Kernel.translation_invariant`.  Kernels that
+declare otherwise fall back to the per-box ("naive") evaluator.
+
+All gating in the plan is *density independent*: a box carries an upward
+density iff it holds sources, and carries downward data iff it (or an
+ancestor) receives a V- or X-list contribution from a source-bearing
+box.  The plan therefore encodes exactly the boxes the per-box evaluator
+would have touched, and the two paths produce identical flop statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.octree.lists import InteractionLists
+from repro.octree.tree import Octree
+
+#: Soft cap on the scalar entries of one batched kernel matrix; level-wide
+#: S2M/L2T/U blocks are split into chunks that respect it, bounding the
+#: transient memory of an ``apply()`` regardless of problem size.
+MAX_BLOCK_ENTRIES = 2_000_000
+
+#: Child-anchor offset of each octant (row ``o`` satisfies
+#: ``anchor(child) = 2 * anchor(parent) + OCTANT_VECTORS[o]`` for the
+#: octant numbering ``o = x | y << 1 | z << 2`` used throughout).
+OCTANT_VECTORS = np.array(
+    [[o & 1, (o >> 1) & 1, (o >> 2) & 1] for o in range(8)], dtype=np.int64
+)
+
+
+def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], stops[i])`` as one int64 array.
+
+    Empty ranges are skipped.  The classic cumsum construction — no
+    Python-level loop over the ranges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    counts = stops - starts
+    keep = counts > 0
+    starts, counts = starts[keep], counts[keep]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.ones(int(ends[-1]), dtype=np.int64)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
+def chunk_segments(seg: np.ndarray, max_points: int) -> list[tuple[int, int]]:
+    """Split CSR segments into runs of at most ``max_points`` points.
+
+    ``seg`` holds cumulative point offsets (length ``nsegments + 1``).
+    Returns ``(lo, hi)`` segment-index ranges; a single segment larger
+    than ``max_points`` gets its own run (never split).
+    """
+    n = len(seg) - 1
+    out: list[tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        hi = int(np.searchsorted(seg, seg[lo] + max_points, side="right")) - 1
+        hi = min(max(hi, lo + 1), n)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+class BufferPool:
+    """Grow-only scratch buffers, zeroed in place on reuse.
+
+    The per-box evaluator allocated a fresh accumulator per box per
+    ``apply()``; the planned evaluator instead draws its level-wide work
+    arrays from this pool, which lives on the plan and is reused across
+    the many ``apply()`` calls of a Krylov loop.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, np.dtype], np.ndarray] = {}
+
+    def zeros(self, name: str, shape: tuple[int, ...], dtype=np.float64):
+        """A zeroed array of ``shape`` backed by a reusable buffer."""
+        view = self.empty(name, shape, dtype)
+        view[...] = 0
+        return view
+
+    def empty(self, name: str, shape: tuple[int, ...], dtype=np.float64):
+        """Like :meth:`zeros` but uninitialised (caller overwrites fully)."""
+        dt = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64))
+        buf = self._store.get((name, dt))
+        if buf is None or buf.size < size:
+            buf = np.empty(max(size, 1), dtype=dt)
+            self._store[(name, dt)] = buf
+        return buf[:size].reshape(shape)
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._store.values())
+
+
+@dataclass
+class UpLevel:
+    """Upward-pass work at one level (source boxes only).
+
+    ``boxes`` are the level's source-bearing boxes — the rows of the
+    level's stacked check-potential block.  ``s2m_*`` describe the leaf
+    rows: concatenated box-frame source coordinates, their positions in
+    the Morton-sorted source order, and the per-leaf point offsets.
+    ``m2m_groups`` stack the children (at ``level + 1``) by octant;
+    ``rows`` are positions into ``boxes`` of the receiving parents.
+    """
+
+    level: int
+    boxes: np.ndarray
+    s2m_rows: np.ndarray
+    s2m_pts: np.ndarray
+    s2m_src_pos: np.ndarray
+    s2m_seg: np.ndarray
+    m2m_groups: list[tuple[int, np.ndarray, np.ndarray]]
+
+
+@dataclass
+class VLevel:
+    """All effective V-list pairs of one level, grouped two ways.
+
+    ``src_boxes``/``trg_boxes`` are the unique source (forward-FFT) and
+    target (inverse-FFT / accumulator) boxes.  Each class is
+    ``(offset, src_pos, trg_pos)`` with positions into those arrays; for
+    a fixed offset every target appears at most once, so class
+    accumulation is a plain fancy-indexed ``+=``.
+
+    ``po_groups`` regroup the same pairs by *parent* pair for the blocked
+    Hadamard stage: one entry per parent-anchor offset (≤26 directions),
+    holding the ``(npp, 8)`` positions of the eight child octants of
+    every unique (target-parent, source-parent) pair of that direction.
+    Missing or inactive children point at the sentinel rows
+    ``len(src_boxes)`` / ``len(trg_boxes)`` (a zero source row and a
+    discarded target row), so a block covers exactly the effective pairs.
+    Within one group every target parent occurs once, hence every target
+    child row occurs at most once and fancy ``+=`` stays exact.
+    """
+
+    level: int
+    src_boxes: np.ndarray
+    trg_boxes: np.ndarray
+    classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+    po_groups: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+
+    @property
+    def npairs(self) -> int:
+        return sum(len(s) for _, s, _ in self.classes)
+
+
+@dataclass
+class DownLevel:
+    """Downward-pass work at one level (target boxes only).
+
+    ``l2l_groups`` stack the level's boxes by octant against their
+    parents; ``dc_boxes`` are the boxes carrying downward data (the
+    ``dc2de`` rows); ``l2t_*`` describe the leaf targets (box-frame
+    coordinates, sorted-order positions, per-leaf offsets); ``x_*`` hold,
+    per X-list target box, the concatenated sorted positions of the
+    partner sources.
+    """
+
+    level: int
+    l2l_groups: list[tuple[int, np.ndarray, np.ndarray]]
+    dc_boxes: np.ndarray
+    l2t_boxes: np.ndarray
+    l2t_pts: np.ndarray
+    l2t_trg_pos: np.ndarray
+    l2t_seg: np.ndarray
+    x_boxes: np.ndarray
+    x_seg: np.ndarray
+    x_src_pos: np.ndarray
+
+
+@dataclass
+class ExecutionPlan:
+    """Flattened tree + interaction lists, ready for batched evaluation.
+
+    Built once per geometry by :func:`build_plan`; consumed by
+    :func:`repro.core.evaluator.evaluate_planned`.  Every array indexes
+    either boxes (tree order) or points (Morton-sorted order); densities
+    and potentials are carried in sorted order inside the evaluator and
+    permuted once at entry/exit.
+    """
+
+    nboxes: int
+    depth: int
+    levels: np.ndarray
+    centers: np.ndarray
+    sources_sorted: np.ndarray
+    targets_sorted: np.ndarray
+    up_levels: list[UpLevel]
+    v_levels: list[VLevel]
+    down_levels: list[DownLevel]
+    # U list: per target leaf, concatenated partner sources.
+    u_boxes: np.ndarray
+    u_trg_start: np.ndarray
+    u_trg_stop: np.ndarray
+    u_seg: np.ndarray
+    u_src_pos: np.ndarray
+    # W list: per target leaf, partner boxes (their equivalent surfaces).
+    w_boxes: np.ndarray
+    w_trg_start: np.ndarray
+    w_trg_stop: np.ndarray
+    w_seg: np.ndarray
+    w_idx: np.ndarray
+    buffers: BufferPool = field(default_factory=BufferPool, repr=False)
+
+    def statistics(self) -> dict[str, float]:
+        """Plan-shape summary (batch sizes drive achievable throughput)."""
+        nclasses = sum(len(vl.classes) for vl in self.v_levels)
+        npairs = sum(vl.npairs for vl in self.v_levels)
+        nparent = sum(
+            sum(len(rows) for _, rows, _ in vl.po_groups)
+            for vl in self.v_levels
+        )
+        return {
+            "plan_up_levels": len(self.up_levels),
+            "plan_down_levels": len(self.down_levels),
+            "plan_v_classes": nclasses,
+            "plan_v_pairs": npairs,
+            "plan_v_parent_pairs": nparent,
+            "plan_u_boxes": int(self.u_boxes.size),
+            "plan_u_sources": int(self.u_seg[-1]) if self.u_seg.size else 0,
+            "plan_w_pairs": int(self.w_idx.size),
+            "plan_buffer_bytes": self.buffers.nbytes(),
+        }
+
+
+def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
+    """Flatten ``tree`` and ``lists`` into an :class:`ExecutionPlan`."""
+    nb = tree.nboxes
+    boxes = tree.boxes
+    level_of = np.fromiter((b.level for b in boxes), np.int64, nb)
+    parent = np.fromiter((b.parent for b in boxes), np.int64, nb)
+    is_leaf = np.fromiter((b.is_leaf for b in boxes), bool, nb)
+    nsrc = np.fromiter((b.nsrc for b in boxes), np.int64, nb)
+    ntrg = np.fromiter((b.ntrg for b in boxes), np.int64, nb)
+    src_start = np.fromiter((b.src_start for b in boxes), np.int64, nb)
+    src_stop = np.fromiter((b.src_stop for b in boxes), np.int64, nb)
+    trg_start = np.fromiter((b.trg_start for b in boxes), np.int64, nb)
+    trg_stop = np.fromiter((b.trg_stop for b in boxes), np.int64, nb)
+    anchors = np.array([b.anchor for b in boxes], dtype=np.int64).reshape(nb, 3)
+    octant = (anchors[:, 0] & 1) | ((anchors[:, 1] & 1) << 1) | (
+        (anchors[:, 2] & 1) << 2
+    )
+    side = tree.root_side / np.power(2.0, level_of)
+    centers = tree.root_corner[None, :] + (anchors + 0.5) * side[:, None]
+    sources_sorted = np.ascontiguousarray(tree.sources[tree.src_perm])
+    targets_sorted = np.ascontiguousarray(tree.targets[tree.trg_perm])
+
+    # ---------------- upward pass ----------------
+    up_levels: list[UpLevel] = []
+    for level in range(tree.depth, -1, -1):
+        lvl = np.asarray(tree.levels[level], dtype=np.int64)
+        sel = lvl[nsrc[lvl] > 0]  # level arrays are ascending by box index
+        if sel.size == 0:
+            continue
+        leaf_sel = sel[is_leaf[sel]]
+        starts, stops = src_start[leaf_sel], src_stop[leaf_sel]
+        counts = stops - starts
+        s2m_src_pos = multi_arange(starts, stops)
+        s2m_seg = np.zeros(leaf_sel.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=s2m_seg[1:])
+        s2m_pts = sources_sorted[s2m_src_pos] - np.repeat(
+            centers[leaf_sel], counts, axis=0
+        )
+        groups: list[tuple[int, np.ndarray, np.ndarray]] = []
+        nonleaf = sel[~is_leaf[sel]]
+        if nonleaf.size:
+            kids = np.concatenate(
+                [np.asarray(boxes[b].children, dtype=np.int64) for b in nonleaf]
+            )
+            kids = kids[nsrc[kids] > 0]
+            rows = np.searchsorted(sel, parent[kids])
+            for o in range(8):
+                m = octant[kids] == o
+                if m.any():
+                    groups.append((o, kids[m], rows[m]))
+        up_levels.append(
+            UpLevel(
+                level=level,
+                boxes=sel,
+                s2m_rows=np.searchsorted(sel, leaf_sel),
+                s2m_pts=s2m_pts,
+                s2m_src_pos=s2m_src_pos,
+                s2m_seg=s2m_seg,
+                m2m_groups=groups,
+            )
+        )
+
+    # ---------------- downward gating ----------------
+    v_ptr, v_idx = lists.flat("V")
+    x_ptr, x_idx = lists.flat("X")
+    v_trg = np.repeat(np.arange(nb), np.diff(v_ptr))
+    x_trg = np.repeat(np.arange(nb), np.diff(x_ptr))
+    v_good = nsrc[v_idx] > 0
+    x_good = nsrc[x_idx] > 0
+    own = np.zeros(nb, dtype=bool)
+    if v_trg.size:
+        own |= np.bincount(v_trg[v_good], minlength=nb).astype(bool)
+    if x_trg.size:
+        own |= np.bincount(x_trg[x_good], minlength=nb).astype(bool)
+    # A box carries downward data iff it has targets and it — or an
+    # ancestor — receives a V/X contribution (the evaluator's has_dc /
+    # has_de gating; boxes are in level order, so parents come first).
+    has_de = np.zeros(nb, dtype=bool)
+    for b in boxes:
+        i = b.index
+        if b.level >= 1 and ntrg[i] > 0:
+            has_de[i] = own[i] or has_de[parent[i]]
+
+    # ---------------- V levels, grouped by translation-offset class ----
+    # Child lookup by (parent, octant); -1 where the child is absent.
+    child_tab = np.full((nb, 8), -1, dtype=np.int64)
+    nonroot = np.flatnonzero(parent >= 0)
+    child_tab[parent[nonroot], octant[nonroot]] = nonroot
+
+    vmask = (ntrg[v_trg] > 0) & v_good
+    vt_all, vs_all = v_trg[vmask], v_idx[vmask]
+    vt_level = level_of[vt_all]
+    v_levels: list[VLevel] = []
+    for level in range(2, tree.depth + 1):
+        m = vt_level == level
+        if not m.any():
+            continue
+        t, s = vt_all[m], vs_all[m]
+        src_boxes = np.unique(s)
+        trg_boxes = np.unique(t)
+        src_pos = np.searchsorted(src_boxes, s)
+        trg_pos = np.searchsorted(trg_boxes, t)
+        off = anchors[t] - anchors[s]  # components in [-3, 3]
+        key = (off[:, 0] + 3) * 49 + (off[:, 1] + 3) * 7 + (off[:, 2] + 3)
+        order = np.argsort(key, kind="stable")
+        sk = key[order]
+        starts = np.flatnonzero(np.r_[True, sk[1:] != sk[:-1]])
+        bounds = np.append(starts, sk.size)
+        classes = []
+        for ci in range(starts.size):
+            rows = order[bounds[ci] : bounds[ci + 1]]
+            k = int(sk[bounds[ci]])
+            offset = (k // 49 - 3, (k % 49) // 7 - 3, k % 7 - 3)
+            classes.append((offset, src_pos[rows], trg_pos[rows]))
+
+        # Parent-pair blocks: the unique (parent(t), parent(s)) pairs
+        # grouped by their anchor offset.  Every effective pair belongs
+        # to exactly one parent pair, and every child pair of a parent
+        # pair whose offset is non-adjacent is itself an effective pair
+        # (or points at a sentinel row when the child is absent/inactive).
+        src_row_of = np.full(nb + 1, src_boxes.size, dtype=np.int64)
+        src_row_of[src_boxes] = np.arange(src_boxes.size)
+        trg_row_of = np.full(nb + 1, trg_boxes.size, dtype=np.int64)
+        trg_row_of[trg_boxes] = np.arange(trg_boxes.size)
+        pair_key = parent[t] * nb + parent[s]
+        uniq = np.unique(pair_key)
+        upt, ups = uniq // nb, uniq % nb
+        po = anchors[upt] - anchors[ups]  # components in [-1, 1], never 0
+        pkey = (po[:, 0] + 1) * 9 + (po[:, 1] + 1) * 3 + (po[:, 2] + 1)
+        porder = np.argsort(pkey, kind="stable")
+        spk = pkey[porder]
+        pstarts = np.flatnonzero(np.r_[True, spk[1:] != spk[:-1]])
+        pbounds = np.append(pstarts, spk.size)
+        po_groups = []
+        for gi in range(pstarts.size):
+            rows = porder[pbounds[gi] : pbounds[gi + 1]]
+            k = int(spk[pbounds[gi]])
+            po_vec = (k // 9 - 1, (k // 3) % 3 - 1, k % 3 - 1)
+            # child_tab == -1 wraps to the last (sentinel) row entry.
+            src_rows = src_row_of[child_tab[ups[rows]]]
+            trg_rows = trg_row_of[child_tab[upt[rows]]]
+            po_groups.append((po_vec, src_rows, trg_rows))
+        v_levels.append(VLevel(level, src_boxes, trg_boxes, classes, po_groups))
+
+    # ---------------- downward levels ----------------
+    xmask = (ntrg[x_trg] > 0) & x_good
+    xt_all, xs_all = x_trg[xmask], x_idx[xmask]  # CSR order: grouped by target
+    down_levels: list[DownLevel] = []
+    for level in range(1, tree.depth + 1):
+        lvl = np.asarray(tree.levels[level], dtype=np.int64)
+        act = lvl[ntrg[lvl] > 0]
+        if act.size == 0:
+            continue
+        l2l_sel = act[has_de[parent[act]]]
+        groups = []
+        for o in range(8):
+            m = octant[l2l_sel] == o
+            if m.any():
+                groups.append((o, l2l_sel[m], parent[l2l_sel[m]]))
+        l2t_sel = act[is_leaf[act] & has_de[act]]
+        tstarts, tstops = trg_start[l2t_sel], trg_stop[l2t_sel]
+        tcounts = tstops - tstarts
+        l2t_seg = np.zeros(l2t_sel.size + 1, dtype=np.int64)
+        np.cumsum(tcounts, out=l2t_seg[1:])
+        l2t_trg_pos = multi_arange(tstarts, tstops)
+        l2t_pts = targets_sorted[l2t_trg_pos] - np.repeat(
+            centers[l2t_sel], tcounts, axis=0
+        )
+        lm = level_of[xt_all] == level
+        xt, xs = xt_all[lm], xs_all[lm]
+        x_boxes = np.unique(xt)  # ascending, matching the CSR pair order
+        x_src_pos = multi_arange(src_start[xs], src_stop[xs])
+        x_counts = np.zeros(x_boxes.size, dtype=np.int64)
+        np.add.at(x_counts, np.searchsorted(x_boxes, xt), nsrc[xs])
+        x_seg = np.zeros(x_boxes.size + 1, dtype=np.int64)
+        np.cumsum(x_counts, out=x_seg[1:])
+        down_levels.append(
+            DownLevel(
+                level=level,
+                l2l_groups=groups,
+                dc_boxes=act[has_de[act]],
+                l2t_boxes=l2t_sel,
+                l2t_pts=l2t_pts,
+                l2t_trg_pos=l2t_trg_pos,
+                l2t_seg=l2t_seg,
+                x_boxes=x_boxes,
+                x_seg=x_seg,
+                x_src_pos=x_src_pos,
+            )
+        )
+
+    # ---------------- U list (per target leaf) ----------------
+    u_ptr, u_idx = lists.flat("U")
+    u_trg_rep = np.repeat(np.arange(nb), np.diff(u_ptr))
+    um = (ntrg[u_trg_rep] > 0) & (nsrc[u_idx] > 0)
+    ut, us = u_trg_rep[um], u_idx[um]  # CSR order: grouped by target leaf
+    u_boxes = np.unique(ut)
+    u_src_pos = multi_arange(src_start[us], src_stop[us])
+    u_counts = np.zeros(u_boxes.size, dtype=np.int64)
+    np.add.at(u_counts, np.searchsorted(u_boxes, ut), nsrc[us])
+    u_seg = np.zeros(u_boxes.size + 1, dtype=np.int64)
+    np.cumsum(u_counts, out=u_seg[1:])
+
+    # ---------------- W list (per target leaf) ----------------
+    w_ptr, w_idx_all = lists.flat("W")
+    w_trg_rep = np.repeat(np.arange(nb), np.diff(w_ptr))
+    wm = (ntrg[w_trg_rep] > 0) & (nsrc[w_idx_all] > 0)
+    wt, w_idx = w_trg_rep[wm], w_idx_all[wm]
+    w_boxes = np.unique(wt)
+    w_counts = np.bincount(
+        np.searchsorted(w_boxes, wt), minlength=w_boxes.size
+    ).astype(np.int64)
+    w_seg = np.zeros(w_boxes.size + 1, dtype=np.int64)
+    np.cumsum(w_counts, out=w_seg[1:])
+
+    return ExecutionPlan(
+        nboxes=nb,
+        depth=tree.depth,
+        levels=level_of,
+        centers=centers,
+        sources_sorted=sources_sorted,
+        targets_sorted=targets_sorted,
+        up_levels=up_levels,
+        v_levels=v_levels,
+        down_levels=down_levels,
+        u_boxes=u_boxes,
+        u_trg_start=trg_start[u_boxes],
+        u_trg_stop=trg_stop[u_boxes],
+        u_seg=u_seg,
+        u_src_pos=u_src_pos,
+        w_boxes=w_boxes,
+        w_trg_start=trg_start[w_boxes],
+        w_trg_stop=trg_stop[w_boxes],
+        w_seg=w_seg,
+        w_idx=w_idx,
+    )

@@ -37,6 +37,12 @@ class Kernel(ABC):
         Estimated floating-point operations to evaluate the full
         ``target_dof x source_dof`` interaction block of one point pair;
         feeds the TCS-1 performance model.
+    translation_invariant:
+        ``True`` when ``G(x + t, y + t) = G(x, y)`` for every shift ``t``,
+        as for all constant-coefficient elliptic kernels.  The planned
+        evaluator exploits this to share one origin-centered surface per
+        tree level; kernels that declare ``False`` are evaluated with the
+        per-box path instead.
     """
 
     name: str = "abstract"
@@ -45,6 +51,7 @@ class Kernel(ABC):
     target_dof: int = 1
     homogeneity: float | None = None
     flops_per_pair: int = 0
+    translation_invariant: bool = True
 
     @abstractmethod
     def matrix(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
@@ -65,6 +72,20 @@ class Kernel(ABC):
         Coincident points (``x == y``) contribute zero, the standard
         convention for excluding self-interaction in particle sums.
         """
+
+    def matrix_local(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`matrix` for *box-local* coordinate frames.
+
+        The planned evaluator shifts every interaction block into the
+        frame of its box (coordinates of order the box half-width), which
+        lets kernels substitute cancellation-sensitive fast paths — e.g.
+        assembling ``r^2 = |x|^2 + |y|^2 - 2 x.y`` with one GEMM instead
+        of materialising the ``(nt, ns, 3)`` displacement tensor.  The
+        default is the exact reference implementation.
+        """
+        return self.matrix(targets, sources)
 
     def apply(
         self,

@@ -28,7 +28,7 @@ Cheng-Greengard-Rokhlin [4] without requiring a 2:1-balanced tree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -44,6 +44,30 @@ class InteractionLists:
     V: list[np.ndarray]
     W: list[np.ndarray]
     X: list[np.ndarray]
+    _flat: dict[str, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def flat(self, which: str) -> tuple[np.ndarray, np.ndarray]:
+        """CSR view ``(ptr, idx)`` of one list family, cached.
+
+        ``idx[ptr[b] : ptr[b + 1]]`` are the partners of box ``b`` (each
+        per-box list is already sorted ascending).  The flat form is what
+        the execution plan's vectorized gating and grouping operate on.
+        """
+        if which not in ("U", "V", "W", "X"):
+            raise ValueError(f"which must be one of U, V, W, X, got {which!r}")
+        if which not in self._flat:
+            per_box = getattr(self, which)
+            counts = np.fromiter((len(x) for x in per_box), np.int64, len(per_box))
+            ptr = np.zeros(len(per_box) + 1, dtype=np.int64)
+            np.cumsum(counts, out=ptr[1:])
+            if ptr[-1]:
+                idx = np.concatenate(per_box).astype(np.int64, copy=False)
+            else:
+                idx = np.empty(0, dtype=np.int64)
+            self._flat[which] = (ptr, idx)
+        return self._flat[which]
 
     def counts(self) -> dict[str, int]:
         """Total list entries, the raw material of the flop model."""

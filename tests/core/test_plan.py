@@ -1,0 +1,261 @@
+"""The planned (batched) evaluator must reproduce the per-box path.
+
+The execution plan reorganises the exact same translations into
+level-major batches; nothing about the mathematics changes.  These tests
+pin that equivalence: potentials agree to ~1e-12 and the phase flop
+counts are *bit-identical* (the plan executes the same matvecs, only in
+a different order).
+
+Parity tolerance note: stacked GEMMs accumulate in a different order
+than per-box matvecs, and that rounding noise is amplified by the
+regularised inversions (roughly by ``1/rcond``).  The parity tests use
+``rcond=1e-5`` so the comparison isolates the reordering itself; the
+accuracy-vs-direct test runs at the default ``rcond``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.core.plan import BufferPool, build_plan, chunk_segments, multi_arange
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.kernels.derived import LaplaceDipoleKernel, LaplaceGradientKernel
+from repro.kernels.direct import direct_evaluate, relative_error
+
+from tests.conftest import uniform_cloud
+
+
+def ellipse_surface(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Points on a 1 x 0.6 x 0.3 ellipsoid surface.
+
+    Surface distributions are the paper's hard case (Section 4, the
+    "nonuniform distribution on a sphere"): deep adaptive trees with
+    populated W and X lists.
+    """
+    d = rng.standard_normal((n, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    return d * np.array([1.0, 0.6, 0.3])
+
+
+def _run_both(kernel, pts, phi, m2l, **kernel_roles):
+    """Apply with plan='batched' and plan='naive'; return both results."""
+    out = {}
+    for plan in ("batched", "naive"):
+        opts = FMMOptions(
+            p=4, max_points=25, m2l=m2l, rcond=1e-5, plan=plan
+        )
+        fmm = KIFMM(kernel, opts, **kernel_roles).setup(pts)
+        out[plan] = (fmm.apply(phi), fmm.flops.by_phase())
+    return out
+
+
+def _assert_parity(out):
+    u_b, flops_b = out["batched"]
+    u_n, flops_n = out["naive"]
+    assert relative_error(u_b, u_n) < 1e-12
+    # Same translations, same per-pair flop model: identical accounting.
+    assert flops_b == flops_n
+
+
+@pytest.mark.parametrize("m2l", ["fft", "dense"])
+@pytest.mark.parametrize(
+    "kernel", [LaplaceKernel(), StokesKernel(mu=0.7)], ids=["laplace", "stokes"]
+)
+@pytest.mark.parametrize("cloud", ["uniform", "ellipse"])
+def test_planned_matches_naive(rng, cloud, kernel, m2l):
+    n = 900
+    pts = uniform_cloud(rng, n) if cloud == "uniform" else ellipse_surface(rng, n)
+    phi = rng.standard_normal((n, kernel.source_dof))
+    _assert_parity(_run_both(kernel, pts, phi, m2l))
+
+
+def test_planned_matches_naive_gradient_target(rng):
+    """Custom target role: gradients read out of a Laplace evaluator."""
+    n = 700
+    pts = ellipse_surface(rng, n)
+    phi = rng.standard_normal((n, 1))
+    _assert_parity(
+        _run_both(
+            LaplaceKernel(),
+            pts,
+            phi,
+            "fft",
+            target_kernel=LaplaceGradientKernel(),
+        )
+    )
+
+
+def test_planned_matches_naive_dipole_source(rng):
+    """Custom source role: dipole densities feeding a Laplace evaluator."""
+    n = 700
+    pts = ellipse_surface(rng, n)
+    phi = rng.standard_normal((n, 3))  # dipole vectors
+    _assert_parity(
+        _run_both(
+            LaplaceKernel(),
+            pts,
+            phi,
+            "dense",
+            source_kernel=LaplaceDipoleKernel(),
+        )
+    )
+
+
+def test_planned_matches_naive_custom_stokes_roles(rng):
+    """Stokes with a rescaled-viscosity source kernel (custom role path)."""
+    n = 600
+    pts = ellipse_surface(rng, n)
+    phi = rng.standard_normal((n, 3))
+    _assert_parity(
+        _run_both(
+            StokesKernel(mu=1.0),
+            pts,
+            phi,
+            "fft",
+            source_kernel=StokesKernel(mu=2.0),
+        )
+    )
+
+
+def test_non_invariant_kernel_falls_back_to_per_box(rng):
+    """plan='batched' must route non-invariant kernels to the per-box path.
+
+    The planned evaluator shares translation operators across same-offset
+    box pairs, which is only valid for translation-invariant kernels.
+    The fallback runs the identical per-box code, so the potentials are
+    bitwise equal to an explicit plan='naive' run.
+    """
+
+    class PinnedLaplace(LaplaceKernel):
+        translation_invariant = False
+
+    pts = uniform_cloud(rng, 400)
+    phi = rng.standard_normal((400, 1))
+    opts_b = FMMOptions(p=4, max_points=30, plan="batched")
+    opts_n = FMMOptions(p=4, max_points=30, plan="naive")
+    u_b = KIFMM(PinnedLaplace(), opts_b).setup(pts).apply(phi)
+    u_n = KIFMM(PinnedLaplace(), opts_n).setup(pts).apply(phi)
+    assert np.array_equal(u_b, u_n)
+
+
+def test_planned_accuracy_against_direct(rng):
+    """The planned path at default rcond vs O(N^2) truth."""
+    n = 700
+    pts = ellipse_surface(rng, n)
+    phi = rng.standard_normal((n, 1))
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=6, max_points=40)).setup(pts)
+    u = fmm.apply(phi)
+    exact = direct_evaluate(LaplaceKernel(), pts, pts, phi)
+    assert relative_error(u, exact) < 5e-4
+
+
+def test_plan_statistics_exposed(rng):
+    pts = ellipse_surface(rng, 800)
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=25)).setup(pts)
+    stats = fmm.statistics()
+    assert stats["plan_v_pairs"] > 0
+    assert stats["plan_v_classes"] > 0
+    assert stats["plan_v_parent_pairs"] > 0
+    # Blocking groups pairs under parent pairs: strictly coarser.
+    assert stats["plan_v_parent_pairs"] <= stats["plan_v_pairs"]
+
+
+def test_po_groups_structure(rng):
+    """Parent-pair rows index the extended (sentinel-padded) slabs."""
+    pts = ellipse_surface(rng, 800)
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=25)).setup(pts)
+    plan = fmm._plan
+    assert plan is not None
+    saw_group = False
+    for vl in plan.v_levels:
+        nsrc, ntrg = vl.src_boxes.size, vl.trg_boxes.size
+        for po, src_rows, trg_rows in vl.po_groups:
+            saw_group = True
+            assert all(-1 <= c <= 1 for c in po)
+            assert src_rows.shape == trg_rows.shape
+            assert src_rows.shape[1] == 8
+            # Row nsrc / ntrg is the zero/discard sentinel.
+            assert src_rows.min() >= 0 and src_rows.max() <= nsrc
+            assert trg_rows.min() >= 0 and trg_rows.max() <= ntrg
+            # Each target parent appears once per offset direction, so a
+            # real target child row appears at most once in the group.
+            real = trg_rows[trg_rows < ntrg]
+            assert np.unique(real).size == real.size
+    assert saw_group
+
+
+def test_multi_arange():
+    starts = np.array([0, 5, 9, 9])
+    stops = np.array([3, 8, 9, 12])
+    got = multi_arange(starts, stops)
+    want = np.array([0, 1, 2, 5, 6, 7, 9, 10, 11])
+    assert np.array_equal(got, want)
+    assert multi_arange(np.array([4]), np.array([4])).size == 0
+    assert multi_arange(np.array([]), np.array([])).size == 0
+
+
+def test_chunk_segments():
+    seg = np.array([0, 10, 25, 30, 90, 95])
+    runs = chunk_segments(seg, 40)
+    # Runs cover all segments exactly once, in order.
+    assert runs[0][0] == 0 and runs[-1][1] == len(seg) - 1
+    assert all(a[1] == b[0] for a, b in zip(runs, runs[1:]))
+    for lo, hi in runs:
+        if hi - lo > 1:  # multi-segment runs respect the cap
+            assert seg[hi] - seg[lo] <= 40
+    # An oversized single segment still gets its own run.
+    assert (3, 4) in runs
+
+
+def test_buffer_pool_reuse():
+    pool = BufferPool()
+    a = pool.zeros("x", (4, 5))
+    a[...] = 7.0
+    b = pool.zeros("x", (2, 3))  # smaller request reuses the same storage
+    assert b.shape == (2, 3) and not b.any()
+    c = pool.empty("x", (4, 5))
+    assert np.shares_memory(b, c)
+    d = pool.zeros("x", (8, 8))  # grow
+    assert d.shape == (8, 8) and not d.any()
+    # Distinct dtypes are distinct buffers.
+    z = pool.zeros("x", (4,), np.complex128)
+    assert z.dtype == np.complex128
+    assert pool.nbytes() >= 8 * 8 * 8 + 4 * 16
+
+
+def test_plan_builds_for_single_leaf(rng):
+    """Degenerate tree (root is a leaf): empty V/W/X, U covers everything."""
+    pts = uniform_cloud(rng, 20)
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=64)).setup(pts)
+    plan = fmm._plan
+    assert plan is not None
+    assert not plan.v_levels or all(vl.npairs == 0 for vl in plan.v_levels)
+    phi = rng.standard_normal((20, 1))
+    u = fmm.apply(phi)
+    exact = direct_evaluate(LaplaceKernel(), pts, pts, phi)
+    assert relative_error(u, exact) < 1e-12  # pure U-list: direct sums
+
+
+def test_options_validation():
+    with pytest.raises(ValueError, match="inner"):
+        FMMOptions(inner=1.0)  # must be strictly > 1
+    with pytest.raises(ValueError, match="inner"):
+        FMMOptions(inner=2.9, outer=2.9)  # inner < outer strictly
+    with pytest.raises(ValueError, match="inner"):
+        FMMOptions(outer=3.0)  # must be strictly < 3
+    with pytest.raises(ValueError, match="plan"):
+        FMMOptions(plan="vectorised")
+    # The defaults and a legal custom pair survive.
+    FMMOptions()
+    FMMOptions(inner=1.2, outer=2.8)
+
+
+def test_build_plan_matches_lists(rng):
+    """Total V pairs in the plan == the V-list census from the tree."""
+    pts = ellipse_surface(rng, 600)
+    fmm = KIFMM(LaplaceKernel(), FMMOptions(p=4, max_points=25)).setup(pts)
+    plan = build_plan(fmm.tree, fmm.lists)
+    nv = fmm.lists.counts()["V"]
+    assert sum(vl.npairs for vl in plan.v_levels) == nv
