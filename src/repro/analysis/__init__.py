@@ -1,0 +1,29 @@
+"""Static and trace-based correctness analysis for the reproduction.
+
+Two pillars (see ``docs/architecture.md`` § "Analysis & correctness
+tooling"):
+
+- :mod:`repro.analysis.trace` / :mod:`repro.analysis.commcheck` — a
+  per-rank communication event trace recorded by the simulated MPI
+  runtime (Lamport + vector clocks on every send/recv/collective) and an
+  offline analyzer that builds the happens-before relation and proves an
+  execution free of leaked messages, wait-for deadlock cycles,
+  collective divergence and channel-order nondeterminism.
+- :mod:`repro.analysis.lint` — an ``ast``-based lint of repo invariants
+  (flop accounting, thread confinement, dtype width, buffer-pool
+  escapes, mutable defaults) run as ``python -m repro.analysis.lint
+  src/``.
+"""
+
+from repro.analysis.commcheck import CommReport, Finding, check_trace, compare_traces
+from repro.analysis.trace import CommTrace, TraceEvent, payload_digest
+
+__all__ = [
+    "CommReport",
+    "CommTrace",
+    "Finding",
+    "TraceEvent",
+    "check_trace",
+    "compare_traces",
+    "payload_digest",
+]

@@ -1,0 +1,460 @@
+"""Offline analyzer for simulated-MPI communication traces.
+
+Consumes the :class:`~repro.analysis.trace.CommTrace` recorded by
+:func:`repro.parallel.simmpi.run_spmd` and reports, from the trace
+alone:
+
+- **unmatched sends** — messages put on a ``(src, dst, tag)`` channel
+  and never received (cross-checked against the runtime's mailbox-leak
+  report);
+- **wait-for deadlock cycles** — ranks whose final event is a blocked
+  receive or collective entry, with the cycle's blocked
+  ``(src, dst, tag)`` edges named;
+- **collective divergence** — ranks entering different collectives (or
+  the same collective with different op/shape) at the same collective
+  index;
+- **channel-order violations** — receives consuming a channel out of
+  FIFO send order, or two sends on one channel not ordered by
+  happens-before (each channel has a single sending rank, so concurrent
+  sends would mean the runtime's ordering guarantee is broken);
+- **stats mismatches** — event counts inconsistent with the
+  :class:`~repro.parallel.simmpi.CommStats` send/receive accounting.
+
+:func:`compare_traces` additionally checks *observable determinism*
+across repeated runs under perturbed schedules: per-channel payload
+digest sequences and per-rank collective sequences must be identical.
+
+CLI::
+
+    python -m repro.analysis.commcheck TRACE.jsonl [TRACE2.jsonl ...]
+
+analyzes saved traces (and compares them when several are given).  The
+live smoke — run a 4-rank parallel FMM under perturbed schedules and
+verify the traces clean — is ``python -m repro commcheck``.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.trace import CommTrace, TraceEvent
+
+
+@dataclass
+class Finding:
+    """One analyzer diagnosis."""
+
+    rule: str
+    message: str
+    ranks: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        where = f" (ranks {', '.join(map(str, self.ranks))})" if self.ranks else ""
+        return f"[{self.rule}]{where} {self.message}"
+
+
+@dataclass
+class CommReport:
+    """All findings for one trace (or one cross-trace comparison)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    nevents: int = 0
+    nranks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def summary(self) -> str:
+        head = (
+            f"commcheck: {self.nevents} events over {self.nranks} ranks — "
+            + ("clean" if self.ok else f"{len(self.findings)} finding(s)")
+        )
+        return "\n".join([head] + [f"  {f}" for f in self.findings])
+
+
+def _channel_events(
+    trace: CommTrace,
+) -> tuple[dict[tuple, list[TraceEvent]], dict[tuple, list[TraceEvent]]]:
+    """Per-channel send and completed-recv event lists, in rank order."""
+    sends: dict[tuple, list[TraceEvent]] = defaultdict(list)
+    recvs: dict[tuple, list[TraceEvent]] = defaultdict(list)
+    for evs in trace.events_by_rank:
+        for ev in evs:
+            if ev.kind == "send":
+                sends[ev.channel()].append(ev)
+            elif ev.kind == "recv":
+                recvs[ev.channel()].append(ev)
+    return sends, recvs
+
+
+def _happens_before(a: TraceEvent, b: TraceEvent) -> bool:
+    """Vector-clock happens-before: ``a -> b``."""
+    if not a.clock or not b.clock:
+        return False
+    return all(x <= y for x, y in zip(a.clock, b.clock)) and a.clock != b.clock
+
+
+def _check_channels(trace: CommTrace, report: CommReport) -> None:
+    sends, recvs = _channel_events(trace)
+    runtime_leaks = {tuple(k) if isinstance(k, list) else k: n
+                     for k, n in trace.leaked}
+    for chan in sorted(set(sends) | set(recvs), key=repr):
+        s, r = sends.get(chan, []), recvs.get(chan, [])
+        src, dst, tag = chan
+        if len(s) > len(r):
+            report.findings.append(Finding(
+                "unmatched-send",
+                f"{len(s) - len(r)} message(s) on channel {src}->{dst} "
+                f"tag={tag!r} sent but never received",
+                ranks=(src, dst),
+            ))
+        elif len(r) > len(s):  # impossible unless the runtime itself is broken
+            report.findings.append(Finding(
+                "phantom-recv",
+                f"channel {src}->{dst} tag={tag!r} completed {len(r)} recvs "
+                f"for only {len(s)} sends",
+                ranks=(src, dst),
+            ))
+        # FIFO matching: the i-th completed recv must consume the i-th send.
+        for i, ev in enumerate(r):
+            if i < len(s) and ev.match_seq is not None and ev.match_seq != s[i].seq:
+                report.findings.append(Finding(
+                    "channel-order",
+                    f"recv #{i} on channel {src}->{dst} tag={tag!r} matched "
+                    f"send seq {ev.match_seq}, expected seq {s[i].seq} "
+                    f"(non-FIFO consumption)",
+                    ranks=(src, dst),
+                ))
+                break
+        # Sends on one channel come from a single rank, so they must form
+        # a happens-before chain; a violation means recv order on this
+        # channel is not determined by the program (nondeterminism).
+        for a, b in zip(s, s[1:]):
+            if not _happens_before(a, b):
+                report.findings.append(Finding(
+                    "channel-order",
+                    f"two sends on channel {src}->{dst} tag={tag!r} are "
+                    f"concurrent (seq {a.seq} and {b.seq}); receive order "
+                    f"is nondeterministic",
+                    ranks=(src,),
+                ))
+                break
+    # Cross-check the runtime's own mailbox-leak report.
+    for chan, count in sorted(runtime_leaks.items(), key=repr):
+        s = sends.get(chan, [])
+        r = recvs.get(chan, [])
+        if len(s) - len(r) != count:
+            report.findings.append(Finding(
+                "trace-runtime-mismatch",
+                f"runtime reports {count} leaked message(s) on channel "
+                f"{chan!r} but the trace shows {len(s)} send(s) / "
+                f"{len(r)} recv(s)",
+            ))
+
+
+def _pending_ops(trace: CommTrace) -> dict[int, TraceEvent | None]:
+    """The blocking operation each rank was stuck in at exit, if any.
+
+    A rank is blocked when its final event is a ``recv-post`` or
+    ``coll-enter`` with no matching completion event.
+    """
+    pending: dict[int, TraceEvent | None] = {}
+    for rank, evs in enumerate(trace.events_by_rank):
+        pending[rank] = None
+        if evs and evs[-1].kind in ("recv-post", "coll-enter"):
+            pending[rank] = evs[-1]
+    return pending
+
+
+def _check_deadlock(trace: CommTrace, report: CommReport) -> None:
+    if trace.completed:
+        return
+    pending = _pending_ops(trace)
+    blocked = {r: ev for r, ev in pending.items() if ev is not None}
+    if not blocked:
+        return
+    coll_counts = {
+        r: sum(1 for e in evs if e.kind == "coll-exit")
+        for r, evs in enumerate(trace.events_by_rank)
+    }
+    # Wait-for graph: rank -> ranks it cannot proceed without.
+    waits: dict[int, dict[int, str]] = {}
+    for r, ev in blocked.items():
+        edges: dict[int, str] = {}
+        if ev.kind == "recv-post":
+            src, dst, tag = ev.channel()
+            edges[src] = f"recv {src}->{dst} tag={tag!r}"
+        else:
+            # coll-enter: waits on every rank that has not reached this
+            # collective.  A peer blocked in the *same* collective index
+            # is a fellow waiter, not an obstacle — the collective would
+            # complete if everyone were there.
+            for q in range(trace.nranks):
+                if q == r or coll_counts[q] > coll_counts[r]:
+                    continue
+                qev = blocked.get(q)
+                if (
+                    qev is not None
+                    and qev.kind == "coll-enter"
+                    and qev.coll_index == ev.coll_index
+                ):
+                    continue
+                edges[q] = f"{ev.coll}[{ev.coll_index}]"
+        waits[r] = edges
+
+    # Cycle detection over the blocked subgraph.
+    def find_cycle(start: int) -> list[int] | None:
+        path, on_path = [], set()
+
+        def dfs(u: int) -> list[int] | None:
+            if u in on_path:
+                return path[path.index(u):]
+            if u not in waits:
+                return None
+            path.append(u)
+            on_path.add(u)
+            for v in waits[u]:
+                cyc = dfs(v)
+                if cyc is not None:
+                    return cyc
+            path.pop()
+            on_path.discard(u)
+            return None
+
+        return dfs(start)
+
+    reported: set[frozenset[int]] = set()
+    for r in sorted(blocked):
+        cycle = find_cycle(r)
+        if cycle and frozenset(cycle) not in reported:
+            reported.add(frozenset(cycle))
+            edges = []
+            for i, u in enumerate(cycle):
+                v = cycle[(i + 1) % len(cycle)]
+                label = waits[u].get(v, "?")
+                edges.append(f"rank {u} blocked in {label} waiting on rank {v}")
+            report.findings.append(Finding(
+                "deadlock-cycle",
+                "wait-for cycle: " + "; ".join(edges),
+                ranks=tuple(cycle),
+            ))
+    # Blocked on a peer that terminated: no cycle, still a fatal wait.
+    for r in sorted(blocked):
+        if any(r in c for c in reported):
+            continue
+        ev = blocked[r]
+        if ev.kind == "recv-post":
+            src = ev.peer
+            if pending.get(src) is None and src not in blocked:
+                report.findings.append(Finding(
+                    "orphan-wait",
+                    f"rank {r} blocked in {ev.describe()} but rank {src} "
+                    f"finished without sending",
+                    ranks=(r, src),
+                ))
+
+
+def _check_collectives(trace: CommTrace, report: CommReport) -> None:
+    seqs: list[list[TraceEvent]] = [
+        [e for e in evs if e.kind == "coll-enter"]
+        for evs in trace.events_by_rank
+    ]
+    if not seqs:
+        return
+    depth = max(len(s) for s in seqs)
+    for i in range(depth):
+        entries = {r: s[i] for r, s in enumerate(seqs) if i < len(s)}
+        kinds = {(e.coll, e.op) for e in entries.values()}
+        if len(kinds) > 1:
+            desc = ", ".join(
+                f"rank {r}: {e.coll}" + (f"(op={e.op})" if e.op else "")
+                for r, e in sorted(entries.items())
+            )
+            report.findings.append(Finding(
+                "collective-divergence",
+                f"collective #{i}: ranks entered different collectives — {desc}",
+                ranks=tuple(sorted(entries)),
+            ))
+            return  # later indices are meaningless after a divergence
+        if trace.completed and len(entries) != trace.nranks:
+            missing = sorted(set(range(trace.nranks)) - set(entries))
+            report.findings.append(Finding(
+                "collective-divergence",
+                f"collective #{i}: ranks {missing} never entered it",
+                ranks=tuple(missing),
+            ))
+            return
+        shapes = {e.shape for e in entries.values() if e.coll == "allreduce"}
+        if len(shapes) > 1:
+            report.findings.append(Finding(
+                "collective-divergence",
+                f"collective #{i}: allreduce contributions disagree on "
+                f"shape: {sorted(shapes, key=repr)}",
+                ranks=tuple(sorted(entries)),
+            ))
+            return
+
+
+def _check_clocks(trace: CommTrace, report: CommReport) -> None:
+    """Happens-before sanity: every recv follows its matching send."""
+    for evs in trace.events_by_rank:
+        last = 0
+        for ev in evs:
+            if ev.lamport < last:
+                report.findings.append(Finding(
+                    "clock-regression",
+                    f"rank {ev.rank} Lamport clock went backwards at "
+                    f"event #{ev.seq} ({ev.describe()})",
+                    ranks=(ev.rank,),
+                ))
+                return
+            last = ev.lamport
+    sends, recvs = _channel_events(trace)
+    for chan, r in recvs.items():
+        s = sends.get(chan, [])
+        by_seq = {ev.seq: ev for ev in s}
+        for ev in r:
+            if ev.match_seq is None:
+                continue
+            send_ev = by_seq.get(ev.match_seq)
+            if send_ev is not None and not _happens_before(send_ev, ev):
+                report.findings.append(Finding(
+                    "clock-regression",
+                    f"{ev.describe()} does not happen-after its matching "
+                    f"send (seq {ev.match_seq})",
+                    ranks=(send_ev.rank, ev.rank),
+                ))
+                return
+
+
+def _check_stats(
+    trace: CommTrace, stats: Sequence[Any], report: CommReport
+) -> None:
+    n_send_ev = sum(
+        1 for evs in trace.events_by_rank for e in evs if e.kind == "send"
+    )
+    n_recv_ev = sum(
+        1 for evs in trace.events_by_rank for e in evs if e.kind == "recv"
+    )
+    sent = sum(s.messages_sent for s in stats)
+    received = sum(s.messages_received for s in stats)
+    if sent != n_send_ev:
+        report.findings.append(Finding(
+            "stats-mismatch",
+            f"CommStats counted {sent} sends but the trace has {n_send_ev} "
+            f"send events",
+        ))
+    if received != n_recv_ev:
+        report.findings.append(Finding(
+            "stats-mismatch",
+            f"CommStats counted {received} receives but the trace has "
+            f"{n_recv_ev} recv events",
+        ))
+
+
+def check_trace(trace: CommTrace, stats: Sequence[Any] | None = None) -> CommReport:
+    """Run every single-trace analysis; optionally cross-check ``stats``.
+
+    ``stats`` is the per-rank :class:`~repro.parallel.simmpi.CommStats`
+    list of the same run (e.g. ``ParallelFMMResult.comm_stats``).
+    """
+    report = CommReport(nevents=trace.nevents(), nranks=trace.nranks)
+    _check_channels(trace, report)
+    _check_deadlock(trace, report)
+    _check_collectives(trace, report)
+    _check_clocks(trace, report)
+    if stats is not None:
+        _check_stats(trace, stats, report)
+    return report
+
+
+def _channel_digests(trace: CommTrace) -> dict[tuple, tuple[str, ...]]:
+    sends, _ = _channel_events(trace)
+    return {
+        chan: tuple(e.digest or "" for e in evs) for chan, evs in sends.items()
+    }
+
+
+def _coll_signature(trace: CommTrace) -> list[tuple]:
+    return [
+        [(e.coll, e.op, e.shape) for e in evs if e.kind == "coll-enter"]
+        for evs in trace.events_by_rank
+    ]
+
+
+def compare_traces(traces: Sequence[CommTrace]) -> CommReport:
+    """Cross-run determinism check over perturbed-schedule executions.
+
+    Every trace must exhibit the same per-channel payload digest
+    sequences and the same per-rank collective sequences; a difference
+    means the communication pattern (not just its interleaving) depends
+    on the schedule — recv-order nondeterminism made observable.
+    """
+    report = CommReport(
+        nevents=sum(t.nevents() for t in traces),
+        nranks=traces[0].nranks if traces else 0,
+    )
+    if len(traces) < 2:
+        return report
+    ref = traces[0]
+    ref_digests = _channel_digests(ref)
+    ref_colls = _coll_signature(ref)
+    for i, other in enumerate(traces[1:], start=1):
+        if other.nranks != ref.nranks:
+            report.findings.append(Finding(
+                "schedule-divergence",
+                f"trace #{i} ran {other.nranks} ranks, reference ran "
+                f"{ref.nranks}",
+            ))
+            continue
+        digests = _channel_digests(other)
+        for chan in sorted(set(ref_digests) | set(digests), key=repr):
+            a, b = ref_digests.get(chan, ()), digests.get(chan, ())
+            if a != b:
+                report.findings.append(Finding(
+                    "schedule-divergence",
+                    f"trace #{i}: channel {chan!r} carried a different "
+                    f"message sequence than the reference run "
+                    f"({len(b)} vs {len(a)} messages)",
+                ))
+        if _coll_signature(other) != ref_colls:
+            report.findings.append(Finding(
+                "schedule-divergence",
+                f"trace #{i}: collective sequence differs from the "
+                f"reference run",
+            ))
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Analyze saved trace files: non-zero exit on any finding."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if args else 2
+    traces = []
+    failed = False
+    for path in args:
+        trace = CommTrace.from_jsonl(path)
+        traces.append(trace)
+        report = check_trace(trace)
+        print(f"== {path}")
+        print(report.summary())
+        failed |= not report.ok
+    if len(traces) > 1:
+        report = compare_traces(traces)
+        print("== cross-trace determinism")
+        print(report.summary())
+        failed |= not report.ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/CLI
+    sys.exit(main())

@@ -1,0 +1,444 @@
+"""Repo-invariant AST lint.
+
+A small framework of ``ast``-based rules encoding invariants this
+codebase relies on but Python cannot express.  Run it as::
+
+    python -m repro.analysis.lint src/
+
+Exit status is non-zero iff any violation is found.  Each rule carries a
+documented rationale (``--list-rules`` prints the catalog) and every
+violation can be locally waived with a trailing comment on the offending
+line::
+
+    x = fancy_matmul(a, b)  # lint: allow(flops-accounted)
+
+Rule catalog (details in ``docs/architecture.md``):
+
+- ``flops-accounted`` — evaluation-core functions that carry a
+  ``FlopCounter`` must account every matmul/einsum/solve they perform.
+- ``thread-confinement`` — ``threading``/``queue``/``multiprocessing``
+  imports are confined to ``repro/parallel/simmpi.py``.
+- ``dtype-width`` — no narrowing numpy dtypes in ``core/``/``linalg/``.
+- ``bufferpool-escape`` — ``BufferPool`` scratch buffers must not be
+  returned from the function that drew them.
+- ``mutable-default`` — no mutable default argument values.
+
+Paths are scoped by the file's position inside the ``repro`` package
+(the path segment from the last ``repro`` component), so fixture trees
+that mirror the package layout are linted identically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: Path
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Module:
+    """A parsed source file plus the metadata rules need."""
+
+    path: Path
+    rel: str  # package-relative posix path, e.g. "repro/core/plan.py"
+    tree: ast.Module
+    allows: dict[int, set[str]]  # line -> rule names waived on that line
+
+    def in_package(self, *parts: str) -> bool:
+        return self.rel.startswith("repro/" + "/".join(parts))
+
+
+def _package_rel(path: Path) -> str:
+    parts = path.parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return path.name
+
+
+def parse_module(path: Path) -> Module:
+    text = path.read_text(encoding="utf-8")
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            allows[lineno] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return Module(
+        path=path,
+        rel=_package_rel(path),
+        tree=ast.parse(text, filename=str(path)),
+        allows=allows,
+    )
+
+
+def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body, *excluding* nested function/class bodies.
+
+    Nested defs are yielded themselves (so rules can see they exist) but
+    their bodies belong to their own scope.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _arg_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    a = func.args
+    return {
+        arg.arg
+        for arg in [*a.posonlyargs, *a.args, *a.kwonlyargs, a.vararg, a.kwarg]
+        if arg is not None
+    }
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``rationale`` and ``check``."""
+
+    name = "abstract"
+    rationale = ""
+
+    def check(self, mod: Module) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _v(self, mod: Module, line: int, message: str) -> Violation:
+        return Violation(rule=self.name, path=mod.path, line=line, message=message)
+
+
+class FlopsAccountedRule(Rule):
+    name = "flops-accounted"
+    rationale = (
+        "The paper's tables report per-phase Gflop/s; the repo's "
+        "performance model and benchmarks trust FlopCounter to be "
+        "complete.  Any core/ function that carries a FlopCounter (a "
+        "`flops` parameter or local) and performs a matmul, einsum or "
+        "solve without a flops.add*() call silently under-reports work.  "
+        "Leaf helpers without a counter in scope are accounted by their "
+        "callers and are exempt."
+    )
+
+    _NUMERIC_ATTRS = {"einsum", "solve", "lstsq", "tensordot"}
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        if not mod.in_package("core"):
+            return
+        for func in functions(mod.tree):
+            nodes = list(own_nodes(func))
+            has_counter = "flops" in _arg_names(func) or any(
+                isinstance(n, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "flops"
+                    for t in n.targets
+                )
+                for n in nodes
+            )
+            if not has_counter:
+                continue
+            accounted = any(
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr.startswith("add")
+                and (
+                    (isinstance(n.func.value, ast.Name)
+                     and n.func.value.id == "flops")
+                    or (isinstance(n.func.value, ast.Attribute)
+                        and n.func.value.attr == "flops")
+                )
+                for n in nodes
+            )
+            if accounted:
+                continue
+            for n in nodes:
+                numeric = (
+                    (isinstance(n, ast.BinOp) and isinstance(n.op, ast.MatMult))
+                    or (isinstance(n, ast.AugAssign)
+                        and isinstance(n.op, ast.MatMult))
+                    or (isinstance(n, ast.Call)
+                        and isinstance(n.func, ast.Attribute)
+                        and n.func.attr in self._NUMERIC_ATTRS)
+                )
+                if numeric:
+                    yield self._v(
+                        mod, n.lineno,
+                        f"function {func.name!r} holds a FlopCounter but "
+                        f"performs unaccounted numerical work (matmul/"
+                        f"einsum/solve without flops.add*)",
+                    )
+                    break
+
+
+class ThreadConfinementRule(Rule):
+    name = "thread-confinement"
+    rationale = (
+        "All concurrency lives in the simulated MPI transport "
+        "(parallel/simmpi.py); numerics, tree code and the analyzers are "
+        "single-threaded by contract, which is what makes the comm-trace "
+        "analysis sound (per-rank event lists need no locks) and keeps "
+        "the rest of the codebase schedule independent."
+    )
+
+    _MODULES = {"threading", "queue", "multiprocessing", "concurrent"}
+    _ALLOWED = "repro/parallel/simmpi.py"
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        if mod.rel == self._ALLOWED:
+            return
+        for node in ast.walk(mod.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                root = name.split(".")[0]
+                if root in self._MODULES:
+                    yield self._v(
+                        mod, node.lineno,
+                        f"import of {root!r} outside {self._ALLOWED} — "
+                        f"concurrency is confined to the simulated MPI "
+                        f"runtime",
+                    )
+
+
+class DtypeWidthRule(Rule):
+    name = "dtype-width"
+    rationale = (
+        "The solver stack (regularised pseudo-inverses, FFT M2L, GMRES) "
+        "assumes float64/complex128 end to end; a narrowing constructor "
+        "in core/ or linalg/ silently degrades the 1e-5 accuracy target "
+        "of the paper's experiments.  Narrow dtypes are fine elsewhere "
+        "(e.g. the uint8 usage-mask compression in parallel/let.py)."
+    )
+
+    _NARROW = {
+        "float16", "float32", "complex64", "int8", "int16", "int32",
+        "uint8", "uint16", "uint32", "half", "single", "csingle",
+    }
+
+    def _narrow_name(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute) and node.attr in self._NARROW:
+            return node.attr
+        if isinstance(node, ast.Name) and node.id in self._NARROW:
+            return node.id
+        if isinstance(node, ast.Constant) and node.value in self._NARROW:
+            return str(node.value)
+        return None
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        if not (mod.in_package("core") or mod.in_package("linalg")):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates: list[ast.AST] = [
+                kw.value for kw in node.keywords if kw.arg == "dtype"
+            ]
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+            ):
+                candidates.append(node.args[0])
+            for cand in candidates:
+                narrow = self._narrow_name(cand)
+                if narrow:
+                    yield self._v(
+                        mod, node.lineno,
+                        f"narrowing dtype {narrow!r} in the float64 "
+                        f"solver core",
+                    )
+
+
+class BufferPoolEscapeRule(Rule):
+    name = "bufferpool-escape"
+    rationale = (
+        "BufferPool scratch arrays are recycled on the next apply(): a "
+        "buffer (or a view of one) returned to a caller aliases memory "
+        "that will be silently overwritten, corrupting results one "
+        "evaluation later.  Results that outlive a plan stage must be "
+        "copied into fresh arrays (as the planned evaluator does for "
+        "its output potential).  Tracking is function-local and follows "
+        "direct bindings plus subscript/reshape/view aliases."
+    )
+
+    _VIEW_ATTRS = {"reshape", "view", "ravel", "transpose", "swapaxes"}
+
+    def _is_pool_receiver(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return "pool" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "pool" in node.attr.lower() or node.attr == "buffers"
+        return False
+
+    def _is_pool_draw(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("zeros", "empty")
+            and self._is_pool_receiver(node.func.value)
+        )
+
+    def _base_name(self, node: ast.AST) -> str | None:
+        """The root Name of a subscript/view-method chain, if any."""
+        while True:
+            if isinstance(node, ast.Name):
+                return node.id
+            if isinstance(node, ast.Subscript):
+                node = node.value
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._VIEW_ATTRS
+            ):
+                node = node.func.value
+            elif isinstance(node, ast.Attribute) and node.attr == "T":
+                node = node.value
+            else:
+                return None
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        for func in functions(mod.tree):
+            tracked: set[str] = set()
+            nodes = [
+                n for n in own_nodes(func)
+                if isinstance(n, (ast.Assign, ast.Return, ast.Yield))
+            ]
+            nodes.sort(key=lambda n: (n.lineno, n.col_offset))
+            for n in nodes:
+                if isinstance(n, ast.Assign):
+                    value_tracked = self._is_pool_draw(n.value) or (
+                        self._base_name(n.value) in tracked
+                    )
+                    for t in n.targets:
+                        if isinstance(t, ast.Name):
+                            if value_tracked:
+                                tracked.add(t.id)
+                            else:
+                                tracked.discard(t.id)  # rebound to fresh data
+                elif n.value is not None:
+                    escapes = self._is_pool_draw(n.value) or (
+                        self._base_name(n.value) in tracked
+                    )
+                    if escapes:
+                        kind = "returns" if isinstance(n, ast.Return) else "yields"
+                        yield self._v(
+                            mod, n.lineno,
+                            f"function {func.name!r} {kind} a BufferPool "
+                            f"scratch buffer (or a view of one); it will "
+                            f"be overwritten on the next apply()",
+                        )
+
+
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    rationale = (
+        "A mutable default is created once at def time and shared across "
+        "calls — state leaks between FMM evaluations and between "
+        "simulated ranks.  Use None plus an in-body default, or "
+        "dataclasses.field(default_factory=...)."
+    )
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        for func in functions(mod.tree):
+            defaults = [*func.args.defaults, *func.args.kw_defaults]
+            for d in defaults:
+                if d is None:
+                    continue
+                mutable = isinstance(d, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(d, ast.Call)
+                    and isinstance(d.func, ast.Name)
+                    and d.func.id in ("list", "dict", "set", "bytearray")
+                    and not d.args
+                    and not d.keywords
+                )
+                if mutable:
+                    yield self._v(
+                        mod, d.lineno,
+                        f"mutable default argument in {func.name!r}",
+                    )
+
+
+RULES: tuple[Rule, ...] = (
+    FlopsAccountedRule(),
+    ThreadConfinementRule(),
+    DtypeWidthRule(),
+    BufferPoolEscapeRule(),
+    MutableDefaultRule(),
+)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def run_lint(
+    paths: Iterable[str | Path], rules: Sequence[Rule] = RULES
+) -> list[Violation]:
+    """Lint every ``*.py`` under ``paths``; returns surviving violations.
+
+    Violations on a line carrying ``# lint: allow(<rule>)`` are waived.
+    """
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        mod = parse_module(path)
+        for rule in rules:
+            for v in rule.check(mod):
+                if rule.name in mod.allows.get(v.line, ()):
+                    continue
+                violations.append(v)
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--list-rules" in args:
+        for rule in RULES:
+            print(f"{rule.name}:")
+            print(f"    {rule.rationale}")
+        return 0
+    if not args:
+        print("usage: python -m repro.analysis.lint [--list-rules] PATH...")
+        return 2
+    violations = run_lint(args)
+    for v in violations:
+        print(v)
+    nfiles = len(list(iter_python_files(args)))
+    status = "clean" if not violations else f"{len(violations)} violation(s)"
+    print(f"lint: {nfiles} file(s), {len(RULES)} rule(s) — {status}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/CI
+    sys.exit(main())

@@ -8,6 +8,8 @@ Examples::
         --n 3200000 --model-n 100000 --procs 1,16,256,1024
     python -m repro scaling --mode isogranular --kernel stokes \
         --grain 200000 --procs 1,64,1024 --cap 200000
+    python -m repro commcheck --ranks 4 --n 600 --schedules 5
+    python -m repro lint src/
 """
 
 from __future__ import annotations
@@ -154,6 +156,66 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_commcheck(args: argparse.Namespace) -> int:
+    """Run the parallel FMM under perturbed schedules; verify the traces.
+
+    The CI "analysis" job runs this as the commcheck smoke: a multi-rank
+    evaluation per schedule seed, each trace checked for leaked
+    messages, deadlock structure, collective divergence and FIFO order,
+    the set compared for observable determinism, and the potentials
+    asserted bitwise identical across schedules.
+    """
+    from repro.analysis import CommTrace, check_trace, compare_traces
+    from repro.parallel.pfmm import run_parallel_fmm
+    from repro.parallel.simmpi import CommStats
+
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    density = rng.random((pts.shape[0], kernel.source_dof))
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    failed = False
+    traces: list[CommTrace] = []
+    reference = None
+    for i in range(args.schedules):
+        trace = CommTrace()
+        result = run_parallel_fmm(
+            args.ranks, kernel, pts, density, opts,
+            trace=trace, schedule_seed=args.seed + i,
+        )
+        report = check_trace(trace, stats=result.comm_stats)
+        total = CommStats.total(result.comm_stats)
+        print(f"schedule {i}: {report.summary()}")
+        print(f"  traffic: {total.messages_sent} msgs / {total.bytes_sent} B "
+              f"sent, {total.messages_received} msgs / "
+              f"{total.bytes_received} B received")
+        failed |= not report.ok
+        traces.append(trace)
+        if reference is None:
+            reference = result.potential
+        elif not np.array_equal(reference, result.potential):
+            print(f"schedule {i}: potentials differ from schedule 0 "
+                  f"(nondeterministic result)")
+            failed = True
+    cross = compare_traces(traces)
+    print(cross.summary())
+    failed |= not cross.ok
+    if args.save_trace:
+        traces[0].to_jsonl(args.save_trace)
+        print(f"trace of schedule 0 written to {args.save_trace}")
+    print("commcheck:", "FAILED" if failed else "all schedules clean")
+    return 1 if failed else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +269,29 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--cap", type=int, default=200_000)
     ps.add_argument("--procs", default="1,4,16,64,256,1024")
     ps.set_defaults(func=_cmd_scaling)
+
+    pc = sub.add_parser(
+        "commcheck",
+        help="run the parallel FMM under perturbed schedules and verify "
+             "the communication traces race- and deadlock-free",
+    )
+    common(pc)
+    pc.add_argument("--n", type=int, default=600)
+    pc.add_argument("--ranks", type=int, default=4)
+    pc.add_argument("--schedules", type=int, default=5,
+                    help="number of perturbed schedules to fuzz")
+    pc.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    pc.add_argument("--save-trace", default=None, metavar="PATH",
+                    help="write schedule 0's event trace as JSON lines")
+    pc.set_defaults(func=_cmd_commcheck, p=4, s=40)
+
+    pl = sub.add_parser(
+        "lint", help="run the repo-invariant AST lint over source trees"
+    )
+    pl.add_argument("paths", nargs="*", default=["src"])
+    pl.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog with rationales")
+    pl.set_defaults(func=_cmd_lint)
     return parser
 
 

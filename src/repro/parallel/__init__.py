@@ -11,7 +11,7 @@ message-passing runtime with logical ranks on threads (the substitution
 for real MPI hardware documented in DESIGN.md).
 """
 
-from repro.parallel.simmpi import SimComm, run_spmd, CommStats
+from repro.parallel.simmpi import CommStats, MailboxLeakError, SimComm, run_spmd
 from repro.parallel.partition import morton_order_patches, partition_patches, partition_points
 from repro.parallel.pfmm import ParallelFMMResult, parallel_evaluate, run_parallel_fmm
 
@@ -19,6 +19,7 @@ __all__ = [
     "SimComm",
     "run_spmd",
     "CommStats",
+    "MailboxLeakError",
     "morton_order_patches",
     "partition_patches",
     "partition_points",

@@ -340,6 +340,8 @@ def run_parallel_fmm(
     source_kernel: Kernel | None = None,
     target_kernel: Kernel | None = None,
     direct_kernel: Kernel | None = None,
+    trace=None,
+    schedule_seed: int | None = None,
 ) -> ParallelFMMResult:
     """Convenience driver: partition, run SPMD, reassemble.
 
@@ -347,6 +349,12 @@ def run_parallel_fmm(
     partitioning, runs the full three-stage parallel algorithm, and
     returns the potentials in the original point order together with
     per-rank communication statistics.
+
+    ``trace`` (a :class:`repro.analysis.trace.CommTrace`) records the
+    full communication event trace for
+    :func:`repro.analysis.commcheck.check_trace`; ``schedule_seed``
+    perturbs the rank interleaving with seeded yields (the result must
+    be — and is asserted by tests to be — schedule independent).
     """
     points = np.asarray(points, dtype=np.float64)
     density = np.asarray(density, dtype=np.float64).reshape(points.shape[0], -1)
@@ -362,7 +370,10 @@ def run_parallel_fmm(
         )
         return pot, comm.stats
 
-    outputs = run_spmd(nranks, rank_main, PerRank(parts))
+    outputs = run_spmd(
+        nranks, rank_main, PerRank(parts),
+        trace=trace, schedule_seed=schedule_seed,
+    )
     qd = (target_kernel or kernel).target_dof
     potential = np.zeros((points.shape[0], qd))
     for idx, (pot, _) in zip(parts, outputs):

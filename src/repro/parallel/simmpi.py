@@ -10,25 +10,48 @@ two-phase barrier protocol.
 This is the DESIGN.md substitution for the paper's MPI/Quadrics stack:
 the algorithm exchanges real messages between ranks, only the transport
 is in-process.
+
+Correctness tooling (see ``docs/architecture.md``):
+
+- pass ``trace=CommTrace()`` to :func:`run_spmd` to record every
+  communication event with Lamport/vector clocks for the offline
+  analyzer in :mod:`repro.analysis.commcheck`;
+- pass ``schedule_seed=`` to perturb the thread interleaving with
+  seeded random yields, so tests can fuzz schedules reproducibly;
+- at exit, :func:`run_spmd` asserts every mailbox is drained and raises
+  :class:`MailboxLeakError` naming the leaked ``(src, dst, tag)`` keys —
+  a dropped message is an algorithmic bug, never silent.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import numpy as np
+
+from repro.analysis.trace import CommTrace, Envelope, RankTracer
 
 
 @dataclass
 class CommStats:
-    """Per-rank communication accounting."""
+    """Per-rank communication accounting (both directions).
+
+    Send- and receive-side counters are symmetric so the comm-trace
+    analyzer can cross-check them against the event trace: over a whole
+    world, ``sum(messages_sent) == sum(messages_received)`` exactly when
+    no message was dropped.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
     allreduce_calls: int = 0
     allreduce_bytes: int = 0
     by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -39,9 +62,52 @@ class CommStats:
         if phase:
             self.by_phase[phase] += nbytes
 
+    def record_recv(self, nbytes: int, phase: str | None = None) -> None:
+        self.messages_received += 1
+        self.bytes_received += nbytes
+        if phase:
+            self.by_phase[phase] += nbytes
+
     def record_allreduce(self, nbytes: int) -> None:
         self.allreduce_calls += 1
         self.allreduce_bytes += nbytes
+
+    def merge(self, other: "CommStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.messages_received += other.messages_received
+        self.bytes_received += other.bytes_received
+        self.allreduce_calls += other.allreduce_calls
+        self.allreduce_bytes += other.allreduce_bytes
+        for phase, nbytes in other.by_phase.items():
+            self.by_phase[phase] += nbytes
+
+    @classmethod
+    def total(cls, per_rank: Iterable["CommStats"]) -> "CommStats":
+        """Aggregate per-rank stats into world totals."""
+        out = cls()
+        for stats in per_rank:
+            out.merge(stats)
+        return out
+
+
+class MailboxLeakError(RuntimeError):
+    """A run left undelivered messages in mailboxes at exit.
+
+    ``leaked`` holds ``((src, dst, tag), count)`` for every non-empty
+    mailbox — the exact channels whose messages were dropped.
+    """
+
+    def __init__(self, leaked: list[tuple[tuple[int, int, Any], int]]) -> None:
+        self.leaked = leaked
+        keys = ", ".join(
+            f"{src}->{dst} tag={tag!r} x{n}" for (src, dst, tag), n in leaked
+        )
+        super().__init__(
+            f"{sum(n for _, n in leaked)} message(s) left undelivered at "
+            f"exit: {keys}"
+        )
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -59,17 +125,35 @@ def _payload_bytes(obj: Any) -> int:
     return 8  # scalars and small objects
 
 
+#: Supported allreduce reductions (validated up front on every rank).
+_ALLREDUCE_OPS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sum": lambda stack: stack.sum(axis=0),
+    "max": lambda stack: stack.max(axis=0),
+    "min": lambda stack: stack.min(axis=0),
+}
+
+
 class _World:
     """State shared by all ranks of one SPMD run."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self,
+        size: int,
+        trace: CommTrace | None = None,
+        schedule_seed: int | None = None,
+        recv_timeout: float | None = None,
+    ) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
         self.mailbox: dict[tuple[int, int, Any], queue.Queue] = {}
         self._mailbox_lock = threading.Lock()
         self.slots: list[Any] = [None] * size
+        self.clock_slots: list[Any] = [None] * size
         self.reduced: Any = None
         self.failure: BaseException | None = None
+        self.trace = trace
+        self.schedule_seed = schedule_seed
+        self.recv_timeout = recv_timeout
 
     def box(self, src: int, dst: int, tag: Any) -> queue.Queue:
         key = (src, dst, tag)
@@ -78,6 +162,15 @@ class _World:
             if q is None:
                 q = self.mailbox[key] = queue.Queue()
             return q
+
+    def leaked_messages(self) -> list[tuple[tuple[int, int, Any], int]]:
+        """Non-empty mailboxes at exit, sorted for stable reporting."""
+        with self._mailbox_lock:
+            leaked = [
+                (key, q.qsize()) for key, q in self.mailbox.items()
+                if not q.empty()
+            ]
+        return sorted(leaked, key=lambda item: repr(item[0]))
 
 
 class SimComm:
@@ -92,6 +185,35 @@ class SimComm:
         self.rank = rank
         self.size = world.size
         self.stats = CommStats()
+        self._timeout = (
+            world.recv_timeout if world.recv_timeout is not None else self.TIMEOUT
+        )
+        self._tracer = (
+            RankTracer(world.trace, rank, world.size)
+            if world.trace is not None
+            else None
+        )
+        if world.schedule_seed is not None:
+            self._rng: random.Random | None = random.Random(
+                world.schedule_seed * 1_000_003 + rank * 7_919
+            )
+        else:
+            self._rng = None
+
+    def _jitter(self) -> None:
+        """Seeded schedule perturbation: yield or briefly sleep.
+
+        Communication results must be schedule independent; tests fuzz
+        interleavings by re-running with different ``schedule_seed``
+        values and asserting bitwise-identical outputs.
+        """
+        if self._rng is None:
+            return
+        r = self._rng.random()
+        if r < 0.5:
+            time.sleep(r * 4e-4)  # push this thread behind its peers
+        else:
+            time.sleep(0)  # plain yield
 
     # -- point to point ----------------------------------------------------
 
@@ -99,25 +221,60 @@ class SimComm:
         """Buffered send (MPI_Isend semantics: never blocks)."""
         if not 0 <= dst < self.size:
             raise ValueError(f"invalid destination rank {dst}")
-        self.stats.record_send(_payload_bytes(obj), phase)
+        self._jitter()
+        nbytes = _payload_bytes(obj)
+        self.stats.record_send(nbytes, phase)
+        if self._tracer is not None:
+            obj = self._tracer.on_send(dst, tag, obj, nbytes)
         self._world.box(self.rank, dst, tag).put(obj)
 
     isend = send  # buffered sends complete immediately
 
-    def recv(self, src: int, tag: Any = 0) -> Any:
+    def recv(self, src: int, tag: Any = 0, phase: str | None = None) -> Any:
         """Blocking receive from a specific source and tag."""
         if not 0 <= src < self.size:
             raise ValueError(f"invalid source rank {src}")
+        self._jitter()
+        if self._tracer is not None:
+            self._tracer.on_recv_post(src, tag)
         try:
-            return self._world.box(src, self.rank, tag).get(timeout=self.TIMEOUT)
+            obj = self._world.box(src, self.rank, tag).get(timeout=self._timeout)
         except queue.Empty:
             raise TimeoutError(
                 f"rank {self.rank} timed out receiving from {src} tag {tag!r}"
             ) from None
+        if isinstance(obj, Envelope):
+            env, obj = obj, obj.payload
+            nbytes = _payload_bytes(obj)
+            if self._tracer is not None:
+                self._tracer.on_recv(src, tag, env, nbytes)
+        else:
+            nbytes = _payload_bytes(obj)
+        self.stats.record_recv(nbytes, phase)
+        return obj
 
     # -- collectives ---------------------------------------------------------
 
+    def _coll_clock_sync(self, coll: str) -> None:
+        """Deposit/merge vector clocks across one extra barrier phase.
+
+        Reading between the two waits is generation safe: a peer cannot
+        overwrite its slot for the *next* collective until every rank
+        (including this one) has passed the second wait.
+        """
+        w = self._world
+        w.clock_slots[self.rank] = self._tracer.clock_snapshot()
+        w.barrier.wait()
+        peers = [w.clock_slots[r] for r in range(self.size) if r != self.rank]
+        self._tracer.on_coll_exit(coll, peers)
+        w.barrier.wait()
+
     def barrier(self) -> None:
+        self._jitter()
+        if self._tracer is not None:
+            self._tracer.on_coll_enter("barrier")
+            self._coll_clock_sync("barrier")
+            return
         self._world.barrier.wait()
 
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
@@ -125,36 +282,56 @@ class SimComm:
 
         This is the collective the paper's level-by-level tree
         construction relies on ("an MPI_Allreduce is used over all local
-        copies of the global tree array", Section 3.1).
+        copies of the global tree array", Section 3.1).  ``op`` is
+        validated before any rank synchronisation so an unsupported
+        reduction fails fast with a clear error on every rank.
         """
+        if op not in _ALLREDUCE_OPS:
+            raise ValueError(
+                f"unsupported allreduce op {op!r}; supported ops: "
+                f"{', '.join(sorted(_ALLREDUCE_OPS))}"
+            )
         array = np.asarray(array)
+        self._jitter()
         self.stats.record_allreduce(array.nbytes)
+        if self._tracer is not None:
+            self._tracer.on_coll_enter(
+                "allreduce", nbytes=array.nbytes, op=op, shape=array.shape
+            )
         w = self._world
         w.slots[self.rank] = array
         idx = w.barrier.wait()
         if idx == 0:
-            stack = np.stack(w.slots)
-            if op == "sum":
-                w.reduced = stack.sum(axis=0)
-            elif op == "max":
-                w.reduced = stack.max(axis=0)
-            elif op == "min":
-                w.reduced = stack.min(axis=0)
-            else:
-                w.failure = ValueError(f"unknown allreduce op {op!r}")
+            try:
+                stack = np.stack(w.slots)
+            except ValueError:
+                shapes = [np.shape(s) for s in w.slots]
+                w.failure = ValueError(
+                    f"allreduce shape mismatch across ranks: "
+                    f"{shapes} (every rank must contribute the same shape)"
+                )
                 w.reduced = None
+            else:
+                w.reduced = _ALLREDUCE_OPS[op](stack)
         w.barrier.wait()
         if w.failure is not None:
             raise w.failure
+        if self._tracer is not None:
+            self._coll_clock_sync("allreduce")
         return np.array(w.reduced, copy=True)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one object per rank, everywhere."""
+        self._jitter()
+        if self._tracer is not None:
+            self._tracer.on_coll_enter("allgather", nbytes=_payload_bytes(obj))
         w = self._world
         w.slots[self.rank] = obj
         w.barrier.wait()
         out = list(w.slots)
         w.barrier.wait()
+        if self._tracer is not None:
+            self._coll_clock_sync("allgather")
         return out
 
 
@@ -163,16 +340,36 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 600.0,
+    trace: CommTrace | None = None,
+    schedule_seed: int | None = None,
+    recv_timeout: float | None = None,
 ) -> list[Any]:
     """Run ``fn(comm, rank_args...)`` on ``nranks`` logical ranks.
 
     ``args`` may contain per-rank sequences wrapped in :class:`PerRank`;
     other arguments are broadcast.  Returns the per-rank return values.
     Any rank exception is re-raised in the caller.
+
+    ``trace`` (a :class:`~repro.analysis.trace.CommTrace`) records every
+    communication event for offline analysis; it is filled even when the
+    run fails, which is when the analyzer matters most.
+    ``schedule_seed`` enables seeded schedule perturbation (random
+    yields before every communication call).  ``recv_timeout`` overrides
+    :attr:`SimComm.TIMEOUT` — deadlock-detection tests use a small value
+    so a wait-for cycle surfaces in milliseconds, not minutes.
+
+    After a successful run every mailbox must be empty; leftover
+    messages raise :class:`MailboxLeakError` naming the leaked
+    ``(src, dst, tag)`` keys.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
-    world = _World(nranks)
+    if trace is not None:
+        trace.reset(nranks)
+    world = _World(
+        nranks, trace=trace, schedule_seed=schedule_seed,
+        recv_timeout=recv_timeout,
+    )
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
 
@@ -191,17 +388,31 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            world.barrier.abort()
-            raise TimeoutError(f"SPMD run exceeded {timeout}s ({t.name} alive)")
+    try:
+        for t in threads:
+            t.join(timeout=timeout)
+            if t.is_alive():
+                world.barrier.abort()
+                raise TimeoutError(f"SPMD run exceeded {timeout}s ({t.name} alive)")
+    finally:
+        leaked = world.leaked_messages()
+        if trace is not None:
+            trace.leaked = leaked
+            first = next((e for e in errors if e is not None), None)
+            trace.error = repr(first) if first is not None else None
+            trace.completed = first is None and all(
+                not t.is_alive() for t in threads
+            )
     for rank, err in enumerate(errors):
         if err is not None and not isinstance(err, threading.BrokenBarrierError):
             raise err
     broken = [r for r, e in enumerate(errors) if e is not None]
     if broken:
         raise RuntimeError(f"ranks {broken} failed with broken barriers")
+    if leaked:
+        if trace is not None:
+            trace.completed = False
+        raise MailboxLeakError(leaked)
     return results
 
 

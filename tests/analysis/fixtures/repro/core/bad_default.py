@@ -1,0 +1,7 @@
+"""Fixture: mutable default argument."""
+
+
+def accumulate(value, into=[]):
+    # seeded violation: mutable-default
+    into.append(value)
+    return into

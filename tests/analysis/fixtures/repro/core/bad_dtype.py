@@ -1,0 +1,8 @@
+"""Fixture: narrowing dtype constructor in the solver core."""
+
+import numpy as np
+
+
+def make_buffer(n):
+    # seeded violation: dtype-width
+    return np.zeros(n, dtype=np.float32)

@@ -1,0 +1,6 @@
+"""Fixture: unaccounted matmul in a function that carries a FlopCounter."""
+
+
+def apply_operator(M, x, flops):
+    # seeded violation: flops-accounted (no flops.add* despite matmul)
+    return M @ x

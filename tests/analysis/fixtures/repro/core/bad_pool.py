@@ -1,0 +1,8 @@
+"""Fixture: BufferPool scratch buffer escaping its plan-stage scope."""
+
+
+def leaky_stage(pool, n):
+    buf = pool.zeros("scratch", (n,))
+    view = buf.reshape(1, -1)
+    # seeded violation: bufferpool-escape (view of a pooled buffer returned)
+    return view

@@ -1,0 +1,8 @@
+"""Fixture: concurrency import outside the simulated MPI runtime."""
+
+# seeded violation: thread-confinement
+import threading
+
+
+def current():
+    return threading.get_ident()

@@ -1,0 +1,225 @@
+"""The comm-trace analyzer: injected bugs are diagnosed, pfmm is clean.
+
+The acceptance bar of the analysis subsystem: commcheck must *detect* an
+injected deadlock (crossed blocking receives) and an injected dropped
+message, and must report the real 4-rank parallel FMM trace clean under
+at least 5 perturbed schedules.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.analysis import CommTrace, check_trace, compare_traces
+from repro.analysis.commcheck import main as commcheck_main
+from repro.core.fmm import FMMOptions
+from repro.kernels import LaplaceKernel
+from repro.parallel.pfmm import run_parallel_fmm
+from repro.parallel.simmpi import MailboxLeakError, run_spmd
+
+from tests.conftest import clustered_cloud
+
+
+class TestInjectedDeadlock:
+    def test_crossed_blocking_recvs_reported_as_cycle(self):
+        """Two ranks recv from each other before either sends."""
+
+        def crossed(comm):
+            other = 1 - comm.rank
+            got = comm.recv(other, tag="x")  # blocks forever
+            comm.send(other, comm.rank, tag="x")
+            return got
+
+        trace = CommTrace()
+        with pytest.raises(TimeoutError):
+            run_spmd(2, crossed, trace=trace, recv_timeout=0.2)
+        report = check_trace(trace)
+        cycles = report.by_rule("deadlock-cycle")
+        assert len(cycles) == 1
+        assert set(cycles[0].ranks) == {0, 1}
+        # the blocked (src, dst, tag) edges are named
+        assert "recv 1->0 tag='x'" in cycles[0].message
+        assert "recv 0->1 tag='x'" in cycles[0].message
+
+    def test_three_rank_cycle(self):
+        def ring(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            got = comm.recv(prv, tag="ring")
+            comm.send(nxt, comm.rank, tag="ring")
+            return got
+
+        trace = CommTrace()
+        with pytest.raises(TimeoutError):
+            run_spmd(3, ring, trace=trace, recv_timeout=0.2)
+        cycles = check_trace(trace).by_rule("deadlock-cycle")
+        assert len(cycles) == 1
+        assert set(cycles[0].ranks) == {0, 1, 2}
+
+    def test_orphan_wait_when_peer_finished(self):
+        def lonely(comm):
+            if comm.rank == 0:
+                return comm.recv(1, tag="never")
+            return None  # rank 1 exits without sending
+
+        trace = CommTrace()
+        with pytest.raises(TimeoutError):
+            run_spmd(2, lonely, trace=trace, recv_timeout=0.2)
+        report = check_trace(trace)
+        orphans = report.by_rule("orphan-wait")
+        assert len(orphans) == 1
+        assert orphans[0].ranks == (0, 1)
+
+
+class TestInjectedDrop:
+    def test_dropped_message_raises_and_is_diagnosed(self):
+        def dropper(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(3), tag="lost")
+                comm.send(1, np.ones(3), tag="lost")
+            elif comm.rank == 1:
+                comm.recv(0, tag="lost")  # consumes only one of two
+
+        trace = CommTrace()
+        with pytest.raises(MailboxLeakError) as exc:
+            run_spmd(2, dropper, trace=trace)
+        assert exc.value.leaked == [(((0, 1, "lost")), 1)]
+        report = check_trace(trace)
+        unmatched = report.by_rule("unmatched-send")
+        assert len(unmatched) == 1
+        assert "0->1" in unmatched[0].message
+        assert "'lost'" in unmatched[0].message
+        # runtime leak report and trace agree, so no meta-finding
+        assert report.by_rule("trace-runtime-mismatch") == []
+
+
+class TestCollectiveDivergence:
+    def test_different_collectives_at_same_index(self):
+        def diverge(comm):
+            if comm.rank == 0:
+                comm.allreduce(np.zeros(2))
+            else:
+                comm.allgather(0)
+
+        # Depending on which rank draws barrier index 0 this either raises
+        # (the reducer sees the bogus slot mix) or "completes" with garbage;
+        # the analyzer must flag the divergence either way.
+        trace = CommTrace()
+        with contextlib.suppress(Exception):
+            run_spmd(2, diverge, trace=trace, timeout=5)
+        found = check_trace(trace).by_rule("collective-divergence")
+        assert len(found) == 1
+        assert "allreduce" in found[0].message
+        assert "allgather" in found[0].message
+
+    def test_mismatched_allreduce_shapes_flagged(self):
+        def shapes(comm):
+            comm.allreduce(np.zeros(2 if comm.rank == 0 else 3))
+
+        trace = CommTrace()
+        with pytest.raises(ValueError, match="shape mismatch"):
+            run_spmd(2, shapes, trace=trace)
+        found = check_trace(trace).by_rule("collective-divergence")
+        assert len(found) == 1
+        assert "shape" in found[0].message
+
+
+class TestCleanTraces:
+    def test_clean_exchange_reports_clean(self):
+        def main(comm):
+            nxt = (comm.rank + 1) % comm.size
+            comm.send(nxt, np.full(4, comm.rank), tag="ring")
+            got = comm.recv((comm.rank - 1) % comm.size, tag="ring")
+            comm.barrier()
+            total = comm.allreduce(got)
+            return total
+
+        trace = CommTrace()
+        results = run_spmd(4, main, trace=trace)
+        report = check_trace(trace)
+        assert report.ok, report.summary()
+        assert trace.completed
+        assert np.array_equal(results[0], results[1])
+
+    def test_fifo_order_verified(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(1, i, tag="seq")
+                return None
+            return [comm.recv(0, tag="seq") for _ in range(10)]
+
+        trace = CommTrace()
+        results = run_spmd(2, main, trace=trace)
+        assert results[1] == list(range(10))
+        report = check_trace(trace)
+        assert report.by_rule("channel-order") == []
+        assert report.ok, report.summary()
+
+
+class TestParallelFMMClean:
+    """Acceptance: the full 4-rank pfmm trace, >= 5 perturbed schedules."""
+
+    def test_pfmm_trace_clean_under_perturbed_schedules(self, rng):
+        pts = clustered_cloud(rng, 450)
+        phi = rng.standard_normal((450, 1))
+        opts = FMMOptions(p=3, max_points=25)
+        traces, potentials = [], []
+        for seed in range(5):
+            trace = CommTrace()
+            res = run_parallel_fmm(
+                4, LaplaceKernel(), pts, phi, opts,
+                trace=trace, schedule_seed=seed,
+            )
+            report = check_trace(trace, stats=res.comm_stats)
+            assert report.ok, f"seed {seed}: {report.summary()}"
+            assert trace.completed
+            traces.append(trace)
+            potentials.append(res.potential)
+        # observable determinism across schedules
+        cross = compare_traces(traces)
+        assert cross.ok, cross.summary()
+        for pot in potentials[1:]:
+            assert np.array_equal(potentials[0], pot)
+
+    def test_stats_cross_check_catches_tampering(self, rng):
+        pts = clustered_cloud(rng, 300)
+        phi = rng.standard_normal((300, 1))
+        trace = CommTrace()
+        res = run_parallel_fmm(
+            2, LaplaceKernel(), pts, phi, FMMOptions(p=3, max_points=30),
+            trace=trace,
+        )
+        assert check_trace(trace, stats=res.comm_stats).ok
+        res.comm_stats[0].messages_sent += 1  # tamper
+        tampered = check_trace(trace, stats=res.comm_stats)
+        assert tampered.by_rule("stats-mismatch")
+
+
+class TestCLI:
+    def test_saved_trace_analyzed_clean(self, tmp_path, capsys):
+        def main(comm):
+            comm.send((comm.rank + 1) % 2, np.ones(2), tag="t")
+            comm.recv((comm.rank + 1) % 2, tag="t")
+            comm.barrier()
+
+        trace = CommTrace()
+        run_spmd(2, main, trace=trace)
+        path = tmp_path / "ok.jsonl"
+        trace.to_jsonl(str(path))
+        assert commcheck_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_saved_bad_trace_fails(self, tmp_path, capsys):
+        def dropper(comm):
+            if comm.rank == 0:
+                comm.send(1, b"zzz", tag="gone")
+
+        trace = CommTrace()
+        with pytest.raises(MailboxLeakError):
+            run_spmd(2, dropper, trace=trace)
+        path = tmp_path / "bad.jsonl"
+        trace.to_jsonl(str(path))
+        assert commcheck_main([str(path)]) == 1
+        assert "unmatched-send" in capsys.readouterr().out

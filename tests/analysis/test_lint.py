@@ -1,0 +1,64 @@
+"""The repo-invariant AST lint: clean on the repo, loud on fixtures."""
+
+from pathlib import Path
+
+from repro.analysis.lint import RULES, main, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).parents[2] / "src"
+
+#: Expected (rule, fixture file) pairs — exactly one seeded violation per rule.
+EXPECTED = {
+    ("flops-accounted", "bad_flops.py"),
+    ("dtype-width", "bad_dtype.py"),
+    ("bufferpool-escape", "bad_pool.py"),
+    ("mutable-default", "bad_default.py"),
+    ("thread-confinement", "bad_threading.py"),
+}
+
+
+def test_repo_is_clean():
+    """Acceptance: `python -m repro.analysis.lint src/` exits 0."""
+    assert run_lint([SRC]) == []
+    assert main([str(SRC)]) == 0
+
+
+def test_every_rule_fires_on_its_fixture():
+    violations = run_lint([FIXTURES])
+    found = {(v.rule, v.path.name) for v in violations}
+    assert found == EXPECTED
+
+
+def test_cli_exits_nonzero_on_fixtures(capsys):
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    for rule, fname in EXPECTED:
+        assert rule in out
+        assert fname in out
+
+
+def test_escape_hatch_waives_only_named_rule():
+    waived = FIXTURES / "repro" / "core" / "waived.py"
+    assert run_lint([waived]) == []
+    # the same violation without the allow comment is reported
+    bad = FIXTURES / "repro" / "core" / "bad_dtype.py"
+    assert [v.rule for v in run_lint([bad])] == ["dtype-width"]
+
+
+def test_rule_catalog_documented(capsys):
+    """Every rule has a non-trivial rationale, printed by --list-rules."""
+    for rule in RULES:
+        assert len(rule.rationale) > 40, rule.name
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.name in out
+
+
+def test_violations_carry_location():
+    violations = run_lint([FIXTURES / "repro" / "core" / "bad_flops.py"])
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.line > 0
+    assert "bad_flops.py" in str(v)
+    assert "flops-accounted" in str(v)

@@ -1,0 +1,103 @@
+"""Event-trace recording: clocks, matching metadata, serialisation."""
+
+import numpy as np
+
+from repro.analysis.trace import CommTrace, payload_digest
+from repro.parallel.simmpi import run_spmd
+
+
+def _pingpong(comm):
+    if comm.rank == 0:
+        comm.send(1, np.arange(4.0), tag="a")
+        back = comm.recv(1, tag="b")
+        comm.barrier()
+        return back
+    got = comm.recv(0, tag="a")
+    comm.send(0, got * 2, tag="b")
+    comm.barrier()
+    return got
+
+
+def test_events_recorded_per_rank():
+    trace = CommTrace()
+    run_spmd(2, _pingpong, trace=trace)
+    assert trace.completed
+    assert trace.error is None
+    assert trace.leaked == []
+    kinds0 = [e.kind for e in trace.events_by_rank[0]]
+    assert kinds0 == ["send", "recv-post", "recv", "coll-enter", "coll-exit"]
+    kinds1 = [e.kind for e in trace.events_by_rank[1]]
+    assert kinds1 == ["recv-post", "recv", "send", "coll-enter", "coll-exit"]
+
+
+def test_lamport_clock_monotone_and_merged():
+    trace = CommTrace()
+    run_spmd(2, _pingpong, trace=trace)
+    for evs in trace.events_by_rank:
+        lamports = [e.lamport for e in evs]
+        assert lamports == sorted(lamports)
+    # the recv happens-after its matching send in both clock systems
+    send0 = trace.events_by_rank[0][0]
+    recv1 = trace.events_by_rank[1][1]
+    assert recv1.match_seq == send0.seq
+    assert recv1.lamport > send0.lamport
+    assert all(a >= b for a, b in zip(recv1.clock, send0.clock))
+    assert recv1.clock != send0.clock
+
+
+def test_collective_exit_merges_all_clocks():
+    def main(comm):
+        if comm.rank == 2:
+            for _ in range(3):
+                comm.send(0, np.ones(2), tag="pre")
+        if comm.rank == 0:
+            for _ in range(3):
+                comm.recv(2, tag="pre")
+        comm.barrier()
+        return None
+
+    trace = CommTrace()
+    run_spmd(3, main, trace=trace)
+    exits = [
+        [e for e in evs if e.kind == "coll-exit"][0]
+        for evs in trace.events_by_rank
+    ]
+    # after the barrier every rank's clock dominates every pre-barrier event
+    for evs in trace.events_by_rank:
+        for ev in evs:
+            if ev.kind == "coll-exit":
+                continue
+            for ex in exits:
+                assert all(x >= y for x, y in zip(ex.clock, ev.clock))
+
+
+def test_payload_digest_distinguishes_content():
+    a = payload_digest(np.arange(5.0))
+    b = payload_digest(np.arange(5.0))
+    c = payload_digest(np.arange(5.0) + 1e-12)
+    assert a == b
+    assert a != c
+    assert payload_digest((np.zeros(2), "x")) != payload_digest((np.zeros(2), "y"))
+
+
+def test_jsonl_roundtrip(tmp_path):
+    trace = CommTrace()
+    run_spmd(2, _pingpong, trace=trace)
+    path = tmp_path / "trace.jsonl"
+    trace.to_jsonl(str(path))
+    loaded = CommTrace.from_jsonl(str(path))
+    assert loaded.nranks == 2
+    assert loaded.completed
+    assert loaded.nevents() == trace.nevents()
+    orig = sorted((e.rank, e.seq, e.kind, e.lamport) for e in trace.events())
+    back = sorted((e.rank, e.seq, e.kind, e.lamport) for e in loaded.events())
+    assert orig == back
+
+
+def test_untraced_world_unchanged():
+    """No trace argument: payloads travel unwrapped, results identical."""
+    plain = run_spmd(2, _pingpong)
+    traced_trace = CommTrace()
+    traced = run_spmd(2, _pingpong, trace=traced_trace)
+    assert np.array_equal(plain[0], traced[0])
+    assert np.array_equal(plain[1], traced[1])

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.parallel.simmpi import PerRank, run_spmd
+from repro.parallel.simmpi import (
+    CommStats,
+    MailboxLeakError,
+    PerRank,
+    run_spmd,
+)
 
 
 class TestPointToPoint:
@@ -92,6 +97,27 @@ class TestCollectives:
         with pytest.raises(ValueError):
             run_spmd(2, main)
 
+    def test_unknown_op_error_lists_supported_reductions(self):
+        """Validation happens up front, before any synchronisation."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.allreduce(np.zeros(1), op="prod")
+            # rank 1 never reaches a collective; rank 0 must still fail fast
+            return None
+
+        with pytest.raises(ValueError, match=r"max, min, sum"):
+            run_spmd(2, main)
+
+    def test_mismatched_shapes_raise_clear_error(self):
+        def main(comm):
+            return comm.allreduce(np.zeros(2 if comm.rank == 0 else (2, 2)))
+
+        with pytest.raises(ValueError, match="shape mismatch") as exc:
+            run_spmd(2, main)
+        assert "(2,)" in str(exc.value)
+        assert "(2, 2)" in str(exc.value)
+
 
 class TestRunner:
     def test_single_rank(self):
@@ -135,3 +161,77 @@ class TestStats:
         assert stats[1].messages_sent == 0
         assert stats[0].allreduce_calls == 1
         assert stats[0].allreduce_bytes == 80
+
+    def test_receive_side_accounting_symmetric_to_sends(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(50), phase="gather")
+                comm.send(1, np.zeros(25))
+            else:
+                comm.recv(0, phase="gather")
+                comm.recv(0)
+            return comm.stats
+
+        stats = run_spmd(2, main)
+        assert stats[1].messages_received == 2
+        assert stats[1].bytes_received == 600
+        assert stats[1].by_phase["gather"] == 400
+        assert stats[0].messages_received == 0
+        # world totals balance exactly when nothing is dropped
+        total = CommStats.total(stats)
+        assert total.messages_sent == total.messages_received == 2
+        assert total.bytes_sent == total.bytes_received == 600
+
+    def test_total_merges_phases(self):
+        a = CommStats()
+        a.record_send(10, "x")
+        b = CommStats()
+        b.record_send(5, "x")
+        b.record_recv(10, "y")
+        total = CommStats.total([a, b])
+        assert total.messages_sent == 2
+        assert total.bytes_sent == 15
+        assert total.messages_received == 1
+        assert dict(total.by_phase) == {"x": 15, "y": 10}
+
+
+class TestMailboxDrain:
+    def test_leaked_message_raises_with_keys(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "orphan", tag=("src", 7))
+
+        with pytest.raises(MailboxLeakError) as exc:
+            run_spmd(2, main)
+        assert exc.value.leaked == [((0, 1, ("src", 7)), 1)]
+        assert "('src', 7)" in str(exc.value)
+
+    def test_multiple_leaks_all_reported(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag="a")
+                comm.send(1, 2, tag="a")
+                comm.send(2, 3, tag="b")
+
+        with pytest.raises(MailboxLeakError) as exc:
+            run_spmd(3, main)
+        leaked = dict(exc.value.leaked)
+        assert leaked == {(0, 1, "a"): 2, (0, 2, "b"): 1}
+
+    def test_rank_error_takes_precedence_over_leak(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "never read")
+            raise RuntimeError("rank died")
+
+        with pytest.raises(RuntimeError, match="rank died"):
+            run_spmd(2, main)
+
+    def test_drained_world_passes(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "x")
+                return None
+            return comm.recv(0)
+
+        assert run_spmd(2, main)[1] == "x"
