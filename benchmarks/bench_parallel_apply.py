@@ -1,0 +1,164 @@
+"""Persistent parallel operator: amortization and overlap (PR bench).
+
+The tentpole claims of the setup/apply split, measured for real on the
+simulated-MPI runtime: a :class:`~repro.parallel.pfmm.ParallelFMM` sets
+up once (parallel tree, LET, owners, LET-local execution plan, ghost
+geometry) and each subsequent ``apply`` exchanges only densities through
+the overlapped nonblocking protocol.  For ranks in {1, 2, 4} this bench
+records:
+
+- setup wall-clock and the amortized per-apply wall-clock (>= 3 applies),
+- the per-call time of the seed's ``parallel_evaluate`` path, which
+  rebuilds tree/LET/owners/cache on every call — the amortization
+  baseline,
+- overlap on vs off: identical potentials, compared ``wait``-phase
+  seconds.
+
+Results land in ``BENCH_papply.json`` at the repository root so the
+performance trajectory is tracked across PRs.  Run directly::
+
+    python benchmarks/bench_parallel_apply.py [--quick] [--out PATH]
+
+or through pytest (uses --quick sizes)::
+
+    python -m pytest benchmarks/bench_parallel_apply.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fmm import FMMOptions
+from repro.kernels import LaplaceKernel
+from repro.parallel.pfmm import ParallelFMM, run_parallel_fmm
+from repro.util.tables import format_table
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _wait_seconds(op: ParallelFMM) -> float:
+    return float(np.mean([t.by_phase().get("wait", 0.0) for t in op.timers]))
+
+
+def _measure_ranks(
+    nranks: int, pts: np.ndarray, phi: np.ndarray, opts: FMMOptions,
+    napply: int,
+) -> dict:
+    kernel = LaplaceKernel()
+    op = ParallelFMM(nranks, kernel, opts, overlap=True)
+    t0 = time.perf_counter()
+    op.setup(pts)
+    t_setup = time.perf_counter() - t0
+    pot = op.apply(phi)  # warm the plan buffers and operator entries
+    for t in op.timers:
+        t.reset()
+    t0 = time.perf_counter()
+    for _ in range(napply):
+        op.apply(phi)
+    t_apply = (time.perf_counter() - t0) / napply
+    wait_on = _wait_seconds(op) / napply
+
+    off = ParallelFMM(nranks, kernel, opts, overlap=False)
+    off.cache, off.fft = op.cache, op.fft  # same operators, fair timing
+    off.setup(pts)
+    off.apply(phi)
+    for t in off.timers:
+        t.reset()
+    t0 = time.perf_counter()
+    for _ in range(napply):
+        pot_off = off.apply(phi)
+    t_apply_off = (time.perf_counter() - t0) / napply
+    wait_off = _wait_seconds(off) / napply
+    assert np.array_equal(pot, pot_off), "overlap must not change bits"
+
+    # The seed path: every call rebuilds tree, LET, owners and plan.
+    t0 = time.perf_counter()
+    legacy = run_parallel_fmm(
+        nranks, kernel, pts, phi,
+        FMMOptions(p=opts.p, max_points=opts.max_points, plan="naive"),
+        cache=op.cache,
+    )
+    t_percall = time.perf_counter() - t0
+    err = float(
+        np.linalg.norm(legacy.potential - pot) / np.linalg.norm(pot)
+    )
+    return {
+        "ranks": nranks,
+        "n": int(pts.shape[0]),
+        "applies": napply,
+        "setup_seconds": round(t_setup, 4),
+        "apply_seconds": round(t_apply, 4),
+        "apply_seconds_no_overlap": round(t_apply_off, 4),
+        "per_call_evaluate_seconds": round(t_percall, 4),
+        "amortized_speedup_vs_per_call": round(t_percall / t_apply, 2),
+        "wait_seconds_overlap_on": round(wait_on, 5),
+        "wait_seconds_overlap_off": round(wait_off, 5),
+        "relative_error_vs_per_call": float(f"{err:.3e}"),
+    }
+
+
+def run(quick: bool = False, out: Path | None = None) -> dict:
+    n = 2_000 if quick else 20_000
+    napply = 3
+    rng = np.random.default_rng(2003)
+    pts = rng.random((n, 3))
+    phi = rng.standard_normal((n, 1))
+    opts = FMMOptions(p=4 if quick else 6, max_points=40 if quick else 60)
+    results = [
+        _measure_ranks(nranks, pts, phi, opts, napply)
+        for nranks in (1, 2, 4)
+    ]
+    report = {
+        "bench": "parallel_apply",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "results": results,
+    }
+    rows = [
+        (
+            r["ranks"],
+            r["setup_seconds"],
+            r["apply_seconds"],
+            r["per_call_evaluate_seconds"],
+            r["amortized_speedup_vs_per_call"],
+            r["wait_seconds_overlap_on"],
+            r["wait_seconds_overlap_off"],
+        )
+        for r in results
+    ]
+    print(format_table(
+        ("ranks", "setup s", "apply s", "per-call s", "speedup",
+         "wait on", "wait off"),
+        rows,
+        title=f"persistent ParallelFMM apply (N={n}, Laplace)",
+    ))
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    return report
+
+
+def test_parallel_apply():
+    """Bench smoke: amortized applies must beat per-call evaluation."""
+    report = run(quick=True)
+    for r in report["results"]:
+        assert r["relative_error_vs_per_call"] < 1e-9
+        assert r["amortized_speedup_vs_per_call"] > 1.0
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small size, coarser discretisation")
+    ap.add_argument("--out", type=Path, default=_ROOT / "BENCH_papply.json")
+    args = ap.parse_args()
+    run(quick=args.quick, out=args.out)

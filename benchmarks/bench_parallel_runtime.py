@@ -36,8 +36,14 @@ def _run_all():
         total_bytes = sum(s.bytes_sent for s in res.comm_stats)
         total_msgs = sum(s.messages_sent for s in res.comm_stats)
         up = float(np.mean([t["up"] for t in res.timers]))
-        down = float(np.mean([t["down"] for t in res.timers]))
-        comm = float(np.mean([t.get("comm", 0.0) for t in res.timers]))
+        down = float(np.mean([
+            sum(v for k, v in t.items()
+                if k.startswith("down") or k == "eval")
+            for t in res.timers
+        ]))
+        comm = float(np.mean([
+            t.get("pack", 0.0) + t.get("wait", 0.0) for t in res.timers
+        ]))
         rows.append((nr, up, comm, down, total_msgs, total_bytes / 1e3))
         errs.append(relative_error(res.potential, seq))
     return rows, errs
@@ -47,11 +53,11 @@ def test_parallel_runtime(benchmark):
     rows, errs = benchmark.pedantic(_run_all, rounds=1, iterations=1)
     print()
     print(format_table(
-        ("ranks", "up sec", "comm sec", "down sec", "messages", "KB sent"),
+        ("ranks", "up sec", "pack+wait sec", "down sec", "messages", "KB sent"),
         rows,
         title=f"Simulated-MPI parallel runtime (N={N}, corner-clustered)",
     ))
-    assert max(errs) < 1e-12, "parallel must equal sequential"
+    assert max(errs) < 1e-9, "parallel must equal sequential"
     bytes_sent = [r[5] for r in rows]
     assert bytes_sent[0] == 0.0
     assert all(b > 0 for b in bytes_sent[1:])

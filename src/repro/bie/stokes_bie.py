@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.fmm import FMMOptions, KIFMM
 from repro.kernels.stokes import StokesKernel
 from repro.linalg.gmres import GMRESResult, gmres
+from repro.parallel.pfmm import ParallelFMM
 
 
 class StokesSingleLayer:
@@ -45,6 +46,15 @@ class StokesSingleLayer:
         direct path is the testing oracle and the small-problem fallback.
     options:
         FMM tuning; accuracy should exceed the Krylov tolerance.
+    parallel_ranks:
+        When > 0, each matvec runs the persistent parallel operator
+        (:class:`~repro.parallel.pfmm.ParallelFMM`) over this many
+        logical ranks: setup once per geometry, one overlapped apply per
+        GMRES iteration — the paper's "tens of multiplications per time
+        step" amortization.
+    overlap:
+        Overlap the equivalent-density exchange with owned-data work in
+        the parallel matvecs (identical results either way).
     """
 
     def __init__(
@@ -53,6 +63,8 @@ class StokesSingleLayer:
         mu: float = 1.0,
         use_fmm: bool = True,
         options: FMMOptions | None = None,
+        parallel_ranks: int = 0,
+        overlap: bool = True,
     ) -> None:
         if not surfaces:
             raise ValueError("need at least one surface")
@@ -60,8 +72,11 @@ class StokesSingleLayer:
         self.kernel = StokesKernel(mu=mu)
         self.use_fmm = use_fmm
         self.options = options or FMMOptions(p=6, max_points=80)
+        self.parallel_ranks = parallel_ranks
+        self.overlap = overlap
         self.matvec_count = 0
         self._fmm: KIFMM | None = None
+        self._pfmm: "ParallelFMM | None" = None
         self.refresh_geometry()
 
     def refresh_geometry(self) -> None:
@@ -77,14 +92,21 @@ class StokesSingleLayer:
         self._self_blocks = (a / (8.0 * self.kernel.mu))[:, None, None] * (
             3.0 * eye - nn
         )
-        if self.use_fmm:
+        if self.use_fmm and self.parallel_ranks > 0:
+            self._pfmm = ParallelFMM(
+                self.parallel_ranks, self.kernel, self.options,
+                overlap=self.overlap,
+            ).setup(self.points)
+        elif self.use_fmm:
             self._fmm = KIFMM(self.kernel, self.options).setup(self.points)
 
     def matvec(self, phi: np.ndarray) -> np.ndarray:
         """Apply the discrete single-layer operator to flat densities."""
         phi = np.asarray(phi, dtype=np.float64).reshape(self.n, 3)
         weighted = phi * self.weights[:, None]
-        if self._fmm is not None:
+        if self._pfmm is not None:
+            u = self._pfmm.apply(weighted)
+        elif self._fmm is not None:
             u = self._fmm.apply(weighted)
         else:
             u = self.kernel.apply(self.points, self.points, weighted)

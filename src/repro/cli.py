@@ -182,6 +182,7 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
         result = run_parallel_fmm(
             args.ranks, kernel, pts, density, opts,
             trace=trace, schedule_seed=args.seed + i,
+            napplies=args.applies, overlap=args.overlap == "on",
         )
         report = check_trace(trace, stats=result.comm_stats)
         total = CommStats.total(result.comm_stats)
@@ -281,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--schedules", type=int, default=5,
                     help="number of perturbed schedules to fuzz")
     pc.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    pc.add_argument("--applies", type=int, default=1,
+                    help="persistent-operator applies per schedule (setup "
+                         "once, apply N times inside one traced region)")
+    pc.add_argument("--overlap", default="on", choices=("on", "off"),
+                    help="overlap the equivalent-density exchange with "
+                         "owned-data compute in the planned applies")
     pc.add_argument("--save-trace", default=None, metavar="PATH",
                     help="write schedule 0's event trace as JSON lines")
     pc.set_defaults(func=_cmd_commcheck, p=4, s=40)

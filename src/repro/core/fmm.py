@@ -131,6 +131,7 @@ class KIFMM:
         sources: np.ndarray,
         targets: np.ndarray | None = None,
         root: tuple[np.ndarray, float] | None = None,
+        cache: OperatorCache | None = None,
     ) -> "KIFMM":
         """Build the tree, interaction lists and operator cache.
 
@@ -138,6 +139,11 @@ class KIFMM:
         interactions per geometry (Section 3: "our parallel implementation
         is designed to achieve maximum efficiency in the multiplication
         phase").  Returns ``self`` for chaining.
+
+        ``cache`` reuses a caller-supplied :class:`OperatorCache` (its
+        ``root_side`` must match the tree's — pin it via ``root``), so
+        multi-kernel BIE runs and repeated setups skip the pseudoinverse
+        recomputation.
         """
         opts = self.options
         with self.timer.phase("tree"):
@@ -153,14 +159,23 @@ class KIFMM:
 
                 self.tree = balance_tree(self.tree)
             self.lists = build_lists(self.tree)
-        self.cache = OperatorCache(
-            self.kernel,
-            opts.p,
-            self.tree.root_side,
-            inner=opts.inner,
-            outer=opts.outer,
-            rcond=opts.rcond,
-        )
+        if cache is not None:
+            if cache.root_side != self.tree.root_side:
+                raise ValueError(
+                    f"supplied cache root_side {cache.root_side} does not "
+                    f"match tree root_side {self.tree.root_side}; pin the "
+                    f"cube via the root argument"
+                )
+            self.cache = cache
+        else:
+            self.cache = OperatorCache(
+                self.kernel,
+                opts.p,
+                self.tree.root_side,
+                inner=opts.inner,
+                outer=opts.outer,
+                rcond=opts.rcond,
+            )
         self._fft = FFTM2L(self.cache) if opts.m2l == "fft" else None
         if opts.plan == "batched":
             with self.timer.phase("plan"):

@@ -262,8 +262,86 @@ class ExecutionPlan:
         }
 
 
-def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
-    """Flatten ``tree`` and ``lists`` into an :class:`ExecutionPlan`."""
+@dataclass
+class NearBlocks:
+    """Per-target-box grouping of near-field (U/W/X style) pairs.
+
+    ``boxes`` are the unique target boxes; ``seg`` holds cumulative
+    partner-point (or partner-box) offsets; ``src_pos`` concatenates the
+    partner point positions (U/X) or partner box indices (W).
+    """
+
+    boxes: np.ndarray
+    trg_start: np.ndarray
+    trg_stop: np.ndarray
+    seg: np.ndarray
+    src_pos: np.ndarray
+
+
+def build_near_blocks(
+    trg: np.ndarray,
+    src: np.ndarray,
+    p_start: np.ndarray,
+    p_stop: np.ndarray,
+    trg_start: np.ndarray,
+    trg_stop: np.ndarray,
+) -> NearBlocks:
+    """Group (target box, partner box) pairs by target box.
+
+    ``trg``/``src`` must arrive grouped by target (CSR order);
+    ``p_start``/``p_stop`` define each partner box's point range in
+    whatever point numbering the caller evaluates against (the local
+    Morton-sorted sources, or a rank's combined ghost array).
+    """
+    boxes = np.unique(trg)
+    src_pos = multi_arange(p_start[src], p_stop[src])
+    counts = np.zeros(boxes.size, dtype=np.int64)
+    np.add.at(counts, np.searchsorted(boxes, trg), p_stop[src] - p_start[src])
+    seg = np.zeros(boxes.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg[1:])
+    return NearBlocks(boxes, trg_start[boxes], trg_stop[boxes], seg, src_pos)
+
+
+def build_w_blocks(
+    trg: np.ndarray,
+    partners: np.ndarray,
+    trg_start: np.ndarray,
+    trg_stop: np.ndarray,
+) -> NearBlocks:
+    """Group W-list pairs by target box (partners kept as box indices)."""
+    boxes = np.unique(trg)
+    counts = np.bincount(
+        np.searchsorted(boxes, trg), minlength=boxes.size
+    ).astype(np.int64)
+    seg = np.zeros(boxes.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=seg[1:])
+    return NearBlocks(boxes, trg_start[boxes], trg_stop[boxes], seg, partners)
+
+
+def build_plan(
+    tree: Octree,
+    lists: InteractionLists,
+    *,
+    partner_nsrc: np.ndarray | None = None,
+    ext_ranges: tuple[np.ndarray, np.ndarray] | None = None,
+) -> ExecutionPlan:
+    """Flatten ``tree`` and ``lists`` into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    partner_nsrc:
+        Optional per-box source counts used to gate *downward* partners
+        (V/W/X/U source boxes).  The parallel evaluator passes the
+        global counts of its :class:`~repro.parallel.ptree.ParallelTree`
+        so a rank's plan covers partners whose sources live on other
+        ranks; the upward pass always gates on the tree's own (local)
+        counts, matching the paper's partial upward densities.
+    ext_ranges:
+        Optional ``(start, stop)`` per-box point ranges replacing the
+        tree's local source ranges for U/X partner positions.  The
+        parallel evaluator passes the layout of its combined
+        local+ghost source array; sequential callers omit it.
+    """
     nb = tree.nboxes
     boxes = tree.boxes
     level_of = np.fromiter((b.level for b in boxes), np.int64, nb)
@@ -283,6 +361,8 @@ def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
     centers = tree.root_corner[None, :] + (anchors + 0.5) * side[:, None]
     sources_sorted = np.ascontiguousarray(tree.sources[tree.src_perm])
     targets_sorted = np.ascontiguousarray(tree.targets[tree.trg_perm])
+    nsrc_act = nsrc if partner_nsrc is None else np.asarray(partner_nsrc)
+    p_start, p_stop = (src_start, src_stop) if ext_ranges is None else ext_ranges
 
     # ---------------- upward pass ----------------
     up_levels: list[UpLevel] = []
@@ -329,8 +409,8 @@ def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
     x_ptr, x_idx = lists.flat("X")
     v_trg = np.repeat(np.arange(nb), np.diff(v_ptr))
     x_trg = np.repeat(np.arange(nb), np.diff(x_ptr))
-    v_good = nsrc[v_idx] > 0
-    x_good = nsrc[x_idx] > 0
+    v_good = nsrc_act[v_idx] > 0
+    x_good = nsrc_act[x_idx] > 0
     own = np.zeros(nb, dtype=bool)
     if v_trg.size:
         own |= np.bincount(v_trg[v_good], minlength=nb).astype(bool)
@@ -431,13 +511,8 @@ def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
             centers[l2t_sel], tcounts, axis=0
         )
         lm = level_of[xt_all] == level
-        xt, xs = xt_all[lm], xs_all[lm]
-        x_boxes = np.unique(xt)  # ascending, matching the CSR pair order
-        x_src_pos = multi_arange(src_start[xs], src_stop[xs])
-        x_counts = np.zeros(x_boxes.size, dtype=np.int64)
-        np.add.at(x_counts, np.searchsorted(x_boxes, xt), nsrc[xs])
-        x_seg = np.zeros(x_boxes.size + 1, dtype=np.int64)
-        np.cumsum(x_counts, out=x_seg[1:])
+        xt, xs = xt_all[lm], xs_all[lm]  # ascending, matching CSR pair order
+        xb = build_near_blocks(xt, xs, p_start, p_stop, trg_start, trg_stop)
         down_levels.append(
             DownLevel(
                 level=level,
@@ -447,35 +522,26 @@ def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
                 l2t_pts=l2t_pts,
                 l2t_trg_pos=l2t_trg_pos,
                 l2t_seg=l2t_seg,
-                x_boxes=x_boxes,
-                x_seg=x_seg,
-                x_src_pos=x_src_pos,
+                x_boxes=xb.boxes,
+                x_seg=xb.seg,
+                x_src_pos=xb.src_pos,
             )
         )
 
     # ---------------- U list (per target leaf) ----------------
     u_ptr, u_idx = lists.flat("U")
     u_trg_rep = np.repeat(np.arange(nb), np.diff(u_ptr))
-    um = (ntrg[u_trg_rep] > 0) & (nsrc[u_idx] > 0)
-    ut, us = u_trg_rep[um], u_idx[um]  # CSR order: grouped by target leaf
-    u_boxes = np.unique(ut)
-    u_src_pos = multi_arange(src_start[us], src_stop[us])
-    u_counts = np.zeros(u_boxes.size, dtype=np.int64)
-    np.add.at(u_counts, np.searchsorted(u_boxes, ut), nsrc[us])
-    u_seg = np.zeros(u_boxes.size + 1, dtype=np.int64)
-    np.cumsum(u_counts, out=u_seg[1:])
+    um = (ntrg[u_trg_rep] > 0) & (nsrc_act[u_idx] > 0)
+    # CSR order: grouped by target leaf
+    ub = build_near_blocks(
+        u_trg_rep[um], u_idx[um], p_start, p_stop, trg_start, trg_stop
+    )
 
     # ---------------- W list (per target leaf) ----------------
     w_ptr, w_idx_all = lists.flat("W")
     w_trg_rep = np.repeat(np.arange(nb), np.diff(w_ptr))
-    wm = (ntrg[w_trg_rep] > 0) & (nsrc[w_idx_all] > 0)
-    wt, w_idx = w_trg_rep[wm], w_idx_all[wm]
-    w_boxes = np.unique(wt)
-    w_counts = np.bincount(
-        np.searchsorted(w_boxes, wt), minlength=w_boxes.size
-    ).astype(np.int64)
-    w_seg = np.zeros(w_boxes.size + 1, dtype=np.int64)
-    np.cumsum(w_counts, out=w_seg[1:])
+    wm = (ntrg[w_trg_rep] > 0) & (nsrc_act[w_idx_all] > 0)
+    wb = build_w_blocks(w_trg_rep[wm], w_idx_all[wm], trg_start, trg_stop)
 
     return ExecutionPlan(
         nboxes=nb,
@@ -487,14 +553,14 @@ def build_plan(tree: Octree, lists: InteractionLists) -> ExecutionPlan:
         up_levels=up_levels,
         v_levels=v_levels,
         down_levels=down_levels,
-        u_boxes=u_boxes,
-        u_trg_start=trg_start[u_boxes],
-        u_trg_stop=trg_stop[u_boxes],
-        u_seg=u_seg,
-        u_src_pos=u_src_pos,
-        w_boxes=w_boxes,
-        w_trg_start=trg_start[w_boxes],
-        w_trg_stop=trg_stop[w_boxes],
-        w_seg=w_seg,
-        w_idx=w_idx,
+        u_boxes=ub.boxes,
+        u_trg_start=ub.trg_start,
+        u_trg_stop=ub.trg_stop,
+        u_seg=ub.seg,
+        u_src_pos=ub.src_pos,
+        w_boxes=wb.boxes,
+        w_trg_start=wb.trg_start,
+        w_trg_stop=wb.trg_stop,
+        w_seg=wb.seg,
+        w_idx=wb.src_pos,
     )

@@ -13,7 +13,14 @@ for real MPI hardware documented in DESIGN.md).
 
 from repro.parallel.simmpi import CommStats, MailboxLeakError, SimComm, run_spmd
 from repro.parallel.partition import morton_order_patches, partition_patches, partition_points
-from repro.parallel.pfmm import ParallelFMMResult, parallel_evaluate, run_parallel_fmm
+from repro.parallel.pfmm import (
+    ParallelFMM,
+    ParallelFMMResult,
+    RankFMM,
+    parallel_evaluate,
+    rank_setup,
+    run_parallel_fmm,
+)
 
 __all__ = [
     "SimComm",
@@ -24,6 +31,9 @@ __all__ = [
     "partition_patches",
     "partition_points",
     "parallel_evaluate",
+    "rank_setup",
     "run_parallel_fmm",
+    "ParallelFMM",
+    "RankFMM",
     "ParallelFMMResult",
 ]

@@ -10,13 +10,28 @@ to obtain the global upward equivalent densities for that box").
 All sends are buffered (MPI_Isend semantics), and the gather and scatter
 steps are fully phased — every rank posts all its sends for a step before
 receiving — so the protocol is deadlock-free regardless of box ordering.
+
+Two flavours live here:
+
+- the blocking per-call exchanges (:func:`exchange_source_data`,
+  :func:`exchange_equiv_densities`) used by the per-box
+  ``parallel_evaluate`` path, now accounting their time under the
+  ``pack`` (send side) and ``wait`` (receive side) phases;
+- the persistent-operator machinery: :func:`exchange_source_geometry`
+  runs once at setup (positions only), and :class:`ApplyExchange` runs
+  the per-apply density / equivalent-density exchange with
+  ``isend``/``irecv`` so the owner relay and the final ghost waits can
+  be overlapped with owned-data computation.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.parallel.simmpi import SimComm
+from repro.parallel.simmpi import Request, SimComm
+from repro.util.timing import PhaseTimer
 
 
 def exchange_source_data(
@@ -27,6 +42,7 @@ def exchange_source_data(
     owner: np.ndarray,
     local_points: dict[int, np.ndarray],
     local_density: dict[int, np.ndarray],
+    timer: PhaseTimer | None = None,
 ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
     """Algorithm 1: ghost source positions/densities for U/X interactions.
 
@@ -48,59 +64,64 @@ def exchange_source_data(
     this rank uses (including boxes it owns or contributes to).
     """
     me = comm.rank
+    timer = timer if timer is not None else PhaseTimer()
     ndof = None
     for d in local_density.values():
         ndof = d.shape[1] if d.ndim == 2 else 1
         break
 
     # STEP 1 GATHER — contributors send their local pieces to the owner.
-    for b in boxes:
-        if contrib_src[me, b] and owner[b] != me:
-            comm.send(
-                int(owner[b]),
-                (local_points[b], local_density[b]),
-                tag=("src", int(b)),
-                phase="ghost_gather",
-            )
+    with timer.phase("pack"):
+        for b in boxes:
+            if contrib_src[me, b] and owner[b] != me:
+                comm.send(
+                    int(owner[b]),
+                    (local_points[b], local_density[b]),
+                    tag=("src", int(b)),
+                    phase="ghost_gather",
+                )
     combined: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    for b in boxes:
-        if owner[b] != me:
-            continue
-        pieces_p, pieces_d = [], []
-        if contrib_src[me, b]:
-            pieces_p.append(local_points[b])
-            pieces_d.append(local_density[b])
-        for r in np.nonzero(contrib_src[:, b])[0]:
-            if r == me:
+    with timer.phase("wait"):
+        for b in boxes:
+            if owner[b] != me:
                 continue
-            pts, dens = comm.recv(int(r), tag=("src", int(b)))
-            pieces_p.append(pts)
-            pieces_d.append(dens)
-        if pieces_p:
-            combined[int(b)] = (np.vstack(pieces_p), np.vstack(pieces_d))
-        else:
-            combined[int(b)] = (
-                np.empty((0, 3)),
-                np.empty((0, ndof if ndof else 1)),
-            )
+            pieces_p, pieces_d = [], []
+            if contrib_src[me, b]:
+                pieces_p.append(local_points[b])
+                pieces_d.append(local_density[b])
+            for r in np.nonzero(contrib_src[:, b])[0]:
+                if r == me:
+                    continue
+                pts, dens = comm.recv(int(r), tag=("src", int(b)))
+                pieces_p.append(pts)
+                pieces_d.append(dens)
+            if pieces_p:
+                combined[int(b)] = (np.vstack(pieces_p), np.vstack(pieces_d))
+            else:
+                combined[int(b)] = (
+                    np.empty((0, 3)),
+                    np.empty((0, ndof if ndof else 1)),
+                )
 
     # STEP 2 SCATTER — the owner sends the global data to every user.
-    for b in boxes:
-        if owner[b] == me:
-            for r in np.nonzero(users_src[:, b])[0]:
-                if r != me:
-                    comm.send(
-                        int(r), combined[int(b)], tag=("srcg", int(b)),
-                        phase="ghost_scatter",
-                    )
+    with timer.phase("pack"):
+        for b in boxes:
+            if owner[b] == me:
+                for r in np.nonzero(users_src[:, b])[0]:
+                    if r != me:
+                        comm.send(
+                            int(r), combined[int(b)], tag=("srcg", int(b)),
+                            phase="ghost_scatter",
+                        )
     result: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    for b in boxes:
-        if not users_src[me, b]:
-            continue
-        if owner[b] == me:
-            result[int(b)] = combined[int(b)]
-        else:
-            result[int(b)] = comm.recv(int(owner[b]), tag=("srcg", int(b)))
+    with timer.phase("wait"):
+        for b in boxes:
+            if not users_src[me, b]:
+                continue
+            if owner[b] == me:
+                result[int(b)] = combined[int(b)]
+            else:
+                result[int(b)] = comm.recv(int(owner[b]), tag=("srcg", int(b)))
     return result
 
 
@@ -112,6 +133,7 @@ def exchange_equiv_densities(
     owner: np.ndarray,
     partial_ue: np.ndarray,
     has_ue: np.ndarray,
+    timer: PhaseTimer | None = None,
 ) -> dict[int, np.ndarray]:
     """Reduce partial upward equivalent densities and scatter to users.
 
@@ -123,43 +145,291 @@ def exchange_equiv_densities(
     Returns ``{box: global_ue}`` for every box this rank uses.
     """
     me = comm.rank
+    timer = timer if timer is not None else PhaseTimer()
 
     # GATHER + reduce at the owner.  A source contributor always has a
     # partial density (the upward pass covers every box with local
     # sources), so the send/recv pairing below is exact; ``has_ue`` only
     # guards against sending uninitialised storage.
-    for b in boxes:
-        if contrib_src[me, b] and owner[b] != me:
-            payload = partial_ue[b] if has_ue[b] else np.zeros_like(partial_ue[b])
-            comm.send(int(owner[b]), payload, tag=("ue", int(b)),
-                      phase="equiv_gather")
+    with timer.phase("pack"):
+        for b in boxes:
+            if contrib_src[me, b] and owner[b] != me:
+                payload = (
+                    partial_ue[b] if has_ue[b] else np.zeros_like(partial_ue[b])
+                )
+                comm.send(int(owner[b]), payload, tag=("ue", int(b)),
+                          phase="equiv_gather")
     summed: dict[int, np.ndarray] = {}
-    for b in boxes:
-        if owner[b] != me:
-            continue
-        total = partial_ue[b].copy() if (contrib_src[me, b] and has_ue[b]) else None
-        for r in np.nonzero(contrib_src[:, b])[0]:
-            if r == me:
+    with timer.phase("wait"):
+        for b in boxes:
+            if owner[b] != me:
                 continue
-            piece = comm.recv(int(r), tag=("ue", int(b)))
-            total = piece.copy() if total is None else total + piece
-        summed[int(b)] = (
-            total if total is not None else np.zeros_like(partial_ue[b])
-        )
+            total = (
+                partial_ue[b].copy()
+                if (contrib_src[me, b] and has_ue[b])
+                else None
+            )
+            for r in np.nonzero(contrib_src[:, b])[0]:
+                if r == me:
+                    continue
+                piece = comm.recv(int(r), tag=("ue", int(b)))
+                total = piece.copy() if total is None else total + piece
+            summed[int(b)] = (
+                total if total is not None else np.zeros_like(partial_ue[b])
+            )
 
     # SCATTER to users.
-    for b in boxes:
-        if owner[b] == me:
-            for r in np.nonzero(users_equiv[:, b])[0]:
-                if r != me:
-                    comm.send(int(r), summed[int(b)], tag=("ueg", int(b)),
-                              phase="equiv_scatter")
+    with timer.phase("pack"):
+        for b in boxes:
+            if owner[b] == me:
+                for r in np.nonzero(users_equiv[:, b])[0]:
+                    if r != me:
+                        comm.send(int(r), summed[int(b)], tag=("ueg", int(b)),
+                                  phase="equiv_scatter")
     result: dict[int, np.ndarray] = {}
-    for b in boxes:
-        if not users_equiv[me, b]:
-            continue
-        if owner[b] == me:
-            result[int(b)] = summed[int(b)]
-        else:
-            result[int(b)] = comm.recv(int(owner[b]), tag=("ueg", int(b)))
+    with timer.phase("wait"):
+        for b in boxes:
+            if not users_equiv[me, b]:
+                continue
+            if owner[b] == me:
+                result[int(b)] = summed[int(b)]
+            else:
+                result[int(b)] = comm.recv(int(owner[b]), tag=("ueg", int(b)))
     return result
+
+
+def exchange_source_geometry(
+    comm: SimComm,
+    boxes: np.ndarray,
+    contrib_src: np.ndarray,
+    users_src: np.ndarray,
+    owner: np.ndarray,
+    local_points: dict[int, np.ndarray],
+    timer: PhaseTimer | None = None,
+) -> dict[int, np.ndarray]:
+    """Setup-time Algorithm 1 over source *positions* only.
+
+    The persistent operator exchanges ghost geometry once: positions
+    never change between applies, so each :class:`ApplyExchange` moves
+    only densities.  The owner concatenates contributor pieces with
+    itself first and the remaining contributors in ascending rank order
+    — :class:`ApplyExchange` reassembles densities in the identical
+    order, so the combined points and the combined densities stay row
+    aligned across applies.
+
+    Returns ``{box: global_points}`` for every box this rank uses.
+    """
+    me = comm.rank
+    timer = timer if timer is not None else PhaseTimer()
+    with timer.phase("pack"):
+        for b in boxes:
+            if contrib_src[me, b] and owner[b] != me:
+                comm.send(int(owner[b]), local_points[b],
+                          tag=("geo", int(b)), phase="geo_gather")
+    combined: dict[int, np.ndarray] = {}
+    with timer.phase("wait"):
+        for b in boxes:
+            if owner[b] != me:
+                continue
+            pieces = [local_points[b]] if contrib_src[me, b] else []
+            for r in np.nonzero(contrib_src[:, b])[0]:
+                if r != me:
+                    pieces.append(comm.recv(int(r), tag=("geo", int(b))))
+            combined[int(b)] = (
+                np.vstack(pieces) if pieces else np.empty((0, 3))
+            )
+    with timer.phase("pack"):
+        for b in boxes:
+            if owner[b] == me:
+                for r in np.nonzero(users_src[:, b])[0]:
+                    if r != me:
+                        comm.send(int(r), combined[int(b)],
+                                  tag=("geog", int(b)), phase="geo_scatter")
+    result: dict[int, np.ndarray] = {}
+    with timer.phase("wait"):
+        for b in boxes:
+            if not users_src[me, b]:
+                continue
+            if owner[b] == me:
+                result[int(b)] = combined[int(b)]
+            else:
+                result[int(b)] = comm.recv(int(owner[b]), tag=("geog", int(b)))
+    return result
+
+
+@dataclass
+class ExchangePlan:
+    """One rank's role in the per-apply exchange of one payload kind.
+
+    Precomputed at setup from the contributor/user matrices and the
+    owner map; every list is in ascending box order and every rank list
+    in ascending rank order, so message posting order — and therefore
+    the owner-side reduction order — is schedule independent.
+    """
+
+    kind: str  # "phi" (source densities) or "pue" (partial equiv dens.)
+    #: Boxes this rank contributes to but does not own: ``(box, owner)``.
+    send_to_owner: list[tuple[int, int]]
+    #: Boxes this rank owns:
+    #: ``(box, peer_contributors, self_contributes, peer_users, self_uses)``.
+    owned: list[tuple[int, list[int], bool, list[int], bool]]
+    #: Boxes this rank uses but does not own: ``(box, owner)``.
+    recv_from: list[tuple[int, int]]
+
+
+def build_exchange_plan(
+    kind: str,
+    me: int,
+    boxes: np.ndarray,
+    contrib_src: np.ndarray,
+    users: np.ndarray,
+    owner: np.ndarray,
+) -> ExchangePlan:
+    """Split the circulating ``boxes`` by this rank's role."""
+    send_to_owner: list[tuple[int, int]] = []
+    owned: list[tuple[int, list[int], bool, list[int], bool]] = []
+    recv_from: list[tuple[int, int]] = []
+    for b in boxes:
+        b = int(b)
+        o = int(owner[b])
+        if o == me:
+            peers_c = [int(r) for r in np.nonzero(contrib_src[:, b])[0] if r != me]
+            peers_u = [int(r) for r in np.nonzero(users[:, b])[0] if r != me]
+            owned.append(
+                (b, peers_c, bool(contrib_src[me, b]), peers_u,
+                 bool(users[me, b]))
+            )
+        else:
+            if contrib_src[me, b]:
+                send_to_owner.append((b, o))
+            if users[me, b]:
+                recv_from.append((b, o))
+    return ExchangePlan(kind, send_to_owner, owned, recv_from)
+
+
+@dataclass
+class GhostLayout:
+    """Persistent layout of the per-apply exchange (one rank's view)."""
+
+    phi: ExchangePlan  # combined source densities over ``uses_source`` boxes
+    pue: ExchangePlan  # global upward equivalent densities over ``uses_equiv``
+    ext_start: np.ndarray  # per-box rows into the combined source arrays
+    ext_stop: np.ndarray
+
+
+class ApplyExchange:
+    """One apply's in-flight nonblocking exchange.
+
+    ``start`` posts every send and receive of both sub-exchanges up
+    front (buffered ``isend`` + posted ``irecv``, so the protocol cannot
+    deadlock).  ``relay`` completes the gather side: owners reduce the
+    contributor pieces — concatenation for densities, summation for
+    partial equivalent densities (linearity of eq. 2.1/2.3) — scatter
+    the combined data to users and store locally-owned data.  ``finish``
+    completes the scatter side, filling the ghost rows.  Between
+    ``relay`` and ``finish`` the receive queues fill while the caller
+    computes on owned data — the communication/computation overlap
+    window of the persistent operator.
+    """
+
+    def __init__(
+        self,
+        comm: SimComm,
+        layout: GhostLayout,
+        phi_sorted: np.ndarray,
+        src_start: np.ndarray,
+        src_stop: np.ndarray,
+        ue: np.ndarray,
+        ext_phi: np.ndarray,
+        timer: PhaseTimer,
+    ) -> None:
+        self._comm = comm
+        self._layout = layout
+        self._phi_sorted = phi_sorted
+        self._src_start = src_start
+        self._src_stop = src_stop
+        self._ue = ue
+        self._ext_phi = ext_phi
+        self._timer = timer
+        self._gathers: list[tuple[ExchangePlan, int, list[Request],
+                                  bool, list[int], bool]] = []
+        self._scatters: list[tuple[ExchangePlan, int, Request]] = []
+
+    def _piece(self, plan: ExchangePlan, b: int) -> np.ndarray:
+        """This rank's local contribution to box ``b``.
+
+        Equivalent-density rows are copied: the simulated MPI passes
+        object references, and ``_store`` later overwrites ``ue[b]``
+        with the *global* densities — an uncopied row view would let a
+        slow receiver observe the mutated value.  ``phi`` slices are
+        never written during an apply, so they ship as views.
+        """
+        if plan.kind == "phi":
+            return self._phi_sorted[self._src_start[b]:self._src_stop[b]]
+        return self._ue[b].copy()
+
+    def _store(self, plan: ExchangePlan, b: int, data: np.ndarray) -> None:
+        """Place combined data for a used box into the apply arrays."""
+        if plan.kind == "phi":
+            lay = self._layout
+            self._ext_phi[lay.ext_start[b]:lay.ext_stop[b]] = data
+        else:
+            self._ue[b] = data
+
+    def start(self) -> "ApplyExchange":
+        """Post every send and receive of both sub-exchanges."""
+        comm = self._comm
+        with self._timer.phase("pack"):
+            for plan in (self._layout.phi, self._layout.pue):
+                gphase, sphase = f"{plan.kind}_gather", f"{plan.kind}_scatter"
+                for b, o in plan.send_to_owner:
+                    comm.isend(o, self._piece(plan, b), tag=(plan.kind, b),
+                               phase=gphase)
+                for b, peers_c, selfc, peers_u, selfu in plan.owned:
+                    reqs = [
+                        comm.irecv(r, tag=(plan.kind, b), phase=gphase)
+                        for r in peers_c
+                    ]
+                    self._gathers.append(
+                        (plan, b, reqs, selfc, peers_u, selfu)
+                    )
+                for b, o in plan.recv_from:
+                    self._scatters.append(
+                        (plan, b,
+                         comm.irecv(o, tag=(plan.kind + "g", b), phase=sphase))
+                    )
+        return self
+
+    def relay(self) -> None:
+        """Complete gathers, reduce at the owner, scatter to users."""
+        with self._timer.phase("wait"):
+            gathered = [
+                (plan, b, [r.wait() for r in reqs], selfc, peers_u, selfu)
+                for plan, b, reqs, selfc, peers_u, selfu in self._gathers
+            ]
+        comm = self._comm
+        with self._timer.phase("pack"):
+            for plan, b, peer_pieces, selfc, peers_u, selfu in gathered:
+                pieces = (
+                    [self._piece(plan, b)] if selfc else []
+                ) + peer_pieces
+                if plan.kind == "phi":
+                    data = (
+                        np.vstack(pieces) if pieces
+                        else np.empty((0, self._phi_sorted.shape[1]))
+                    )
+                else:
+                    data = pieces[0].copy()
+                    for p in pieces[1:]:
+                        data += p
+                for r in peers_u:
+                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                               phase=f"{plan.kind}_scatter")
+                if selfu:
+                    self._store(plan, b, data)
+
+    def finish(self) -> None:
+        """Complete the scatter side: fill the ghost rows."""
+        with self._timer.phase("wait"):
+            for plan, b, req in self._scatters:
+                self._store(plan, b, req.wait())

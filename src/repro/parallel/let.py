@@ -48,17 +48,17 @@ def classify_let(
     nb = tree.nboxes
     uses_equiv = np.zeros(nb, dtype=bool)
     uses_source = np.zeros(nb, dtype=bool)
-    for b in np.nonzero(local_trg)[0]:
-        box = tree.boxes[b]
-        for a in lists.V[b]:
-            uses_equiv[a] = True
-        for a in lists.X[b]:
-            uses_source[a] = True
-        if box.is_leaf:
-            for a in lists.W[b]:
-                uses_equiv[a] = True
-            for a in lists.U[b]:
-                uses_source[a] = True
+    active = np.asarray(local_trg, dtype=bool)
+    leaf = np.fromiter((b.is_leaf for b in tree.boxes), dtype=bool, count=nb)
+    for which, out, gate in (
+        ("V", uses_equiv, active),
+        ("X", uses_source, active),
+        ("W", uses_equiv, active & leaf),
+        ("U", uses_source, active & leaf),
+    ):
+        ptr, idx = lists.flat(which)
+        trg = np.repeat(np.arange(nb), np.diff(ptr))
+        out[idx[gate[trg]]] = True
     return LETUsage(uses_equiv=uses_equiv, uses_source=uses_source)
 
 

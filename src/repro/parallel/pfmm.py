@@ -21,13 +21,31 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.evaluator import resolve_kernels
 from repro.core.fftm2l import FFTM2L
 from repro.core.fmm import FMMOptions
+from repro.core.plan import (
+    MAX_BLOCK_ENTRIES,
+    ExecutionPlan,
+    NearBlocks,
+    build_near_blocks,
+    build_plan,
+    build_w_blocks,
+    chunk_segments,
+)
 from repro.core.precompute import OperatorCache
+from repro.core.surfaces import surface_grid
 from repro.kernels.base import Kernel
-from repro.octree.lists import build_lists
+from repro.octree.lists import InteractionLists, build_lists
 from repro.octree.tree import Octree
-from repro.parallel.exchange import exchange_equiv_densities, exchange_source_data
+from repro.parallel.exchange import (
+    ApplyExchange,
+    GhostLayout,
+    build_exchange_plan,
+    exchange_equiv_densities,
+    exchange_source_data,
+    exchange_source_geometry,
+)
 from repro.parallel.let import classify_let, gather_users
 from repro.parallel.owners import assign_owners, gather_contributors
 from repro.parallel.partition import partition_points
@@ -236,6 +254,7 @@ def parallel_evaluate(
     source_kernel: Kernel | None = None,
     target_kernel: Kernel | None = None,
     direct_kernel: Kernel | None = None,
+    cache: OperatorCache | None = None,
 ) -> np.ndarray:
     """SPMD entry point: each rank passes its local particles.
 
@@ -244,6 +263,12 @@ def parallel_evaluate(
     points, in local order.  The variable source/target kernels follow
     the same rules as the sequential evaluator (see
     :func:`repro.core.evaluator.evaluate`).
+
+    ``cache`` lets the caller supply a prebuilt (shareable)
+    :class:`~repro.core.precompute.OperatorCache` so repeated calls stop
+    recomputing the pseudoinverse operators; it must have been built
+    with the same kernel, order and root side this call produces
+    (supply ``root`` to pin the cube).
     """
     opts = options or FMMOptions()
     timer = timer if timer is not None else PhaseTimer()
@@ -285,15 +310,18 @@ def parallel_evaluate(
         usage.uses_source &= ptree.global_nsrc > 0
         users_equiv, users_src = gather_users(comm, usage)
 
-    cache = OperatorCache(
-        kernel, opts.p, tree.root_side,
-        inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
-    )
+    if cache is None:
+        cache = OperatorCache(
+            kernel, opts.p, tree.root_side,
+            inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
+        )
 
     with timer.phase("up"):
         partial_ue, has_ue = _upward_local(tree, kernel, cache, phi, src_k=src_k)
 
-    with timer.phase("comm"):
+    # Communication, split into ``pack`` (send side) and ``wait``
+    # (receive side) by the exchange functions themselves.
+    with timer.phase("pack"):
         src_boxes = np.nonzero(users_src.any(axis=0))[0]
         local_pts = {
             int(b): tree.src_points(int(b))
@@ -305,13 +333,15 @@ def parallel_evaluate(
             for b in src_boxes
             if contrib_src[comm.rank, b]
         }
-        ghost_src = exchange_source_data(
-            comm, src_boxes, contrib_src, users_src, owner, local_pts, local_dens
-        )
-        ue_boxes = np.nonzero(users_equiv.any(axis=0))[0]
-        global_ue = exchange_equiv_densities(
-            comm, ue_boxes, contrib_src, users_equiv, owner, partial_ue, has_ue
-        )
+    ghost_src = exchange_source_data(
+        comm, src_boxes, contrib_src, users_src, owner, local_pts, local_dens,
+        timer=timer,
+    )
+    ue_boxes = np.nonzero(users_equiv.any(axis=0))[0]
+    global_ue = exchange_equiv_densities(
+        comm, ue_boxes, contrib_src, users_equiv, owner, partial_ue, has_ue,
+        timer=timer,
+    )
 
     with timer.phase("down"):
         potential = _downward_local(
@@ -319,6 +349,549 @@ def parallel_evaluate(
             src_k=src_k, trg_k=trg_k, dir_k=dir_k,
         )
     return potential
+
+
+# ---------------------------------------------------------------------------
+# Persistent parallel operator: setup once per geometry, apply many times.
+# ---------------------------------------------------------------------------
+
+
+def _global_root(
+    points: np.ndarray, pad: float = 1e-6
+) -> tuple[np.ndarray, float]:
+    """Bounding cube over all points, matching :func:`agree_root_cube`.
+
+    The driver holds the full point set, so it can compute the cube the
+    ranks would have agreed on collectively (elementwise min/max commute
+    with the Allreduce) and share one operator cache across ranks.
+    """
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    side = float((hi - lo).max())
+    side = side * (1.0 + pad) if side > 0 else 1.0
+    center = (lo + hi) / 2.0
+    return center - side / 2.0, side
+
+
+@dataclass
+class _VSplit:
+    """One V level's pairs split by source-box ownership.
+
+    Rows/classes over sources this rank owns can be processed inside the
+    overlap window (their global equivalent densities are on hand right
+    after the owner relay); ghost rows wait for the scatter.
+    """
+
+    own_rows: np.ndarray
+    ghost_rows: np.ndarray
+    own_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+    ghost_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+
+
+class RankFMM:
+    """One rank's persistent parallel FMM state (the setup product).
+
+    Mirrors the sequential ``KIFMM`` setup/apply split over the rank's
+    local essential tree: :func:`rank_setup` builds the parallel tree,
+    the LET-local :class:`~repro.core.plan.ExecutionPlan` (partner
+    gating by *global* source counts, U/X positions into the combined
+    local+ghost source array), the ghost geometry, and the owned/ghost
+    work splits that define the overlap window.  :meth:`apply` then runs
+    one batched interaction evaluation, exchanging only densities.
+
+    The object deliberately holds no communicator — each apply receives
+    one, so the same states can be reused across ``run_spmd`` calls
+    (each GMRES matvec is one such call).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        options: FMMOptions,
+        ptree: ParallelTree,
+        lists: InteractionLists,
+        cache: OperatorCache,
+        fft: FFTM2L | None,
+        plan: ExecutionPlan,
+        layout: GhostLayout,
+        ext_points: np.ndarray,
+        u_own: NearBlocks,
+        u_ghost: NearBlocks,
+        w_own: NearBlocks,
+        w_ghost: NearBlocks,
+        v_splits: list[_VSplit],
+        src_start: np.ndarray,
+        src_stop: np.ndarray,
+        source_kernel: Kernel | None,
+        target_kernel: Kernel | None,
+        direct_kernel: Kernel | None,
+    ) -> None:
+        self.kernel = kernel
+        self.options = options
+        self.ptree = ptree
+        self.tree = ptree.tree
+        self.lists = lists
+        self.cache = cache
+        self.fft = fft
+        self.plan = plan
+        self.layout = layout
+        self.ext_points = ext_points
+        self.u_own = u_own
+        self.u_ghost = u_ghost
+        self.w_own = w_own
+        self.w_ghost = w_ghost
+        self.v_splits = v_splits
+        self.src_start = src_start
+        self.src_stop = src_stop
+        self.src_k, self.trg_k, self.dir_k = resolve_kernels(
+            kernel, source_kernel, target_kernel, direct_kernel
+        )
+
+    # -- apply ------------------------------------------------------------
+
+    def apply(
+        self,
+        comm: SimComm,
+        local_density: np.ndarray,
+        timer: PhaseTimer | None = None,
+        overlap: bool = True,
+    ) -> np.ndarray:
+        """One planned interaction evaluation over the LET.
+
+        The computation order is identical with and without overlap —
+        owned-data passes always run before their ghost counterparts —
+        so the two modes produce bitwise identical potentials; the flag
+        only decides whether the scatter wait happens before or after
+        the owned passes (i.e. whether the in-flight exchange is hidden
+        behind them).
+        """
+        timer = timer if timer is not None else PhaseTimer()
+        tree, plan, cache = self.tree, self.plan, self.cache
+        md, qd = self.kernel.source_dof, self.kernel.target_dof
+        sdof, out_dof = self.src_k.source_dof, self.trg_k.target_dof
+        n_surf = cache.n_surf
+        nb = plan.nboxes
+        nt = tree.targets.shape[0]
+        pool = plan.buffers
+        phi = np.asarray(local_density, dtype=np.float64).reshape(
+            tree.sources.shape[0], sdof
+        )
+        phi_sorted = phi[tree.src_perm]
+
+        ue = pool.zeros("p_ue", (nb, n_surf * md))
+        with timer.phase("up"):
+            self._upward(ue, phi_sorted)
+
+        lay = self.layout
+        ext_phi = pool.empty("p_ext_phi", (self.ext_points.shape[0], sdof))
+        exch = ApplyExchange(
+            comm, lay, phi_sorted, self.src_start, self.src_stop, ue,
+            ext_phi, timer,
+        ).start()
+        exch.relay()
+        if not overlap:
+            exch.finish()
+
+        dc = pool.zeros("p_dc", (nb, n_surf * qd))
+        de = pool.zeros("p_de", (nb, n_surf * md))
+        pot_sorted = pool.zeros("p_pot", (nt, out_dof))
+
+        # Owned-data passes: with overlap on, these run while the
+        # equivalent-density/ghost-density scatter is still in flight.
+        self._near_u(self.u_own, ext_phi, pot_sorted, timer)
+        self._near_w(self.w_own, ue, pot_sorted, timer)
+        v_state = self._v_owned(ue, dc, timer)
+
+        if overlap:
+            exch.finish()
+
+        # Ghost-dependent passes.
+        self._v_ghost(ue, dc, v_state, timer)
+        self._downward(ext_phi, dc, de, pot_sorted, timer)
+        self._near_u(self.u_ghost, ext_phi, pot_sorted, timer)
+        self._near_w(self.w_ghost, ue, pot_sorted, timer)
+
+        potential = np.empty((nt, out_dof))
+        potential[tree.trg_perm] = pot_sorted
+        return potential
+
+    # -- stages -----------------------------------------------------------
+
+    def _upward(self, ue: np.ndarray, phi_sorted: np.ndarray) -> None:
+        """Partial upward pass (local sources only), level batched."""
+        cache, plan, src_k = self.cache, self.plan, self.src_k
+        n_surf = cache.n_surf
+        qd, sdof = self.kernel.target_dof, src_k.source_dof
+        pool = plan.buffers
+        zero3 = np.zeros(3)
+        for ul in plan.up_levels:
+            check = pool.zeros("p_up_check", (ul.boxes.size, n_surf * qd))
+            if ul.s2m_rows.size:
+                chk_pts = cache.up_check_points(zero3, ul.level)
+                phi_cat = phi_sorted[ul.s2m_src_pos].reshape(-1)
+                max_pts = max(1, MAX_BLOCK_ENTRIES // (n_surf * qd * sdof))
+                for lo, hi in chunk_segments(ul.s2m_seg, max_pts):
+                    p0, p1 = int(ul.s2m_seg[lo]), int(ul.s2m_seg[hi])
+                    K = src_k.matrix_local(chk_pts, ul.s2m_pts[p0:p1])
+                    vals = K * phi_cat[p0 * sdof : p1 * sdof][None, :]
+                    cols = (ul.s2m_seg[lo:hi] - p0) * sdof
+                    check[ul.s2m_rows[lo:hi]] += np.add.reduceat(
+                        vals, cols, axis=1
+                    ).T
+            for octant, kids, rows in ul.m2m_groups:
+                M = cache.m2m_check(ul.level + 1, octant)
+                check[rows] += ue[kids] @ M.T
+            ue[ul.boxes] = check @ cache.uc2ue(ul.level).T
+
+    def _near_u(
+        self,
+        blocks: NearBlocks,
+        ext_phi: np.ndarray,
+        pot_sorted: np.ndarray,
+        timer: PhaseTimer,
+    ) -> None:
+        """U-list near field over one ownership split of the partners."""
+        if blocks.boxes.size == 0:
+            return
+        plan, dir_k = self.plan, self.dir_k
+        sdof, out_dof = self.src_k.source_dof, self.trg_k.target_dof
+        with timer.phase("down_u"):
+            for i, bi in enumerate(blocks.boxes):
+                t0, t1 = int(blocks.trg_start[i]), int(blocks.trg_stop[i])
+                s0, s1 = int(blocks.seg[i]), int(blocks.seg[i + 1])
+                pos = blocks.src_pos[s0:s1]
+                ctr = plan.centers[bi]
+                trg_pts = plan.targets_sorted[t0:t1] - ctr
+                ntr = t1 - t0
+                step = max(1, MAX_BLOCK_ENTRIES // max(1, ntr * out_dof * sdof))
+                for c0 in range(0, pos.size, step):
+                    c1 = min(pos.size, c0 + step)
+                    K = dir_k.matrix_local(
+                        trg_pts, self.ext_points[pos[c0:c1]] - ctr
+                    )
+                    pot_sorted[t0:t1] += (
+                        K @ ext_phi[pos[c0:c1]].reshape(-1)
+                    ).reshape(ntr, out_dof)
+
+    def _near_w(
+        self,
+        blocks: NearBlocks,
+        ue: np.ndarray,
+        pot_sorted: np.ndarray,
+        timer: PhaseTimer,
+    ) -> None:
+        """W-list pass over one ownership split of the partner boxes."""
+        if blocks.boxes.size == 0:
+            return
+        plan, cache, trg_k = self.plan, self.cache, self.trg_k
+        out_dof = trg_k.target_dof
+        with timer.phase("down_w"):
+            sgrid = surface_grid(cache.p)
+            hw = cache.root_side / np.power(2.0, np.arange(plan.depth + 1)) / 2.0
+            for i, bi in enumerate(blocks.boxes):
+                t0, t1 = int(blocks.trg_start[i]), int(blocks.trg_stop[i])
+                s0, s1 = int(blocks.seg[i]), int(blocks.seg[i + 1])
+                partners = blocks.src_pos[s0:s1]
+                ctr = plan.centers[bi]
+                rad = cache.inner * hw[plan.levels[partners]]
+                eq_pts = (
+                    (plan.centers[partners] - ctr)[:, None, :]
+                    + rad[:, None, None] * sgrid[None, :, :]
+                ).reshape(-1, 3)
+                K = trg_k.matrix_local(plan.targets_sorted[t0:t1] - ctr, eq_pts)
+                pot_sorted[t0:t1] += (K @ ue[partners].reshape(-1)).reshape(
+                    t1 - t0, out_dof
+                )
+
+    def _v_owned(
+        self, ue: np.ndarray, dc: np.ndarray, timer: PhaseTimer
+    ) -> list[tuple[np.ndarray, np.ndarray]] | None:
+        """Forward-FFT owned V sources and accumulate owned classes.
+
+        Returns the per-level ``(phi_hat, acc)`` state the ghost pass
+        completes (plain arrays, not pool buffers: the state must
+        survive the interleaved passes of the overlap window).
+        """
+        plan, cache, fft = self.plan, self.cache, self.fft
+        md, qd = self.kernel.source_dof, self.kernel.target_dof
+        with timer.phase("down_v"):
+            if fft is None:
+                for vl, sp in zip(plan.v_levels, self.v_splits):
+                    for offset, spos, tpos in sp.own_classes:
+                        T = cache.m2l_check(vl.level, offset)
+                        dc[vl.trg_boxes[tpos]] += (
+                            ue[vl.src_boxes[spos]] @ T.T
+                        )
+                return None
+            m, mf = fft.m, fft.m // 2 + 1
+            state: list[tuple[np.ndarray, np.ndarray]] = []
+            for vl, sp in zip(plan.v_levels, self.v_splits):
+                nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
+                phi_hat = np.empty((nsb, md, m, m, mf), dtype=np.complex128)
+                acc = np.zeros((ntb, qd, m, m, mf), dtype=np.complex128)
+                if sp.own_rows.size:
+                    grid = np.zeros((sp.own_rows.size, md, m, m, m))
+                    phi_hat[sp.own_rows] = fft.density_hat_many(
+                        ue[vl.src_boxes[sp.own_rows]], grid
+                    )
+                for offset, spos, tpos in sp.own_classes:
+                    tensor = fft.kernel_tensor_hat(vl.level, offset)
+                    fft.accumulate_many(acc, tensor, phi_hat[spos], tpos)
+                state.append((phi_hat, acc))
+        return state
+
+    def _v_ghost(
+        self,
+        ue: np.ndarray,
+        dc: np.ndarray,
+        state: list[tuple[np.ndarray, np.ndarray]] | None,
+        timer: PhaseTimer,
+    ) -> None:
+        """Complete the V pass with ghost-owned source boxes."""
+        plan, cache, fft = self.plan, self.cache, self.fft
+        if not plan.v_levels:
+            return
+        with timer.phase("down_v"):
+            if fft is None:
+                for vl, sp in zip(plan.v_levels, self.v_splits):
+                    for offset, spos, tpos in sp.ghost_classes:
+                        T = cache.m2l_check(vl.level, offset)
+                        dc[vl.trg_boxes[tpos]] += (
+                            ue[vl.src_boxes[spos]] @ T.T
+                        )
+                return
+            md = self.kernel.source_dof
+            m = fft.m
+            assert state is not None
+            for (vl, sp), (phi_hat, acc) in zip(
+                zip(plan.v_levels, self.v_splits), state
+            ):
+                if sp.ghost_rows.size:
+                    grid = np.zeros((sp.ghost_rows.size, md, m, m, m))
+                    phi_hat[sp.ghost_rows] = fft.density_hat_many(
+                        ue[vl.src_boxes[sp.ghost_rows]], grid
+                    )
+                for offset, spos, tpos in sp.ghost_classes:
+                    tensor = fft.kernel_tensor_hat(vl.level, offset)
+                    fft.accumulate_many(acc, tensor, phi_hat[spos], tpos)
+                dc[vl.trg_boxes] += fft.check_potential_many(acc)
+
+    def _downward(
+        self,
+        ext_phi: np.ndarray,
+        dc: np.ndarray,
+        de: np.ndarray,
+        pot_sorted: np.ndarray,
+        timer: PhaseTimer,
+    ) -> None:
+        """L2L / X / dc2de / L2T sweep over the LET (ghost X data)."""
+        plan, cache = self.plan, self.cache
+        src_k, trg_k = self.src_k, self.trg_k
+        md = self.kernel.source_dof
+        n_surf = cache.n_surf
+        out_dof = trg_k.target_dof
+        zero3 = np.zeros(3)
+        for dl in plan.down_levels:
+            with timer.phase("eval"):
+                for octant, kids, parents in dl.l2l_groups:
+                    L = cache.l2l_check(dl.level, octant)
+                    dc[kids] += de[parents] @ L.T
+            if dl.x_boxes.size:
+                with timer.phase("down_x"):
+                    chk_pts = cache.down_check_points(zero3, dl.level)
+                    for i, bi in enumerate(dl.x_boxes):
+                        p0, p1 = int(dl.x_seg[i]), int(dl.x_seg[i + 1])
+                        pos = dl.x_src_pos[p0:p1]
+                        K = src_k.matrix_local(
+                            chk_pts, self.ext_points[pos] - plan.centers[bi]
+                        )
+                        dc[bi] += K @ ext_phi[pos].reshape(-1)
+            with timer.phase("eval"):
+                if dl.dc_boxes.size:
+                    D = cache.dc2de(dl.level)
+                    de[dl.dc_boxes] = dc[dl.dc_boxes] @ D.T
+                if dl.l2t_boxes.size:
+                    eq_pts = cache.down_equiv_points(zero3, dl.level)
+                    de_rows = np.repeat(
+                        de[dl.l2t_boxes], np.diff(dl.l2t_seg), axis=0
+                    )
+                    npts = int(dl.l2t_seg[-1])
+                    step = max(1, MAX_BLOCK_ENTRIES // (out_dof * n_surf * md))
+                    for p0 in range(0, npts, step):
+                        p1 = min(npts, p0 + step)
+                        K = trg_k.matrix_local(dl.l2t_pts[p0:p1], eq_pts)
+                        K3 = K.reshape(p1 - p0, out_dof, n_surf * md)
+                        pot_sorted[dl.l2t_trg_pos[p0:p1]] += np.einsum(
+                            "tqm,tm->tq", K3, de_rows[p0:p1]
+                        )
+
+
+def rank_setup(
+    comm: SimComm,
+    kernel: Kernel,
+    local_points: np.ndarray,
+    options: FMMOptions | None = None,
+    *,
+    root: tuple[np.ndarray, float] | None = None,
+    cache: OperatorCache | None = None,
+    fft: FFTM2L | None = None,
+    source_kernel: Kernel | None = None,
+    target_kernel: Kernel | None = None,
+    direct_kernel: Kernel | None = None,
+    timer: PhaseTimer | None = None,
+) -> RankFMM:
+    """Per-rank setup of the persistent parallel operator.
+
+    Runs once per geometry: parallel tree + lists, LET classification,
+    owner assignment, the LET-local execution plan, the setup-time ghost
+    *geometry* exchange, and the owned/ghost work splits.  ``cache`` and
+    ``fft`` may be shared across ranks (their lazy per-level entries are
+    deterministic, so concurrent population is benign); when omitted
+    they are built locally from the agreed root cube.
+    """
+    opts = options or FMMOptions()
+    timer = timer if timer is not None else PhaseTimer()
+    me = comm.rank
+    local_points = np.asarray(local_points, dtype=np.float64)
+
+    with timer.phase("tree"):
+        ptree = parallel_build_tree(
+            comm, local_points,
+            max_points=opts.max_points, max_depth=opts.max_depth, root=root,
+        )
+        tree = ptree.tree
+        lists = build_lists(tree)
+        contrib_src, contrib_trg = gather_contributors(
+            comm, ptree.local_contributes_src(), ptree.local_contributes_trg()
+        )
+        owner = assign_owners(contrib_src | contrib_trg)
+        usage = classify_let(tree, lists, ptree.local_contributes_trg())
+        usage.uses_equiv &= ptree.global_nsrc > 0
+        usage.uses_source &= ptree.global_nsrc > 0
+        users_equiv, users_src = gather_users(comm, usage)
+
+    if cache is None:
+        cache = OperatorCache(
+            kernel, opts.p, tree.root_side,
+            inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
+        )
+    if fft is None and opts.m2l == "fft":
+        fft = FFTM2L(cache)
+
+    nb = tree.nboxes
+    # Layout of the combined (local + ghost) source array: used boxes in
+    # ascending order, each holding its *global* sources in the owner's
+    # concatenation order.
+    used = np.flatnonzero(usage.uses_source)
+    sizes = ptree.global_nsrc[used]
+    ext_start = np.zeros(nb, dtype=np.int64)
+    ext_stop = np.zeros(nb, dtype=np.int64)
+    stops = np.cumsum(sizes)
+    ext_start[used] = stops - sizes
+    ext_stop[used] = stops
+    ext_total = int(stops[-1]) if used.size else 0
+
+    # Setup-time geometry exchange (Algorithm 1 over positions).
+    src_boxes = np.nonzero(users_src.any(axis=0))[0]
+    ue_boxes = np.nonzero(users_equiv.any(axis=0))[0]
+    local_pts = {
+        int(b): tree.src_points(int(b))
+        for b in src_boxes
+        if contrib_src[me, b]
+    }
+    ghost_pts = exchange_source_geometry(
+        comm, src_boxes, contrib_src, users_src, owner, local_pts, timer=timer,
+    )
+    ext_points = np.empty((ext_total, 3))
+    for b in used:
+        ext_points[ext_start[b]:ext_stop[b]] = ghost_pts[int(b)]
+
+    layout = GhostLayout(
+        phi=build_exchange_plan("phi", me, src_boxes, contrib_src,
+                                users_src, owner),
+        pue=build_exchange_plan("pue", me, ue_boxes, contrib_src,
+                                users_equiv, owner),
+        ext_start=ext_start,
+        ext_stop=ext_stop,
+    )
+
+    with timer.phase("plan"):
+        plan = build_plan(
+            tree, lists,
+            partner_nsrc=ptree.global_nsrc,
+            ext_ranges=(ext_start, ext_stop),
+        )
+
+        # Ownership splits of the near-field and V-list work: owned
+        # partners are computable right after the owner relay, ghost
+        # partners only after the scatter completes.
+        boxes = tree.boxes
+        ntrg = np.fromiter((b.ntrg for b in boxes), np.int64, nb)
+        trg_start = np.fromiter((b.trg_start for b in boxes), np.int64, nb)
+        trg_stop = np.fromiter((b.trg_stop for b in boxes), np.int64, nb)
+        gsrc = ptree.global_nsrc
+
+        u_ptr, u_idx = lists.flat("U")
+        u_trg = np.repeat(np.arange(nb), np.diff(u_ptr))
+        um = (ntrg[u_trg] > 0) & (gsrc[u_idx] > 0)
+        ut, us = u_trg[um], u_idx[um]
+        uo = owner[us] == me
+        u_own = build_near_blocks(
+            ut[uo], us[uo], ext_start, ext_stop, trg_start, trg_stop
+        )
+        u_ghost = build_near_blocks(
+            ut[~uo], us[~uo], ext_start, ext_stop, trg_start, trg_stop
+        )
+
+        w_ptr, w_idx = lists.flat("W")
+        w_trg = np.repeat(np.arange(nb), np.diff(w_ptr))
+        wm = (ntrg[w_trg] > 0) & (gsrc[w_idx] > 0)
+        wt, wp = w_trg[wm], w_idx[wm]
+        wo = owner[wp] == me
+        w_own = build_w_blocks(wt[wo], wp[wo], trg_start, trg_stop)
+        w_ghost = build_w_blocks(wt[~wo], wp[~wo], trg_start, trg_stop)
+
+        v_splits: list[_VSplit] = []
+        for vl in plan.v_levels:
+            src_owned = owner[vl.src_boxes] == me
+            own_classes, ghost_classes = [], []
+            for offset, spos, tpos in vl.classes:
+                m = src_owned[spos]
+                if m.any():
+                    own_classes.append((offset, spos[m], tpos[m]))
+                if not m.all():
+                    ghost_classes.append((offset, spos[~m], tpos[~m]))
+            v_splits.append(
+                _VSplit(
+                    own_rows=np.flatnonzero(src_owned),
+                    ghost_rows=np.flatnonzero(~src_owned),
+                    own_classes=own_classes,
+                    ghost_classes=ghost_classes,
+                )
+            )
+
+    src_start = np.fromiter((b.src_start for b in boxes), np.int64, nb)
+    src_stop = np.fromiter((b.src_stop for b in boxes), np.int64, nb)
+    return RankFMM(
+        kernel=kernel,
+        options=opts,
+        ptree=ptree,
+        lists=lists,
+        cache=cache,
+        fft=fft,
+        plan=plan,
+        layout=layout,
+        ext_points=ext_points,
+        u_own=u_own,
+        u_ghost=u_ghost,
+        w_own=w_own,
+        w_ghost=w_ghost,
+        v_splits=v_splits,
+        src_start=src_start,
+        src_stop=src_stop,
+        source_kernel=source_kernel,
+        target_kernel=target_kernel,
+        direct_kernel=direct_kernel,
+    )
 
 
 @dataclass
@@ -329,6 +902,13 @@ class ParallelFMMResult:
     comm_stats: list[CommStats]
     timers: list[dict[str, float]]
     nranks: int
+
+
+def _planned_eligible(kernels: tuple[Kernel, ...], opts: FMMOptions) -> bool:
+    """Whether the persistent planned path applies (mirrors KIFMM)."""
+    return opts.plan == "batched" and all(
+        k.translation_invariant for k in kernels
+    )
 
 
 def run_parallel_fmm(
@@ -342,6 +922,9 @@ def run_parallel_fmm(
     direct_kernel: Kernel | None = None,
     trace=None,
     schedule_seed: int | None = None,
+    napplies: int = 1,
+    overlap: bool = True,
+    cache: OperatorCache | None = None,
 ) -> ParallelFMMResult:
     """Convenience driver: partition, run SPMD, reassemble.
 
@@ -350,32 +933,69 @@ def run_parallel_fmm(
     returns the potentials in the original point order together with
     per-rank communication statistics.
 
+    With the default batched plan and translation-invariant kernels the
+    run goes through the persistent operator: one :func:`rank_setup`
+    followed by ``napplies`` overlapped planned applies inside a single
+    SPMD region (so a trace covers setup plus every apply).  Otherwise
+    ``napplies`` per-box :func:`parallel_evaluate` calls run, sharing
+    one operator cache.
+
     ``trace`` (a :class:`repro.analysis.trace.CommTrace`) records the
     full communication event trace for
     :func:`repro.analysis.commcheck.check_trace`; ``schedule_seed``
     perturbs the rank interleaving with seeded yields (the result must
     be — and is asserted by tests to be — schedule independent).
     """
+    if napplies < 1:
+        raise ValueError(f"napplies must be >= 1, got {napplies}")
+    src_k, trg_k, dir_k = resolve_kernels(
+        kernel, source_kernel, target_kernel, direct_kernel
+    )
+    opts = options or FMMOptions()
     points = np.asarray(points, dtype=np.float64)
     density = np.asarray(density, dtype=np.float64).reshape(points.shape[0], -1)
     parts = partition_points(points, nranks)
     timers = [PhaseTimer() for _ in range(nranks)]
+    use_plan = _planned_eligible((kernel, src_k, trg_k, dir_k), opts)
 
-    def rank_main(comm: SimComm, idx: np.ndarray):
-        pot = parallel_evaluate(
-            comm, kernel, points[idx], density[idx],
-            options=options, timer=timers[comm.rank],
-            source_kernel=source_kernel, target_kernel=target_kernel,
-            direct_kernel=direct_kernel,
+    if use_plan:
+        corner, side = _global_root(points)
+        shared_cache = cache if cache is not None else OperatorCache(
+            kernel, opts.p, side,
+            inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
         )
-        return pot, comm.stats
+        shared_fft = FFTM2L(shared_cache) if opts.m2l == "fft" else None
+
+        def rank_main(comm: SimComm, idx: np.ndarray):
+            state = rank_setup(
+                comm, kernel, points[idx], opts,
+                root=(corner, side), cache=shared_cache, fft=shared_fft,
+                source_kernel=source_kernel, target_kernel=target_kernel,
+                direct_kernel=direct_kernel, timer=timers[comm.rank],
+            )
+            for _ in range(napplies):
+                pot = state.apply(
+                    comm, density[idx],
+                    timer=timers[comm.rank], overlap=overlap,
+                )
+            return pot, comm.stats
+    else:
+
+        def rank_main(comm: SimComm, idx: np.ndarray):
+            for _ in range(napplies):
+                pot = parallel_evaluate(
+                    comm, kernel, points[idx], density[idx],
+                    options=options, timer=timers[comm.rank],
+                    source_kernel=source_kernel, target_kernel=target_kernel,
+                    direct_kernel=direct_kernel, cache=cache,
+                )
+            return pot, comm.stats
 
     outputs = run_spmd(
         nranks, rank_main, PerRank(parts),
         trace=trace, schedule_seed=schedule_seed,
     )
-    qd = (target_kernel or kernel).target_dof
-    potential = np.zeros((points.shape[0], qd))
+    potential = np.zeros((points.shape[0], trg_k.target_dof))
     for idx, (pot, _) in zip(parts, outputs):
         potential[idx] = pot
     return ParallelFMMResult(
@@ -384,3 +1004,136 @@ def run_parallel_fmm(
         timers=[t.by_phase() for t in timers],
         nranks=nranks,
     )
+
+
+class ParallelFMM:
+    """Persistent parallel FMM operator with a setup/apply split.
+
+    The parallel analogue of :class:`~repro.core.fmm.KIFMM`:
+    :meth:`setup` partitions the points, builds every rank's
+    :class:`RankFMM` (parallel tree, LET, owners, LET-local execution
+    plan, ghost geometry) and the shared operator cache — once.
+    :meth:`apply` then evaluates the operator for a new density,
+    exchanging only densities and equivalent densities with the
+    overlapped nonblocking protocol.  Repeated applies of one operator
+    are bitwise identical; GMRES drives :meth:`matvec`.
+
+    Requires the batched plan and translation-invariant kernels (the
+    conditions of :func:`~repro.core.evaluator.evaluate_planned`).
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        kernel: Kernel,
+        options: FMMOptions | None = None,
+        *,
+        overlap: bool = True,
+        source_kernel: Kernel | None = None,
+        target_kernel: Kernel | None = None,
+        direct_kernel: Kernel | None = None,
+    ) -> None:
+        self.nranks = nranks
+        self.kernel = kernel
+        self.options = options or FMMOptions()
+        self.overlap = overlap
+        self.source_kernel = source_kernel
+        self.target_kernel = target_kernel
+        self.direct_kernel = direct_kernel
+        self.src_k, self.trg_k, self.dir_k = resolve_kernels(
+            kernel, source_kernel, target_kernel, direct_kernel
+        )
+        if not _planned_eligible(
+            (kernel, self.src_k, self.trg_k, self.dir_k), self.options
+        ):
+            raise ValueError(
+                "ParallelFMM requires plan='batched' and translation "
+                "invariant kernels; use run_parallel_fmm for the per-box "
+                "path"
+            )
+        self._states: list[RankFMM] | None = None
+        self._parts: list[np.ndarray] | None = None
+        self._npoints = 0
+        self.cache: OperatorCache | None = None
+        self.fft: FFTM2L | None = None
+        self.timers = [PhaseTimer() for _ in range(nranks)]
+        self.comm_stats = [CommStats() for _ in range(nranks)]
+        self.napplies = 0
+
+    def setup(
+        self,
+        points: np.ndarray,
+        trace=None,
+        schedule_seed: int | None = None,
+    ) -> "ParallelFMM":
+        """Build the per-rank persistent states for ``points``."""
+        points = np.asarray(points, dtype=np.float64)
+        opts = self.options
+        corner, side = _global_root(points)
+        if self.cache is None:
+            self.cache = OperatorCache(
+                self.kernel, opts.p, side,
+                inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
+            )
+        if self.fft is None and opts.m2l == "fft":
+            self.fft = FFTM2L(self.cache)
+        parts = partition_points(points, self.nranks)
+
+        def rank_main(comm: SimComm, idx: np.ndarray):
+            state = rank_setup(
+                comm, self.kernel, points[idx], opts,
+                root=(corner, side), cache=self.cache, fft=self.fft,
+                source_kernel=self.source_kernel,
+                target_kernel=self.target_kernel,
+                direct_kernel=self.direct_kernel,
+                timer=self.timers[comm.rank],
+            )
+            return state, comm.stats
+
+        outputs = run_spmd(
+            self.nranks, rank_main, PerRank(parts),
+            trace=trace, schedule_seed=schedule_seed,
+        )
+        self._states = [state for state, _ in outputs]
+        for mine, (_, stats) in zip(self.comm_stats, outputs):
+            mine.merge(stats)
+        self._parts = parts
+        self._npoints = points.shape[0]
+        return self
+
+    def apply(
+        self,
+        density: np.ndarray,
+        trace=None,
+        schedule_seed: int | None = None,
+    ) -> np.ndarray:
+        """Evaluate the operator for one density (original point order)."""
+        if self._states is None or self._parts is None:
+            raise RuntimeError("ParallelFMM.apply before setup()")
+        density = np.asarray(density, dtype=np.float64).reshape(
+            self._npoints, -1
+        )
+        overlap = self.overlap
+
+        def rank_main(comm: SimComm, state: RankFMM, idx: np.ndarray):
+            pot = state.apply(
+                comm, density[idx],
+                timer=self.timers[comm.rank], overlap=overlap,
+            )
+            return pot, comm.stats
+
+        outputs = run_spmd(
+            self.nranks, rank_main, PerRank(self._states),
+            PerRank(self._parts), trace=trace, schedule_seed=schedule_seed,
+        )
+        for mine, (_, stats) in zip(self.comm_stats, outputs):
+            mine.merge(stats)
+        self.napplies += 1
+        potential = np.zeros((self._npoints, self.trg_k.target_dof))
+        for idx, (pot, _) in zip(self._parts, outputs):
+            potential[idx] = pot
+        return potential
+
+    def matvec(self, flat: np.ndarray) -> np.ndarray:
+        """Flat-vector apply, the shape GMRES wants."""
+        return self.apply(np.asarray(flat)).ravel()

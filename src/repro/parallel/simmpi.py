@@ -54,6 +54,11 @@ class CommStats:
     bytes_received: int = 0
     allreduce_calls: int = 0
     allreduce_bytes: int = 0
+    #: Wall seconds this rank spent blocked waiting for messages (the
+    #: receive side of :meth:`SimComm.recv` / :meth:`Request.wait`).
+    #: Together with the ``pack``/``wait`` timer phases this makes
+    #: overlap efficiency directly measurable.
+    recv_wait_seconds: float = 0.0
     by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def record_send(self, nbytes: int, phase: str | None) -> None:
@@ -68,6 +73,9 @@ class CommStats:
         if phase:
             self.by_phase[phase] += nbytes
 
+    def record_wait(self, seconds: float) -> None:
+        self.recv_wait_seconds += seconds
+
     def record_allreduce(self, nbytes: int) -> None:
         self.allreduce_calls += 1
         self.allreduce_bytes += nbytes
@@ -80,6 +88,7 @@ class CommStats:
         self.bytes_received += other.bytes_received
         self.allreduce_calls += other.allreduce_calls
         self.allreduce_bytes += other.allreduce_bytes
+        self.recv_wait_seconds += other.recv_wait_seconds
         for phase, nbytes in other.by_phase.items():
             self.by_phase[phase] += nbytes
 
@@ -237,12 +246,18 @@ class SimComm:
         self._jitter()
         if self._tracer is not None:
             self._tracer.on_recv_post(src, tag)
+        return self._complete_recv(src, tag, phase)
+
+    def _complete_recv(self, src: int, tag: Any, phase: str | None) -> Any:
+        """Shared blocking tail of :meth:`recv` and :meth:`Request.wait`."""
+        t0 = time.perf_counter()
         try:
             obj = self._world.box(src, self.rank, tag).get(timeout=self._timeout)
         except queue.Empty:
             raise TimeoutError(
                 f"rank {self.rank} timed out receiving from {src} tag {tag!r}"
             ) from None
+        self.stats.record_wait(time.perf_counter() - t0)
         if isinstance(obj, Envelope):
             env, obj = obj, obj.payload
             nbytes = _payload_bytes(obj)
@@ -252,6 +267,23 @@ class SimComm:
             nbytes = _payload_bytes(obj)
         self.stats.record_recv(nbytes, phase)
         return obj
+
+    def irecv(self, src: int, tag: Any = 0, phase: str | None = None) -> "Request":
+        """Nonblocking receive: post now, complete later with ``wait()``.
+
+        The receive is *posted* immediately (it appears at its program
+        position in the event trace, like MPI_Irecv), but the message is
+        only pulled from the mailbox — and counted in :class:`CommStats`
+        — when :meth:`Request.wait` is called.  Waits on one
+        ``(src, tag)`` channel must be issued in posting order (the
+        mailbox is FIFO per channel).
+        """
+        if not 0 <= src < self.size:
+            raise ValueError(f"invalid source rank {src}")
+        self._jitter()
+        if self._tracer is not None:
+            self._tracer.on_recv_post(src, tag)
+        return Request(self, src, tag, phase)
 
     # -- collectives ---------------------------------------------------------
 
@@ -333,6 +365,39 @@ class SimComm:
         if self._tracer is not None:
             self._coll_clock_sync("allgather")
         return out
+
+
+class Request:
+    """In-flight nonblocking receive returned by :meth:`SimComm.irecv`."""
+
+    __slots__ = ("_comm", "_src", "_tag", "_phase", "_done", "_value")
+
+    def __init__(
+        self, comm: SimComm, src: int, tag: Any, phase: str | None
+    ) -> None:
+        self._comm = comm
+        self._src = src
+        self._tag = tag
+        self._phase = phase
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def source(self) -> int:
+        return self._src
+
+    @property
+    def tag(self) -> Any:
+        return self._tag
+
+    def wait(self) -> Any:
+        """Block until the message arrives; idempotent after completion."""
+        if not self._done:
+            self._value = self._comm._complete_recv(
+                self._src, self._tag, self._phase
+            )
+            self._done = True
+        return self._value
 
 
 def run_spmd(

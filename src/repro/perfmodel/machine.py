@@ -44,8 +44,10 @@ class MachineModel:
     tree_local_per_particle: float = 4.4e-6
     #: bytes per global-tree-array entry (count + child indices)
     tree_entry_bytes: int = 16
-    #: fraction of communication hidden by computation overlap (Section 3:
-    #: upward traversal overlapped with ghost communication, etc.)
+    #: fraction of the owned-data near-field/V/W compute window usable to
+    #: hide the receive wait (the persistent apply overlaps the in-flight
+    #: equivalent-density exchange with owned-data work; the hidden time
+    #: is min(wait, overlap_fraction * that window))
     overlap_fraction: float = 0.5
     #: per-kernel flop-rate factors: the paper observes higher sustained
     #: rates for the arithmetically denser Stokes kernel ("we get better

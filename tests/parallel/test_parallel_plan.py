@@ -1,0 +1,149 @@
+"""The persistent planned parallel operator: parity, repeats, overlap.
+
+The tentpole claims of the setup/apply split: the LET-local execution
+plan computes the same potentials as the sequential batched evaluator
+and the per-box naive path, repeated applies of one operator are
+bitwise identical (the pooled buffers are re-zeroed, the exchange is
+deterministic), and the overlap flag changes scheduling but not a
+single bit of the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.core.precompute import OperatorCache
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.kernels.direct import relative_error
+from repro.parallel import ParallelFMM, run_parallel_fmm
+from repro.parallel.pfmm import _global_root
+
+from tests.conftest import clustered_cloud, uniform_cloud
+
+
+def _cloud(rng, dist, n):
+    return uniform_cloud(rng, n) if dist == "uniform" else clustered_cloud(rng, n)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+@pytest.mark.parametrize("dist", ["uniform", "clustered"])
+def test_laplace_parity(rng, nranks, dist):
+    pts = _cloud(rng, dist, 700)
+    phi = rng.standard_normal((700, 1))
+    opts = FMMOptions(p=4, max_points=30)
+    seq_batched = KIFMM(LaplaceKernel(), opts).setup(pts).apply(phi)
+    naive = FMMOptions(p=4, max_points=30, plan="naive")
+    seq_naive = KIFMM(LaplaceKernel(), naive).setup(pts).apply(phi)
+    par = run_parallel_fmm(nranks, LaplaceKernel(), pts, phi, opts)
+    assert relative_error(par.potential, seq_batched) < 1e-9
+    assert relative_error(par.potential, seq_naive) < 1e-9
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+@pytest.mark.parametrize("dist", ["uniform", "clustered"])
+def test_stokes_parity(rng, nranks, dist):
+    pts = _cloud(rng, dist, 500)
+    phi = rng.standard_normal((500, 3))
+    opts = FMMOptions(p=4, max_points=35)
+    seq_batched = KIFMM(StokesKernel(), opts).setup(pts).apply(phi)
+    naive = FMMOptions(p=4, max_points=35, plan="naive")
+    seq_naive = KIFMM(StokesKernel(), naive).setup(pts).apply(phi)
+    par = run_parallel_fmm(nranks, StokesKernel(), pts, phi, opts)
+    assert relative_error(par.potential, seq_batched) < 1e-9
+    assert relative_error(par.potential, seq_naive) < 1e-9
+
+
+def test_repeated_applies_bitwise_identical(rng):
+    pts = clustered_cloud(rng, 600)
+    phi = rng.standard_normal((600, 1))
+    op = ParallelFMM(4, LaplaceKernel(), FMMOptions(p=4, max_points=30))
+    op.setup(pts)
+    p1, p2, p3 = op.apply(phi), op.apply(phi), op.apply(phi)
+    assert np.array_equal(p1, p2)
+    assert np.array_equal(p2, p3)
+    assert op.napplies == 3
+
+
+def test_overlap_on_off_bitwise_identical(rng):
+    pts = uniform_cloud(rng, 600)
+    phi = rng.standard_normal((600, 3))
+    opts = FMMOptions(p=4, max_points=30)
+    on = ParallelFMM(3, StokesKernel(), opts, overlap=True).setup(pts)
+    off = ParallelFMM(3, StokesKernel(), opts, overlap=False).setup(pts)
+    assert np.array_equal(on.apply(phi), off.apply(phi))
+
+
+def test_napplies_driver_matches_single_apply(rng):
+    pts = uniform_cloud(rng, 500)
+    phi = rng.standard_normal((500, 1))
+    opts = FMMOptions(p=4, max_points=30)
+    one = run_parallel_fmm(2, LaplaceKernel(), pts, phi, opts)
+    three = run_parallel_fmm(2, LaplaceKernel(), pts, phi, opts, napplies=3)
+    assert np.array_equal(one.potential, three.potential)
+
+
+def test_dense_m2l_planned_path(rng):
+    pts = clustered_cloud(rng, 500)
+    phi = rng.standard_normal((500, 1))
+    opts = FMMOptions(p=4, max_points=30, m2l="dense")
+    seq = KIFMM(LaplaceKernel(), opts).setup(pts).apply(phi)
+    par = run_parallel_fmm(3, LaplaceKernel(), pts, phi, opts)
+    assert relative_error(par.potential, seq) < 1e-9
+
+
+def test_matvec_shape_for_gmres(rng):
+    pts = uniform_cloud(rng, 300)
+    op = ParallelFMM(2, StokesKernel(), FMMOptions(p=4, max_points=40))
+    op.setup(pts)
+    out = op.matvec(rng.standard_normal(900))
+    assert out.shape == (900,)
+
+
+def test_parallel_fmm_rejects_naive_plan():
+    with pytest.raises(ValueError, match="batched"):
+        ParallelFMM(2, LaplaceKernel(), FMMOptions(plan="naive"))
+
+
+def test_apply_before_setup_raises():
+    op = ParallelFMM(2, LaplaceKernel(), FMMOptions())
+    with pytest.raises(RuntimeError, match="setup"):
+        op.apply(np.zeros((10, 1)))
+
+
+def test_timer_phases_include_pack_and_wait(rng):
+    pts = uniform_cloud(rng, 500)
+    phi = rng.standard_normal((500, 1))
+    op = ParallelFMM(4, LaplaceKernel(), FMMOptions(p=4, max_points=30))
+    op.setup(pts)
+    op.apply(phi)
+    for t in (t.by_phase() for t in op.timers):
+        assert "pack" in t and "wait" in t
+        assert t["up"] > 0 and "down_v" in t
+    assert any(s.recv_wait_seconds > 0 for s in op.comm_stats)
+    assert all(s.bytes_sent > 0 for s in op.comm_stats)
+
+
+def test_shared_cache_reused_across_paths(rng):
+    """The hoisted cache is accepted by both drivers and KIFMM.setup."""
+    pts = uniform_cloud(rng, 400)
+    phi = rng.standard_normal((400, 1))
+    opts = FMMOptions(p=4, max_points=30)
+    corner, side = _global_root(pts)
+    cache = OperatorCache(LaplaceKernel(), opts.p, side)
+    seq = KIFMM(LaplaceKernel(), opts).setup(
+        pts, root=(corner, side), cache=cache
+    ).apply(phi)
+    planned = run_parallel_fmm(2, LaplaceKernel(), pts, phi, opts, cache=cache)
+    naive = run_parallel_fmm(
+        2, LaplaceKernel(), pts, phi,
+        FMMOptions(p=4, max_points=30, plan="naive"), cache=cache,
+    )
+    assert relative_error(planned.potential, seq) < 1e-9
+    assert relative_error(naive.potential, seq) < 1e-9
+
+
+def test_mismatched_cache_root_rejected(rng):
+    pts = uniform_cloud(rng, 200)
+    cache = OperatorCache(LaplaceKernel(), 4, 123.0)
+    with pytest.raises(ValueError, match="root_side"):
+        KIFMM(LaplaceKernel(), FMMOptions(p=4)).setup(pts, cache=cache)

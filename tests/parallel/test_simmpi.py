@@ -235,3 +235,76 @@ class TestMailboxDrain:
             return comm.recv(0)
 
         assert run_spmd(2, main)[1] == "x"
+
+
+class TestNonblockingReceive:
+    def test_irecv_wait_returns_payload(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.isend(1, np.arange(4))
+                return None
+            req = comm.irecv(0)
+            return req.wait()
+
+        results = run_spmd(2, main)
+        assert np.array_equal(results[1], np.arange(4))
+
+    def test_irecv_posts_before_send_arrives(self):
+        """A posted receive completes even when the send comes later."""
+        def main(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0, tag="late")
+                comm.send(0, "go", tag="sync")
+                return req.wait()
+            comm.recv(1, tag="sync")
+            comm.send(1, "payload", tag="late")
+            return None
+
+        assert run_spmd(2, main)[1] == "payload"
+
+    def test_wait_is_idempotent(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 42)
+                return None
+            req = comm.irecv(0)
+            return req.wait(), req.wait()
+
+        assert run_spmd(2, main)[1] == (42, 42)
+
+    def test_waits_in_posting_order_respect_fifo(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.isend(1, i)
+                return None
+            reqs = [comm.irecv(0) for _ in range(5)]
+            return [r.wait() for r in reqs]
+
+        assert run_spmd(2, main)[1] == list(range(5))
+
+    def test_recv_wait_seconds_accounted(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send(1, "x")
+                return None
+            req = comm.irecv(0)
+            comm.barrier()
+            req.wait()
+            return comm.stats
+
+        stats = run_spmd(2, main)[1]
+        assert stats.recv_wait_seconds >= 0.0
+        assert stats.messages_received == 1
+
+    def test_unwaited_request_leaks_mailbox(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.isend(1, "never waited")
+                return None
+            comm.irecv(0)  # posted but never completed
+            return None
+
+        with pytest.raises(MailboxLeakError):
+            run_spmd(2, main)
