@@ -1,27 +1,41 @@
-"""Static and trace-based correctness analysis for the reproduction.
+"""Static, trace-based and runtime correctness analysis.
 
-Two pillars (see ``docs/architecture.md`` § "Analysis & correctness
-tooling"):
+Three pillars (see ``docs/architecture.md`` § "Analysis & correctness
+tooling" and § "Race detection & sanitizers"):
 
 - :mod:`repro.analysis.trace` / :mod:`repro.analysis.commcheck` — a
   per-rank communication event trace recorded by the simulated MPI
   runtime (Lamport + vector clocks on every send/recv/collective) and an
   offline analyzer that builds the happens-before relation and proves an
   execution free of leaked messages, wait-for deadlock cycles,
-  collective divergence and channel-order nondeterminism.
+  collective divergence, channel-order nondeterminism and un-waited
+  receive requests.
+- :mod:`repro.analysis.racecheck` / :mod:`repro.analysis.sanitize` — a
+  happens-before data-race detector over instrumented shared-array
+  accesses of the overlapped parallel path (``repro racecheck``), and
+  the ``REPRO_SANITIZE=1`` runtime sanitizers (BufferPool lifecycle
+  with NaN poisoning, phase-boundary finite checks, GEMM aliasing
+  guards).
 - :mod:`repro.analysis.lint` — an ``ast``-based lint of repo invariants
   (flop accounting, thread confinement, dtype width, buffer-pool
-  escapes, mutable defaults) run as ``python -m repro.analysis.lint
-  src/``.
+  escapes, mutable defaults, request completion) run as
+  ``python -m repro.analysis.lint src/``.
 """
 
 from repro.analysis.commcheck import CommReport, Finding, check_trace, compare_traces
+from repro.analysis.racecheck import AccessRecord, Race, RaceDetector, RaceReport
+from repro.analysis.sanitize import SanitizerError
 from repro.analysis.trace import CommTrace, TraceEvent, payload_digest
 
 __all__ = [
+    "AccessRecord",
     "CommReport",
     "CommTrace",
     "Finding",
+    "Race",
+    "RaceDetector",
+    "RaceReport",
+    "SanitizerError",
     "TraceEvent",
     "check_trace",
     "compare_traces",

@@ -17,6 +17,10 @@ alone:
   FIFO send order, or two sends on one channel not ordered by
   happens-before (each channel has a single sending rank, so concurrent
   sends would mean the runtime's ordering guarantee is broken);
+- **request leaks** — nonblocking receives posted but not completed
+  before a barrier entry (or, on runs whose ranks all returned, never
+  completed at all): the dynamic complement of the ``request-waited``
+  lint rule;
 - **stats mismatches** — event counts inconsistent with the
   :class:`~repro.parallel.simmpi.CommStats` send/receive accounting.
 
@@ -334,6 +338,62 @@ def _check_clocks(trace: CommTrace, report: CommReport) -> None:
                 return
 
 
+def _check_requests(trace: CommTrace, report: CommReport) -> None:
+    """Every posted nonblocking receive must complete before a barrier.
+
+    Walks each rank's event stream counting outstanding ``recv-post``
+    events per channel (a ``recv`` completes the oldest post on its
+    channel — FIFO, matching the runtime).  Outstanding posts at a
+    collective entry mean a ``Request`` crossed the apply's final
+    barrier un-waited; outstanding posts at the end of a run whose ranks
+    all returned (``completed``, or failed only by the exit-time mailbox
+    leak check — no per-rank ``error``) mean a request was posted and
+    never waited at all.  Runs where a rank died are left to the
+    deadlock checker: a rank blocked in its last ``recv-post`` is a
+    wait, not a leak.
+    """
+    ranks_returned = trace.completed or trace.error is None
+    for rank, evs in enumerate(trace.events_by_rank):
+        outstanding: dict[tuple, int] = defaultdict(int)
+        for ev in evs:
+            if ev.kind == "recv-post":
+                outstanding[ev.channel()] += 1
+            elif ev.kind == "recv":
+                outstanding[ev.channel()] -= 1
+            elif ev.kind == "coll-enter":
+                open_chans = {c: n for c, n in outstanding.items() if n > 0}
+                if open_chans:
+                    desc = ", ".join(
+                        f"{src}->{dst} tag={tag!r} ({n} open)"
+                        for (src, dst, tag), n in sorted(
+                            open_chans.items(), key=repr
+                        )
+                    )
+                    report.findings.append(Finding(
+                        "request-leak",
+                        f"rank {rank} entered {ev.coll}[{ev.coll_index}] "
+                        f"with un-waited receive request(s) on channel(s) "
+                        f"{desc}",
+                        ranks=(rank,),
+                    ))
+                    break
+        else:
+            if ranks_returned and any(n > 0 for n in outstanding.values()):
+                desc = ", ".join(
+                    f"{src}->{dst} tag={tag!r} ({n} open)"
+                    for (src, dst, tag), n in sorted(
+                        outstanding.items(), key=repr
+                    )
+                    if n > 0
+                )
+                report.findings.append(Finding(
+                    "request-leak",
+                    f"rank {rank} finished with receive request(s) never "
+                    f"waited on channel(s) {desc}",
+                    ranks=(rank,),
+                ))
+
+
 def _check_stats(
     trace: CommTrace, stats: Sequence[Any], report: CommReport
 ) -> None:
@@ -370,6 +430,7 @@ def check_trace(trace: CommTrace, stats: Sequence[Any] | None = None) -> CommRep
     _check_deadlock(trace, report)
     _check_collectives(trace, report)
     _check_clocks(trace, report)
+    _check_requests(trace, report)
     if stats is not None:
         _check_stats(trace, stats, report)
     return report

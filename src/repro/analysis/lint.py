@@ -22,6 +22,8 @@ Rule catalog (details in ``docs/architecture.md``):
 - ``bufferpool-escape`` — ``BufferPool`` scratch buffers must not be
   returned from the function that drew them.
 - ``mutable-default`` — no mutable default argument values.
+- ``request-waited`` — every ``irecv`` Request in ``repro/parallel/``
+  must reach ``wait()``/``waitall()`` or escape to a caller.
 
 Paths are scoped by the file's position inside the ``repro`` package
 (the path segment from the last ``repro`` component), so fixture trees
@@ -384,12 +386,112 @@ class MutableDefaultRule(Rule):
                     )
 
 
+class RequestWaitedRule(Rule):
+    name = "request-waited"
+    rationale = (
+        "A nonblocking irecv whose Request is dropped leaves the posted "
+        "receive dangling: the matching send is consumed by nobody, the "
+        "mailbox leaks (MailboxLeakError at best, a silent lost message "
+        "at worst) and the happens-before edge the wait() would have "
+        "merged never forms — exactly the ordering gap the race "
+        "detector flags.  Every Request bound in repro/parallel/ must "
+        "reach wait() or waitall() in the same function, or escape to a "
+        "caller (returned, yielded, stored on an object, or passed to "
+        "another callable) that assumes the completion obligation."
+    )
+
+    _WAIT_ATTRS = {"wait", "waitall"}
+
+    def _is_irecv(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "irecv"
+        )
+
+    def _contains_irecv(self, node: ast.AST) -> bool:
+        return any(self._is_irecv(n) for n in ast.walk(node))
+
+    @staticmethod
+    def _names_in(node: ast.AST) -> set[str]:
+        return {
+            n.id for n in ast.walk(node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        if not mod.in_package("parallel"):
+            return
+        for func in functions(mod.tree):
+            nodes = list(own_nodes(func))
+            # Requests bound to a local name: name -> irecv line.
+            pending: dict[str, int] = {}
+            waited: set[str] = set()   # names with a direct x.wait()
+            escaped: set[str] = set()  # names whose obligation moved on
+            aliases: dict[str, str] = {}  # loop/comprehension var -> iterable
+            for n in nodes:
+                if isinstance(n, ast.Assign) and self._contains_irecv(n.value):
+                    for t in n.targets:
+                        targets = t.elts if isinstance(t, ast.Tuple) else [t]
+                        for el in targets:
+                            if isinstance(el, ast.Name):
+                                pending.setdefault(el.id, n.lineno)
+                            else:  # stored on an object: caller's duty
+                                pass
+                elif isinstance(n, ast.Expr) and self._is_irecv(n.value):
+                    yield self._v(
+                        mod, n.lineno,
+                        f"function {func.name!r} discards an irecv Request; "
+                        f"the posted receive can never be waited",
+                    )
+            for n in nodes:
+                if isinstance(n, ast.Call):
+                    if (
+                        isinstance(n.func, ast.Attribute)
+                        and n.func.attr in self._WAIT_ATTRS
+                    ):
+                        if isinstance(n.func.value, ast.Name):
+                            waited.add(n.func.value.id)
+                        for arg in n.args:
+                            waited |= self._names_in(arg)
+                    else:
+                        # Passing a Request (or a container holding one)
+                        # to any other callable hands off the obligation.
+                        for arg in [*n.args, *(k.value for k in n.keywords)]:
+                            escaped |= self._names_in(arg)
+                elif isinstance(n, (ast.Return, ast.Yield)) and n.value:
+                    escaped |= self._names_in(n.value)
+                elif isinstance(n, ast.Assign):
+                    if any(
+                        isinstance(t, (ast.Attribute, ast.Subscript))
+                        for t in n.targets
+                    ):
+                        escaped |= self._names_in(n.value)
+                elif isinstance(n, (ast.For, ast.comprehension)):
+                    if isinstance(n.target, ast.Name) and isinstance(
+                        n.iter, ast.Name
+                    ):
+                        aliases[n.target.id] = n.iter.id
+            for name in waited:
+                escaped.add(name)
+                escaped.add(aliases.get(name, name))
+            for name, lineno in sorted(pending.items(), key=lambda kv: kv[1]):
+                if name not in escaped:
+                    yield self._v(
+                        mod, lineno,
+                        f"Request {name!r} from irecv in {func.name!r} "
+                        f"never reaches wait()/waitall() and never escapes "
+                        f"the function",
+                    )
+
+
 RULES: tuple[Rule, ...] = (
     FlopsAccountedRule(),
     ThreadConfinementRule(),
     DtypeWidthRule(),
     BufferPoolEscapeRule(),
     MutableDefaultRule(),
+    RequestWaitedRule(),
 )
 
 

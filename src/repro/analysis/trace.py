@@ -227,6 +227,15 @@ class RankTracer:
         """``(lamport, vector clock)`` pair deposited for collective merges."""
         return (self.lamport, tuple(self.clock))
 
+    def position(self) -> int:
+        """Number of events emitted so far — this rank's event cursor.
+
+        The race detector stamps each access record with the cursor so
+        the offline analysis can locate the communication events that
+        surround an access without timestamps.
+        """
+        return len(self._events)
+
 
 class CommTrace:
     """A full multi-rank execution trace plus runtime exit metadata.

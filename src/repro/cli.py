@@ -9,6 +9,8 @@ Examples::
     python -m repro scaling --mode isogranular --kernel stokes \
         --grain 200000 --procs 1,64,1024 --cap 200000
     python -m repro commcheck --ranks 4 --n 600 --schedules 5
+    python -m repro racecheck --ranks 4 --schedules 5 --applies 2
+    python -m repro racecheck --seed-race
     python -m repro lint src/
 """
 
@@ -208,6 +210,84 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _seeded_race_main(comm) -> None:
+    """Deliberate use-after-send: rank 0 mutates a buffer it just sent.
+
+    The simulated MPI passes payloads by reference, so rank 1's read of
+    the received array is a cross-rank access on rank 0's allocation.
+    The only edge between the ranks is the send itself — which predates
+    the write — so the pair is concurrent and the detector must flag it
+    naming channel ``0->1 tag='race'``.
+    """
+    from repro.parallel.simmpi import current_recorder
+
+    rec = current_recorder()
+    if comm.rank == 0:
+        buf = np.arange(8.0)
+        if rec is not None:
+            rec.register("seeded:buf", buf)
+        comm.isend(1, buf, tag="race")
+        if rec is not None:
+            rec.write(buf, "mutate-after-send")
+        buf[:4] = -1.0
+    elif comm.rank == 1:
+        req = comm.irecv(0, tag="race")
+        payload = req.wait()
+        if rec is not None:
+            rec.read(payload, "read-received-payload")
+    comm.barrier()
+
+
+def _cmd_racecheck(args: argparse.Namespace) -> int:
+    """Happens-before race certification of the overlapped parallel path.
+
+    Replays the persistent-operator apply at ``--ranks`` under perturbed
+    schedules with the access recorder installed, for overlap on *and*
+    off, and certifies every execution race-free (no waiver mechanism
+    exists: any reported pair fails the run).  ``--seed-race`` instead
+    runs a deliberately racy SPMD fixture and verifies the detector
+    flags it — the self-test that proves the certification can fail.
+    """
+    from repro.analysis import CommTrace, RaceDetector
+    from repro.parallel.pfmm import run_parallel_fmm
+
+    if args.seed_race:
+        from repro.parallel.simmpi import run_spmd
+
+        det = RaceDetector()
+        run_spmd(max(2, args.ranks), _seeded_race_main, race=det)
+        report = det.report()
+        print(report.summary())
+        if report.ok:
+            print("racecheck: seeded race NOT detected — detector broken")
+            return 1
+        print("racecheck: seeded race detected (self-test passed)")
+        return 0
+
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    density = rng.random((pts.shape[0], kernel.source_dof))
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    failed = False
+    for overlap in (True, False):
+        for i in range(args.schedules):
+            det = RaceDetector()
+            trace = CommTrace()
+            run_parallel_fmm(
+                args.ranks, kernel, pts, density, opts,
+                trace=trace, schedule_seed=args.seed + i,
+                napplies=args.applies, overlap=overlap, race=det,
+            )
+            report = det.report()
+            print(f"overlap={'on' if overlap else 'off'} schedule {i}: "
+                  f"{report.summary()}")
+            failed |= not report.ok
+    print("racecheck:", "FAILED" if failed
+          else "all schedules certified race-free (zero waivers)")
+    return 1 if failed else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -291,6 +371,24 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--save-trace", default=None, metavar="PATH",
                     help="write schedule 0's event trace as JSON lines")
     pc.set_defaults(func=_cmd_commcheck, p=4, s=40)
+
+    pr = sub.add_parser(
+        "racecheck",
+        help="replay the overlapped parallel apply under the "
+             "happens-before race detector and certify it race-free",
+    )
+    common(pr)
+    pr.add_argument("--n", type=int, default=600)
+    pr.add_argument("--ranks", type=int, default=4)
+    pr.add_argument("--schedules", type=int, default=5,
+                    help="perturbed schedules per overlap mode")
+    pr.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    pr.add_argument("--applies", type=int, default=2,
+                    help="persistent-operator applies per schedule")
+    pr.add_argument("--seed-race", action="store_true",
+                    help="run the deliberately racy fixture instead and "
+                         "verify the detector flags it (self-test)")
+    pr.set_defaults(func=_cmd_racecheck, p=4, s=40)
 
     pl = sub.add_parser(
         "lint", help="run the repo-invariant AST lint over source trees"

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import sanitize as _san
 from repro.core.fftm2l import FFTM2L
 from repro.core.plan import MAX_BLOCK_ENTRIES, ExecutionPlan, chunk_segments
 from repro.core.precompute import OperatorCache
@@ -393,6 +394,7 @@ def evaluate_planned(
     source_kernel: Kernel | None = None,
     target_kernel: Kernel | None = None,
     direct_kernel: Kernel | None = None,
+    sanitize: bool = False,
 ) -> np.ndarray:
     """Level-batched KIFMM evaluation over a precomputed execution plan.
 
@@ -404,6 +406,13 @@ def evaluate_planned(
     invariant kernels (all constant-coefficient elliptic kernels are);
     :class:`~repro.core.fmm.KIFMM` falls back to :func:`evaluate` for
     kernels that declare otherwise.
+
+    ``sanitize`` (or ``REPRO_SANITIZE=1``) enables the runtime
+    sanitizers of :mod:`repro.analysis.sanitize`: BufferPool lifecycle
+    with NaN poisoning of released scratch, finite checks at every
+    phase boundary (naming the phase and box range that first went
+    non-finite), GEMM aliasing guards, and a pool-escape check on the
+    returned potential.
     """
     if m2l_mode not in ("fft", "dense"):
         raise ValueError(f"m2l_mode must be 'fft' or 'dense', got {m2l_mode}")
@@ -421,6 +430,10 @@ def evaluate_planned(
     nb = plan.nboxes
     pool = plan.buffers
     zero3 = np.zeros(3)
+    san = sanitize or _san.enabled()
+    pool.sanitize = san
+    if san:
+        _san.check_finite(phi, "input", "density", rows_are="points")
 
     # ---------------- upward pass ----------------
     ue = pool.zeros("ue", (nb, n_surf * md))
@@ -444,11 +457,22 @@ def evaluate_planned(
                 )
             for octant, kids, rows in ul.m2m_groups:
                 M = cache.m2m_check(ul.level + 1, octant)
+                if san:
+                    # Fancy-indexed operands materialise copies, so the
+                    # aliasing hazard is between the backing stacks.
+                    _san.guard_gemm(check, ue, M,
+                                    site=f"m2m level {ul.level}")
                 check[rows] += ue[kids] @ M.T
                 flops.add("up", kids.size * _matvec_flops(M.shape))
             U = cache.uc2ue(ul.level)
+            if san:
+                _san.guard_gemm(ue, check, U,
+                                site=f"uc2ue level {ul.level}")
             ue[ul.boxes] = check @ U.T
             flops.add("up", ul.boxes.size * _matvec_flops(U.shape))
+            pool.release("up_check")
+    if san:
+        _san.check_finite(ue, "up", "upward equivalent densities")
 
     # ---------------- V lists (all levels, before the level sweep) -----
     dc = pool.zeros("dc", (nb, n_surf * qd))
@@ -497,14 +521,27 @@ def evaluate_planned(
             for vl in plan.v_levels:
                 for offset, src_pos, trg_pos in vl.classes:
                     T = cache.m2l_check(vl.level, offset)
+                    if san:
+                        _san.guard_gemm(dc, ue, T,
+                                        site=f"m2l level {vl.level}")
                     dc[vl.trg_boxes[trg_pos]] += ue[vl.src_boxes[src_pos]] @ T.T
                     flops.add("down_v", src_pos.size * _matvec_flops(T.shape))
+    if san:
+        # The V scratch is dead until the next apply: poison it so a
+        # stale read surfaces in the finite checks below.
+        for scratch in ("v_grid", "v_phi_ext", "v_acc_ext", "v_acc",
+                        "v_phi_fb", "v_acc_fb", "v_mb", "v_gt"):
+            pool.release(scratch)
+        _san.check_finite(dc, "down_v", "downward check potentials")
 
     # ---------------- downward sweep ----------------
     for dl in plan.down_levels:
         with timer.phase("eval"):
             for octant, kids, parents in dl.l2l_groups:
                 L = cache.l2l_check(dl.level, octant)
+                if san:
+                    _san.guard_gemm(dc, de, L,
+                                    site=f"l2l level {dl.level}")
                 dc[kids] += de[parents] @ L.T
                 flops.add("eval", kids.size * _matvec_flops(L.shape))
 
@@ -525,6 +562,9 @@ def evaluate_planned(
         with timer.phase("eval"):
             if dl.dc_boxes.size:
                 D = cache.dc2de(dl.level)
+                if san:
+                    _san.guard_gemm(de, dc, D,
+                                    site=f"dc2de level {dl.level}")
                 de[dl.dc_boxes] = dc[dl.dc_boxes] @ D.T
                 flops.add("eval", dl.dc_boxes.size * _matvec_flops(D.shape))
             if dl.l2t_boxes.size:
@@ -542,6 +582,9 @@ def evaluate_planned(
                         "tqm,tm->tq", K3, de_rows[p0:p1]
                     )
                 flops.add_pairs("eval", npts * n_surf, trg_k.flops_per_pair)
+
+    if san:
+        _san.check_finite(de, "eval", "downward equivalent densities")
 
     # ---------------- near field: U then W, per target leaf -----------
     with timer.phase("down_u"):
@@ -587,6 +630,11 @@ def evaluate_planned(
                 w_pairs += (t1 - t0) * partners.size
             flops.add_pairs("down_w", n_surf * w_pairs, trg_k.flops_per_pair)
 
+    if san:
+        _san.check_finite(pot_sorted, "down_w" if plan.w_boxes.size else
+                          "down_u", "potentials", rows_are="targets")
     potential = np.empty((nt, out_dof))
     potential[tree.trg_perm] = pot_sorted
+    if san:
+        _san.check_escape(potential, pool, "evaluate_planned")
     return potential

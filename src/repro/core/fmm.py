@@ -62,6 +62,13 @@ class FMMOptions:
         :func:`~repro.core.evaluator.evaluate_planned`; ``"naive"`` keeps
         the per-box reference path.  Kernels that are not translation
         invariant always use the per-box path.
+    sanitize:
+        Run the planned evaluators under the runtime sanitizers
+        (:mod:`repro.analysis.sanitize`): BufferPool lifecycle with
+        NaN poisoning, finite checks at every plan phase boundary, and
+        GEMM aliasing guards.  Equivalent to setting ``REPRO_SANITIZE=1``
+        in the environment; intended for CI and debugging (bounded
+        overhead, but not free).
     """
 
     p: int = 6
@@ -73,6 +80,7 @@ class FMMOptions:
     max_depth: int = 21
     balance: bool = False
     plan: str = "batched"
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.p < 2:
@@ -211,7 +219,8 @@ class KIFMM:
         )
         if planned:
             return evaluate_planned(
-                self.tree, self._plan, self.kernel, self.cache, density, **common
+                self.tree, self._plan, self.kernel, self.cache, density,
+                sanitize=self.options.sanitize, **common
             )
         return evaluate(
             self.tree, self.lists, self.kernel, self.cache, density, **common

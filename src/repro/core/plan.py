@@ -105,10 +105,22 @@ class BufferPool:
     ``apply()``; the planned evaluator instead draws its level-wide work
     arrays from this pool, which lives on the plan and is reused across
     the many ``apply()`` calls of a Krylov loop.
+
+    Under the sanitizer (``REPRO_SANITIZE=1`` / ``FMMOptions.sanitize``;
+    the evaluator toggles :attr:`sanitize` per apply) the pool enforces
+    a lifecycle: :meth:`release` poisons a dead buffer with NaN — any
+    stale read then trips the evaluator's phase-boundary finite checks —
+    and records the release so :meth:`check_live` catches
+    use-after-release and a second :meth:`release` is a hard error.
+    Drawing a released name again (``zeros``/``empty``) reacquires it.
     """
 
     def __init__(self) -> None:
         self._store: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self._released: set[str] = set()
+        #: Toggled by the evaluator at apply entry; lifecycle methods
+        #: are no-ops when False so unsanitized runs pay nothing.
+        self.sanitize = False
 
     def zeros(self, name: str, shape: tuple[int, ...], dtype=np.float64):
         """A zeroed array of ``shape`` backed by a reusable buffer."""
@@ -120,11 +132,57 @@ class BufferPool:
         """Like :meth:`zeros` but uninitialised (caller overwrites fully)."""
         dt = np.dtype(dtype)
         size = int(np.prod(shape, dtype=np.int64))
+        self._released.discard(name)
         buf = self._store.get((name, dt))
         if buf is None or buf.size < size:
             buf = np.empty(max(size, 1), dtype=dt)
             self._store[(name, dt)] = buf
         return buf[:size].reshape(shape)
+
+    def release(self, name: str) -> None:
+        """Declare ``name`` dead for the rest of this apply.
+
+        Sanitize-only: poisons every dtype variant of the buffer with
+        NaN (inexact dtypes; integer scratch cannot carry a poison
+        value) and raises
+        :class:`~repro.analysis.sanitize.DoubleReleaseError` on a
+        repeated release without reacquisition.  Unknown names are
+        ignored so callers can release mode-dependent scratch
+        unconditionally.
+        """
+        if not self.sanitize:
+            return
+        entries = [
+            (dt, buf) for (n, dt), buf in self._store.items() if n == name
+        ]
+        if not entries:
+            return
+        if name in self._released:
+            from repro.analysis.sanitize import DoubleReleaseError
+
+            raise DoubleReleaseError(
+                f"pool buffer {name!r} released twice without "
+                f"reacquisition"
+            )
+        for dt, buf in entries:
+            if np.issubdtype(dt, np.inexact):
+                buf.fill(np.nan)
+        self._released.add(name)
+
+    def check_live(self, name: str, context: str = "") -> None:
+        """Raise ``UseAfterReleaseError`` if ``name`` is released."""
+        if name in self._released:
+            from repro.analysis.sanitize import UseAfterReleaseError
+
+            where = f" in {context}" if context else ""
+            raise UseAfterReleaseError(
+                f"pool buffer {name!r} used{where} after release "
+                f"(its contents are NaN-poisoned)"
+            )
+
+    def allocations(self):
+        """The raw backing buffers (for aliasing/escape checks)."""
+        return self._store.values()
 
     def nbytes(self) -> int:
         return sum(b.nbytes for b in self._store.values())

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.parallel.simmpi import Request, SimComm
+from repro.parallel.simmpi import Request, SimComm, current_recorder
 from repro.util.timing import PhaseTimer
 
 
@@ -351,6 +351,9 @@ class ApplyExchange:
         self._ue = ue
         self._ext_phi = ext_phi
         self._timer = timer
+        #: Race-detector hook: the per-rank recorder installed by
+        #: ``run_spmd(race=...)``, or None on uninstrumented runs.
+        self._rec = current_recorder()
         self._gathers: list[tuple[ExchangePlan, int, list[Request],
                                   bool, list[int], bool]] = []
         self._scatters: list[tuple[ExchangePlan, int, Request]] = []
@@ -365,15 +368,27 @@ class ApplyExchange:
         never written during an apply, so they ship as views.
         """
         if plan.kind == "phi":
-            return self._phi_sorted[self._src_start[b]:self._src_stop[b]]
+            piece = self._phi_sorted[self._src_start[b]:self._src_stop[b]]
+            if self._rec is not None:
+                self._rec.read(piece, f"piece:phi box {b}")
+            return piece
+        if self._rec is not None:
+            self._rec.read(self._ue[b], f"piece:pue box {b}")
         return self._ue[b].copy()
 
     def _store(self, plan: ExchangePlan, b: int, data: np.ndarray) -> None:
         """Place combined data for a used box into the apply arrays."""
+        if self._rec is not None:
+            self._rec.read(data, f"store:recv box {b}")
         if plan.kind == "phi":
             lay = self._layout
-            self._ext_phi[lay.ext_start[b]:lay.ext_stop[b]] = data
+            dst = self._ext_phi[lay.ext_start[b]:lay.ext_stop[b]]
+            if self._rec is not None:
+                self._rec.write(dst, f"store:ghost-phi box {b}")
+            dst[...] = data
         else:
+            if self._rec is not None:
+                self._rec.write(self._ue[b], f"store:global-ue box {b}")
             self._ue[b] = data
 
     def start(self) -> "ApplyExchange":
@@ -410,6 +425,12 @@ class ApplyExchange:
         comm = self._comm
         with self._timer.phase("pack"):
             for plan, b, peer_pieces, selfc, peers_u, selfu in gathered:
+                if self._rec is not None:
+                    # Contributor pieces arrive by reference: reading
+                    # them here is a cross-rank access on the sender's
+                    # arrays, ordered (or not) by the gather message.
+                    for p in peer_pieces:
+                        self._rec.read(p, f"relay:piece box {b}")
                 pieces = (
                     [self._piece(plan, b)] if selfc else []
                 ) + peer_pieces
@@ -422,6 +443,8 @@ class ApplyExchange:
                     data = pieces[0].copy()
                     for p in pieces[1:]:
                         data += p
+                if self._rec is not None:
+                    self._rec.write(data, f"relay:combine box {b}")
                 for r in peers_u:
                     comm.isend(r, data, tag=(plan.kind + "g", b),
                                phase=f"{plan.kind}_scatter")

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import sanitize as _san
 from repro.core.evaluator import resolve_kernels
 from repro.core.fftm2l import FFTM2L
 from repro.core.fmm import FMMOptions
@@ -50,7 +51,13 @@ from repro.parallel.let import classify_let, gather_users
 from repro.parallel.owners import assign_owners, gather_contributors
 from repro.parallel.partition import partition_points
 from repro.parallel.ptree import ParallelTree, parallel_build_tree
-from repro.parallel.simmpi import CommStats, PerRank, SimComm, run_spmd
+from repro.parallel.simmpi import (
+    CommStats,
+    PerRank,
+    SimComm,
+    current_recorder,
+    run_spmd,
+)
 from repro.util.timing import PhaseTimer
 
 
@@ -472,17 +479,33 @@ class RankFMM:
         nb = plan.nboxes
         nt = tree.targets.shape[0]
         pool = plan.buffers
+        san = self.options.sanitize or _san.enabled()
+        pool.sanitize = san
         phi = np.asarray(local_density, dtype=np.float64).reshape(
             tree.sources.shape[0], sdof
         )
+        if san:
+            _san.check_finite(phi, "input", "local density",
+                              rows_are="points")
         phi_sorted = phi[tree.src_perm]
+        rec = current_recorder()
+        if rec is not None:
+            rec.register(f"rank{comm.rank}:phi_sorted", phi_sorted)
+            rec.write(phi_sorted, "sort-density")
 
         ue = pool.zeros("p_ue", (nb, n_surf * md))
         with timer.phase("up"):
             self._upward(ue, phi_sorted)
+        if rec is not None:
+            rec.register(f"rank{comm.rank}:ue", ue)
+            rec.write(ue, "upward-partial")
+        if san:
+            _san.check_finite(ue, "up", "partial upward equivalent densities")
 
         lay = self.layout
         ext_phi = pool.empty("p_ext_phi", (self.ext_points.shape[0], sdof))
+        if rec is not None:
+            rec.register(f"rank{comm.rank}:ext_phi", ext_phi)
         exch = ApplyExchange(
             comm, lay, phi_sorted, self.src_start, self.src_stop, ue,
             ext_phi, timer,
@@ -503,15 +526,26 @@ class RankFMM:
 
         if overlap:
             exch.finish()
+        if san:
+            _san.check_finite(ext_phi, "exchange",
+                              "combined ghost source densities",
+                              rows_are="points")
+            _san.check_finite(ue, "exchange",
+                              "global upward equivalent densities")
 
         # Ghost-dependent passes.
         self._v_ghost(ue, dc, v_state, timer)
         self._downward(ext_phi, dc, de, pot_sorted, timer)
         self._near_u(self.u_ghost, ext_phi, pot_sorted, timer)
         self._near_w(self.w_ghost, ue, pot_sorted, timer)
+        if san:
+            _san.check_finite(pot_sorted, "output", "potentials",
+                              rows_are="targets")
 
         potential = np.empty((nt, out_dof))
         potential[tree.trg_perm] = pot_sorted
+        if san:
+            _san.check_escape(potential, pool, "RankFMM.apply")
         return potential
 
     # -- stages -----------------------------------------------------------
@@ -539,8 +573,16 @@ class RankFMM:
                     ).T
             for octant, kids, rows in ul.m2m_groups:
                 M = cache.m2m_check(ul.level + 1, octant)
+                if pool.sanitize:
+                    _san.guard_gemm(check, ue, M,
+                                    site=f"p-m2m level {ul.level}")
                 check[rows] += ue[kids] @ M.T
-            ue[ul.boxes] = check @ cache.uc2ue(ul.level).T
+            U = cache.uc2ue(ul.level)
+            if pool.sanitize:
+                _san.guard_gemm(ue, check, U,
+                                site=f"p-uc2ue level {ul.level}")
+            ue[ul.boxes] = check @ U.T
+            pool.release("p_up_check")
 
     def _near_u(
         self,
@@ -690,10 +732,14 @@ class RankFMM:
         n_surf = cache.n_surf
         out_dof = trg_k.target_dof
         zero3 = np.zeros(3)
+        pool = plan.buffers
         for dl in plan.down_levels:
             with timer.phase("eval"):
                 for octant, kids, parents in dl.l2l_groups:
                     L = cache.l2l_check(dl.level, octant)
+                    if pool.sanitize:
+                        _san.guard_gemm(dc, de, L,
+                                        site=f"p-l2l level {dl.level}")
                     dc[kids] += de[parents] @ L.T
             if dl.x_boxes.size:
                 with timer.phase("down_x"):
@@ -708,6 +754,9 @@ class RankFMM:
             with timer.phase("eval"):
                 if dl.dc_boxes.size:
                     D = cache.dc2de(dl.level)
+                    if pool.sanitize:
+                        _san.guard_gemm(de, dc, D,
+                                        site=f"p-dc2de level {dl.level}")
                     de[dl.dc_boxes] = dc[dl.dc_boxes] @ D.T
                 if dl.l2t_boxes.size:
                     eq_pts = cache.down_equiv_points(zero3, dl.level)
@@ -925,6 +974,7 @@ def run_parallel_fmm(
     napplies: int = 1,
     overlap: bool = True,
     cache: OperatorCache | None = None,
+    race=None,
 ) -> ParallelFMMResult:
     """Convenience driver: partition, run SPMD, reassemble.
 
@@ -945,6 +995,9 @@ def run_parallel_fmm(
     :func:`repro.analysis.commcheck.check_trace`; ``schedule_seed``
     perturbs the rank interleaving with seeded yields (the result must
     be — and is asserted by tests to be — schedule independent).
+    ``race`` (a :class:`repro.analysis.racecheck.RaceDetector`) records
+    shared-array access records during the run for the offline
+    happens-before analysis of ``repro racecheck``.
     """
     if napplies < 1:
         raise ValueError(f"napplies must be >= 1, got {napplies}")
@@ -993,7 +1046,7 @@ def run_parallel_fmm(
 
     outputs = run_spmd(
         nranks, rank_main, PerRank(parts),
-        trace=trace, schedule_seed=schedule_seed,
+        trace=trace, schedule_seed=schedule_seed, race=race,
     )
     potential = np.zeros((points.shape[0], trg_k.target_dof))
     for idx, (pot, _) in zip(parts, outputs):

@@ -20,7 +20,16 @@ Correctness tooling (see ``docs/architecture.md``):
   seeded random yields, so tests can fuzz schedules reproducibly;
 - at exit, :func:`run_spmd` asserts every mailbox is drained and raises
   :class:`MailboxLeakError` naming the leaked ``(src, dst, tag)`` keys —
-  a dropped message is an algorithmic bug, never silent.
+  a dropped message is an algorithmic bug, never silent;
+- pass ``race=RaceDetector()`` to install a per-rank access recorder
+  (reachable from instrumented code via :func:`current_recorder`) for
+  the happens-before race analysis in :mod:`repro.analysis.racecheck`.
+
+Error propagation is deterministic: when any rank fails, the others are
+aborted (their blocked receives raise :class:`RankAbortedError`, their
+collectives ``BrokenBarrierError``), and the caller receives the first
+*primary* exception in rank order — never a secondary abort artifact —
+so racecheck/sanitizer failures reproduce identically across schedules.
 """
 
 from __future__ import annotations
@@ -36,6 +45,31 @@ from typing import Any, Callable, Iterable
 import numpy as np
 
 from repro.analysis.trace import CommTrace, Envelope, RankTracer
+
+#: Thread-local context of the executing rank.  Lives here — not in the
+#: analysis layer — because ``threading`` imports are confined to this
+#: module (the ``thread-confinement`` lint rule); the race detector is
+#: passed in duck-typed so this module never imports the analyzer.
+_thread_ctx = threading.local()
+
+
+def current_recorder():
+    """The calling rank thread's race-access recorder, if installed.
+
+    Instrumented code (``exchange.py``/``pfmm.py``) fetches the recorder
+    through this accessor; outside a race-checked :func:`run_spmd` it
+    returns ``None`` and instrumentation costs one attribute lookup.
+    """
+    return getattr(_thread_ctx, "recorder", None)
+
+
+class RankAbortedError(RuntimeError):
+    """A rank's blocked receive was interrupted because a peer failed.
+
+    A *secondary* failure: :func:`run_spmd` never propagates it while
+    any rank holds a primary exception, so the root cause wins
+    deterministically regardless of which thread died first.
+    """
 
 
 @dataclass
@@ -151,6 +185,7 @@ class _World:
         trace: CommTrace | None = None,
         schedule_seed: int | None = None,
         recv_timeout: float | None = None,
+        race=None,
     ) -> None:
         self.size = size
         self.barrier = threading.Barrier(size)
@@ -163,6 +198,10 @@ class _World:
         self.trace = trace
         self.schedule_seed = schedule_seed
         self.recv_timeout = recv_timeout
+        self.race = race
+        #: Set when any rank fails; blocked receives poll it so they can
+        #: abort promptly instead of timing out minutes later.
+        self.aborted = threading.Event()
 
     def box(self, src: int, dst: int, tag: Any) -> queue.Queue:
         key = (src, dst, tag)
@@ -202,6 +241,11 @@ class SimComm:
             if world.trace is not None
             else None
         )
+        if world.race is not None and self._tracer is not None:
+            # Install this rank's access recorder in the thread context;
+            # run_spmd guarantees a trace whenever a detector is given
+            # (the vector clocks are what order the accesses).
+            _thread_ctx.recorder = world.race.recorder_for(rank, self._tracer)
         if world.schedule_seed is not None:
             self._rng: random.Random | None = random.Random(
                 world.schedule_seed * 1_000_003 + rank * 7_919
@@ -249,14 +293,34 @@ class SimComm:
         return self._complete_recv(src, tag, phase)
 
     def _complete_recv(self, src: int, tag: Any, phase: str | None) -> Any:
-        """Shared blocking tail of :meth:`recv` and :meth:`Request.wait`."""
+        """Shared blocking tail of :meth:`recv` and :meth:`Request.wait`.
+
+        Blocks in short slices so a peer failure (``world.aborted``)
+        interrupts the wait promptly as :class:`RankAbortedError` — a
+        classified *secondary* error — instead of a timeout minutes
+        later that would mask the root cause.  A receive that exhausts
+        ``recv_timeout`` with no failed peer is still a genuine
+        :class:`TimeoutError` (the deadlock-detection contract).
+        """
         t0 = time.perf_counter()
-        try:
-            obj = self._world.box(src, self.rank, tag).get(timeout=self._timeout)
-        except queue.Empty:
-            raise TimeoutError(
-                f"rank {self.rank} timed out receiving from {src} tag {tag!r}"
-            ) from None
+        box = self._world.box(src, self.rank, tag)
+        deadline = t0 + self._timeout
+        slice_s = min(0.05, self._timeout)
+        while True:
+            try:
+                obj = box.get(timeout=slice_s)
+                break
+            except queue.Empty:
+                if self._world.aborted.is_set():
+                    raise RankAbortedError(
+                        f"rank {self.rank} receive from {src} tag {tag!r} "
+                        f"interrupted: a peer rank failed"
+                    ) from None
+                if time.perf_counter() >= deadline:
+                    raise TimeoutError(
+                        f"rank {self.rank} timed out receiving from {src} "
+                        f"tag {tag!r}"
+                    ) from None
         self.stats.record_wait(time.perf_counter() - t0)
         if isinstance(obj, Envelope):
             env, obj = obj, obj.payload
@@ -408,6 +472,7 @@ def run_spmd(
     trace: CommTrace | None = None,
     schedule_seed: int | None = None,
     recv_timeout: float | None = None,
+    race=None,
 ) -> list[Any]:
     """Run ``fn(comm, rank_args...)`` on ``nranks`` logical ranks.
 
@@ -426,14 +491,23 @@ def run_spmd(
     After a successful run every mailbox must be empty; leftover
     messages raise :class:`MailboxLeakError` naming the leaked
     ``(src, dst, tag)`` keys.
+
+    ``race`` (a :class:`repro.analysis.racecheck.RaceDetector`) installs
+    a per-rank shared-array access recorder for happens-before race
+    analysis; a trace is created automatically if none was passed, since
+    the detector orders accesses by the trace's vector clocks.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if race is not None and trace is None:
+        trace = CommTrace()
     if trace is not None:
         trace.reset(nranks)
+    if race is not None:
+        race.reset(nranks, trace)
     world = _World(
         nranks, trace=trace, schedule_seed=schedule_seed,
-        recv_timeout=recv_timeout,
+        recv_timeout=recv_timeout, race=race,
     )
     results: list[Any] = [None] * nranks
     errors: list[BaseException | None] = [None] * nranks
@@ -445,7 +519,10 @@ def run_spmd(
             results[rank] = fn(comm, *rank_args)
         except BaseException as exc:  # noqa: BLE001 - re-raised in caller
             errors[rank] = exc
+            world.aborted.set()  # interrupt peers blocked in receives
             world.barrier.abort()  # release ranks blocked in collectives
+        finally:
+            _thread_ctx.recorder = None
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
@@ -457,20 +534,32 @@ def run_spmd(
         for t in threads:
             t.join(timeout=timeout)
             if t.is_alive():
+                world.aborted.set()
                 world.barrier.abort()
                 raise TimeoutError(f"SPMD run exceeded {timeout}s ({t.name} alive)")
     finally:
         leaked = world.leaked_messages()
+        # Secondary failures (a peer aborted this rank's collective or
+        # receive) never outrank the primary exception: propagation is
+        # by rank order over primaries, so the same root cause surfaces
+        # under every schedule.
+        secondary = (threading.BrokenBarrierError, RankAbortedError)
+        primary = next(
+            (e for e in errors if e is not None
+             and not isinstance(e, secondary)),
+            None,
+        )
         if trace is not None:
             trace.leaked = leaked
-            first = next((e for e in errors if e is not None), None)
+            first = primary if primary is not None else next(
+                (e for e in errors if e is not None), None
+            )
             trace.error = repr(first) if first is not None else None
             trace.completed = first is None and all(
                 not t.is_alive() for t in threads
             )
-    for rank, err in enumerate(errors):
-        if err is not None and not isinstance(err, threading.BrokenBarrierError):
-            raise err
+    if primary is not None:
+        raise primary
     broken = [r for r, e in enumerate(errors) if e is not None]
     if broken:
         raise RuntimeError(f"ranks {broken} failed with broken barriers")

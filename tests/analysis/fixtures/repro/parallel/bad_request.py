@@ -1,0 +1,14 @@
+"""Seeded violation for the ``request-waited`` lint rule.
+
+Posts nonblocking receives, binds the Requests, and then forgets them:
+no ``wait``/``waitall``, no escape.  The path mirrors the package
+layout (``repro/parallel/``) so the rule's scope gating applies.
+"""
+
+
+def leaky_gather(comm, peers):
+    reqs = [comm.irecv(r, tag=("x", r)) for r in peers]
+    total = 0
+    for r in peers:
+        total += r
+    return total

@@ -94,6 +94,61 @@ class TestInjectedDrop:
         assert report.by_rule("trace-runtime-mismatch") == []
 
 
+class TestRequestLeak:
+    """Dynamic complement of the ``request-waited`` lint rule."""
+
+    def test_never_waited_request_flagged_at_end_of_trace(self):
+        def leaky(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(2), tag="fire-and-forget")
+            elif comm.rank == 1:
+                comm.irecv(0, tag="fire-and-forget")  # never waited
+
+        trace = CommTrace()
+        # the un-drained mailbox also trips the runtime leak check
+        with pytest.raises(MailboxLeakError):
+            run_spmd(2, leaky, trace=trace)
+        leaks = check_trace(trace).by_rule("request-leak")
+        assert len(leaks) == 1
+        assert leaks[0].ranks == (1,)
+        assert "never waited" in leaks[0].message
+        assert "0->1" in leaks[0].message and "'fire-and-forget'" in leaks[0].message
+
+    def test_request_outstanding_across_collective_flagged(self):
+        """Entering a barrier with an un-waited irecv is flagged even
+        though the run completes (the wait lands after the barrier)."""
+
+        def straddler(comm):
+            if comm.rank == 0:
+                comm.send(1, np.ones(2), tag="late")
+                comm.barrier()
+            elif comm.rank == 1:
+                req = comm.irecv(0, tag="late")
+                comm.barrier()
+                req.wait()
+
+        trace = CommTrace()
+        run_spmd(2, straddler, trace=trace)
+        assert trace.completed
+        leaks = check_trace(trace).by_rule("request-leak")
+        assert len(leaks) == 1
+        assert leaks[0].ranks == (1,)
+        assert "barrier" in leaks[0].message
+
+    def test_promptly_waited_requests_are_clean(self):
+        def clean(comm):
+            other = 1 - comm.rank
+            comm.isend(other, np.full(3, comm.rank), tag="x")
+            req = comm.irecv(other, tag="x")
+            got = req.wait()
+            comm.barrier()
+            return got
+
+        trace = CommTrace()
+        run_spmd(2, clean, trace=trace)
+        assert check_trace(trace).by_rule("request-leak") == []
+
+
 class TestCollectiveDivergence:
     def test_different_collectives_at_same_index(self):
         def diverge(comm):

@@ -14,6 +14,7 @@ EXPECTED = {
     ("bufferpool-escape", "bad_pool.py"),
     ("mutable-default", "bad_default.py"),
     ("thread-confinement", "bad_threading.py"),
+    ("request-waited", "bad_request.py"),
 }
 
 

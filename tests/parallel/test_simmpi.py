@@ -1,5 +1,7 @@
 """Simulated MPI runtime tests."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -142,6 +144,53 @@ class TestRunner:
     def test_rejects_bad_nranks(self):
         with pytest.raises(ValueError):
             run_spmd(0, lambda comm: None)
+
+    def test_failure_aborts_ranks_blocked_in_recv_promptly(self):
+        """A dying rank must not leave its peers to hit the recv
+        timeout: they are aborted and its real error is raised."""
+
+        def main(comm):
+            if comm.rank == 2:
+                raise ValueError("rank 2 exploded")
+            comm.recv(2, tag="never-sent")  # would block forever
+
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            run_spmd(3, main, timeout=30.0)
+        assert time.monotonic() - start < 10.0
+
+    def test_first_error_by_rank_order_wins_deterministically(self):
+        """With several failing ranks the propagated exception is the
+        lowest rank's, independent of thread scheduling."""
+
+        def main(comm, delay):
+            time.sleep(delay)
+            if comm.rank == 0:
+                raise KeyError("rank 0")
+            if comm.rank == 2:
+                raise ValueError("rank 2")
+            comm.barrier()
+
+        # rank 2 fails *first* in wall-clock; rank 0 still wins
+        for _ in range(3):
+            with pytest.raises(KeyError, match="rank 0"):
+                run_spmd(3, main, PerRank([0.2, 0.0, 0.0]))
+
+    def test_secondary_abort_errors_are_suppressed(self):
+        """Ranks killed by the abort (RankAbortedError / broken
+        barriers) never mask the primary exception."""
+
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("the real bug")
+            if comm.rank == 0:
+                comm.recv(1, tag="x")  # aborted mid-recv
+            else:
+                comm.barrier()  # broken barrier
+
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="the real bug"):
+                run_spmd(3, main)
 
 
 class TestStats:
