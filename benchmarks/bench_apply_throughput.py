@@ -18,6 +18,14 @@ performance trajectory is tracked across PRs.  Run directly::
 or through pytest (uses --quick sizes)::
 
     python -m pytest benchmarks/bench_apply_throughput.py -q
+
+With ``--nrhs 1,4,8,16`` the bench instead sweeps multi-RHS block
+widths: for each ``nrhs`` it measures one batched block apply against
+``nrhs`` looped single-RHS applies on the same operator (best-of-3
+within the process — run-to-run CPU speed varies far more than
+in-process repeats), records per-phase timings of the batched apply and
+the worst column relative error, pulls in the parallel-rank sweep from
+``bench_parallel_apply``, and writes ``BENCH_multirhs.json``.
 """
 
 from __future__ import annotations
@@ -124,6 +132,125 @@ def run(quick: bool = False, out: Path | None = None) -> dict:
     return report
 
 
+def _measure_multirhs(
+    kernel_name: str, n: int, nrhs: int, opts: FMMOptions, repeats: int,
+) -> dict:
+    """One batched block apply vs ``nrhs`` looped single applies.
+
+    Both paths run on the same warmed operator.  The two arms are
+    interleaved (loop, batch, loop, batch, ...) and each takes its
+    best-of-``repeats``, so a CPU-speed drift mid-measurement hits both
+    arms alike instead of biasing their ratio.
+    """
+    kernel = _KERNELS[kernel_name]()
+    rng = np.random.default_rng(2003)
+    pts = rng.random((n, 3))
+    block = rng.standard_normal((n, kernel.source_dof, nrhs))
+    cols = [np.ascontiguousarray(block[:, :, r]) for r in range(nrhs)]
+    fmm = KIFMM(kernel, opts)
+    t0 = time.perf_counter()
+    fmm.setup(pts)
+    t_setup = time.perf_counter() - t0
+    fmm.apply(block)  # warm block-width plan buffers and operator caches
+    fmm.apply(cols[0])  # warm single-width plan buffers
+
+    t_loop = t_batch = np.inf
+    singles = out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        outs = [fmm.apply(c) for c in cols]
+        t = time.perf_counter() - t0
+        if t < t_loop:
+            t_loop = t
+            singles = [np.array(o, copy=True) for o in outs]
+        t0 = time.perf_counter()
+        o = fmm.apply(block)
+        t = time.perf_counter() - t0
+        if t < t_batch:
+            t_batch = t
+            out = np.array(o, copy=True)
+    fmm.timer.reset()
+    fmm.apply(block)  # one clean apply for the per-phase split
+    phases = {
+        k: round(v, 6)
+        for k, v in sorted(fmm.timer.by_phase().items())
+        if k not in ("tree", "plan")
+    }
+    parity = max(
+        relative_error(out[:, :, r], s) for r, s in enumerate(singles)
+    )
+    return {
+        "kernel": kernel_name,
+        "n": n,
+        "nrhs": nrhs,
+        "p": opts.p,
+        "max_points": opts.max_points,
+        "repeats": repeats,
+        "setup_seconds": round(t_setup, 4),
+        "batched_seconds": round(t_batch, 4),
+        "looped_seconds": round(t_loop, 4),
+        "speedup_vs_looped": round(t_loop / t_batch, 2),
+        "rhs_per_second": round(nrhs / t_batch, 1),
+        "max_column_rel_error": float(f"{parity:.3e}"),
+        "phase_seconds": phases,
+    }
+
+
+def run_multirhs(
+    quick: bool = False,
+    out: Path | None = None,
+    nrhs_list: tuple[int, ...] = (1, 4, 8, 16),
+) -> dict:
+    """Multi-RHS sweep: sequential Laplace plus the parallel-rank sweep."""
+    try:
+        from benchmarks.bench_parallel_apply import multirhs_sweep
+    except ImportError:  # direct `python benchmarks/...` invocation
+        from bench_parallel_apply import multirhs_sweep
+
+    n = 2_000 if quick else 20_000
+    # leaf capacity 120 balances near-field GEMM width against M2L work
+    # for batched blocks at this size; see docs/architecture.md
+    opts = (FMMOptions(p=4, max_points=60) if quick
+            else FMMOptions(p=6, max_points=120))
+    repeats = 1 if quick else 3
+    sequential = [
+        _measure_multirhs("laplace", n, nrhs, opts, repeats)
+        for nrhs in nrhs_list
+    ]
+    pw = 8 if 8 in nrhs_list else max(nrhs_list)
+    parallel = multirhs_sweep(quick=quick, nrhs_list=(pw,))
+    report = {
+        "bench": "multirhs",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "sequential": sequential,
+        "parallel": parallel,
+    }
+    rows = [
+        (
+            r["nrhs"],
+            r["batched_seconds"],
+            r["looped_seconds"],
+            r["speedup_vs_looped"],
+            r["rhs_per_second"],
+            r["max_column_rel_error"],
+        )
+        for r in sequential
+    ]
+    print(format_table(
+        ("nrhs", "batched s", "looped s", "speedup", "rhs/s", "col err"),
+        rows,
+        title=(f"batched multi-RHS apply vs looped singles "
+               f"(Laplace, N={n}, p={opts.p}, s={opts.max_points})"),
+    ))
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+    return report
+
+
 def test_apply_throughput():
     """Bench smoke: the planned path must beat per-box and agree with it."""
     report = run(quick=True)
@@ -133,10 +260,31 @@ def test_apply_throughput():
             assert r["speedup_vs_naive"] > 1.0
 
 
+def test_multirhs():
+    """Bench smoke: batched blocks beat looped singles, columns agree."""
+    report = run_multirhs(quick=True, nrhs_list=(1, 8))
+    for r in report["sequential"]:
+        assert r["max_column_rel_error"] < 1e-12
+    wide = report["sequential"][-1]
+    assert wide["nrhs"] == 8
+    assert wide["speedup_vs_looped"] > 1.05
+    for r in report["parallel"]:
+        assert r["max_column_rel_error"] < 1e-12
+        assert r["speedup_vs_looped"] > 1.0
+
+
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="small sizes, one apply per config")
     ap.add_argument("--out", type=Path, default=_ROOT / "BENCH_apply.json")
+    ap.add_argument("--nrhs", type=str, default=None, metavar="LIST",
+                    help="comma-separated block widths: run the multi-RHS "
+                         "sweep and write BENCH_multirhs.json instead")
     args = ap.parse_args()
-    run(quick=args.quick, out=args.out)
+    if args.nrhs is not None:
+        widths = tuple(int(w) for w in args.nrhs.split(","))
+        run_multirhs(quick=args.quick, out=_ROOT / "BENCH_multirhs.json",
+                     nrhs_list=widths)
+    else:
+        run(quick=args.quick, out=args.out)

@@ -22,6 +22,13 @@ performance trajectory is tracked across PRs.  Run directly::
 or through pytest (uses --quick sizes)::
 
     python -m pytest benchmarks/bench_parallel_apply.py -q
+
+With ``--nrhs 8`` (a comma-separated width list) the bench instead
+measures blocked multi-RHS applies on the persistent operator: one
+overlapped exchange carries the whole block, timed against ``nrhs``
+looped single-RHS applies on the same operator.  These results feed the
+combined ``BENCH_multirhs.json`` artifact written by
+``bench_apply_throughput.py --nrhs``.
 """
 
 from __future__ import annotations
@@ -147,6 +154,95 @@ def run(quick: bool = False, out: Path | None = None) -> dict:
     return report
 
 
+def _measure_multirhs_ranks(
+    nranks: int, pts: np.ndarray, block: np.ndarray, opts: FMMOptions,
+    repeats: int,
+) -> dict:
+    """Blocked apply vs looped single applies on one persistent operator."""
+    from repro.kernels.direct import relative_error
+
+    kernel = LaplaceKernel()
+    nrhs = block.shape[2]
+    cols = [np.ascontiguousarray(block[:, :, r]) for r in range(nrhs)]
+    op = ParallelFMM(nranks, kernel, opts, overlap=True)
+    op.setup(pts)
+    op.apply(block)  # warm block-width plan buffers and operator caches
+    op.apply(cols[0])  # warm single-width plan buffers
+
+    # interleave the arms so CPU-speed drift hits both ratios alike
+    t_loop = t_batch = np.inf
+    singles = out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        outs = [op.apply(c) for c in cols]
+        t = time.perf_counter() - t0
+        if t < t_loop:
+            t_loop = t
+            singles = [np.array(o, copy=True) for o in outs]
+        t0 = time.perf_counter()
+        o = op.apply(block)
+        t = time.perf_counter() - t0
+        if t < t_batch:
+            t_batch = t
+            out = np.array(o, copy=True)
+    parity = max(
+        relative_error(out[:, :, r], s) for r, s in enumerate(singles)
+    )
+    return {
+        "ranks": nranks,
+        "n": int(pts.shape[0]),
+        "nrhs": nrhs,
+        "p": opts.p,
+        "max_points": opts.max_points,
+        "repeats": repeats,
+        "batched_seconds": round(t_batch, 4),
+        "looped_seconds": round(t_loop, 4),
+        "speedup_vs_looped": round(t_loop / t_batch, 2),
+        "rhs_per_second": round(nrhs / t_batch, 1),
+        "max_column_rel_error": float(f"{parity:.3e}"),
+    }
+
+
+def multirhs_sweep(
+    quick: bool = False,
+    nrhs_list: tuple[int, ...] = (8,),
+    ranks: tuple[int, ...] | None = None,
+) -> list[dict]:
+    """Blocked-vs-looped results per (ranks, nrhs); printed as a table."""
+    n = 2_000 if quick else 20_000
+    rng = np.random.default_rng(2003)
+    pts = rng.random((n, 3))
+    opts = FMMOptions(p=4 if quick else 6, max_points=40 if quick else 60)
+    repeats = 1 if quick else 2
+    if ranks is None:
+        ranks = (2,) if quick else (2, 4)
+    results = [
+        _measure_multirhs_ranks(
+            nranks, pts, rng.standard_normal((n, 1, nrhs)), opts, repeats
+        )
+        for nranks in ranks
+        for nrhs in nrhs_list
+    ]
+    rows = [
+        (
+            r["ranks"],
+            r["nrhs"],
+            r["batched_seconds"],
+            r["looped_seconds"],
+            r["speedup_vs_looped"],
+            r["max_column_rel_error"],
+        )
+        for r in results
+    ]
+    print(format_table(
+        ("ranks", "nrhs", "batched s", "looped s", "speedup", "col err"),
+        rows,
+        title=(f"blocked parallel apply vs looped singles "
+               f"(Laplace, N={n}, overlap on)"),
+    ))
+    return results
+
+
 def test_parallel_apply():
     """Bench smoke: amortized applies must beat per-call evaluation."""
     report = run(quick=True)
@@ -155,10 +251,24 @@ def test_parallel_apply():
         assert r["amortized_speedup_vs_per_call"] > 1.0
 
 
+def test_parallel_multirhs():
+    """Bench smoke: blocked applies beat looped singles, columns agree."""
+    for r in multirhs_sweep(quick=True, nrhs_list=(4,)):
+        assert r["max_column_rel_error"] < 1e-12
+        assert r["speedup_vs_looped"] > 1.0
+
+
 if __name__ == "__main__":
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="small size, coarser discretisation")
     ap.add_argument("--out", type=Path, default=_ROOT / "BENCH_papply.json")
+    ap.add_argument("--nrhs", type=str, default=None, metavar="LIST",
+                    help="comma-separated block widths: run the blocked "
+                         "multi-RHS sweep instead of the amortization bench")
     args = ap.parse_args()
-    run(quick=args.quick, out=args.out)
+    if args.nrhs is not None:
+        widths = tuple(int(w) for w in args.nrhs.split(","))
+        multirhs_sweep(quick=args.quick, nrhs_list=widths)
+    else:
+        run(quick=args.quick, out=args.out)

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.evaluator import coerce_density
 from repro.core.fmm import FMMOptions, KIFMM
 from repro.kernels.stokes import StokesKernel
-from repro.linalg.gmres import GMRESResult, gmres
+from repro.linalg.gmres import BlockGMRESResult, GMRESResult, gmres, gmres_block
 from repro.parallel.pfmm import ParallelFMM
 
 
@@ -101,18 +102,51 @@ class StokesSingleLayer:
             self._fmm = KIFMM(self.kernel, self.options).setup(self.points)
 
     def matvec(self, phi: np.ndarray) -> np.ndarray:
-        """Apply the discrete single-layer operator to flat densities."""
-        phi = np.asarray(phi, dtype=np.float64).reshape(self.n, 3)
-        weighted = phi * self.weights[:, None]
+        """Apply the discrete single-layer operator to flat densities.
+
+        Accepts a single density — flat ``(3n,)`` or ``(n, 3)`` — or a
+        stacked block: ``(3n, nrhs)``, ``(n, 3, nrhs)``, or the 2-D
+        row-major form ``(n, 3 * nrhs)`` (the trailing two axes of
+        ``(n, 3, nrhs)`` flattened).  Blocks are forwarded to the
+        batched multi-RHS FMM apply as views — no flatten copies — so
+        one blocked matvec rides one evaluation (and, on the parallel
+        path, one overlapped exchange).  Returns the result in the
+        matching flat form: ``(3n,)``, ``(3n, nrhs)`` or
+        ``(n, 3 * nrhs)``.
+        """
+        phi = np.asarray(phi, dtype=np.float64)
+        wide = (
+            phi.ndim == 2
+            and phi.shape[0] == self.n
+            and phi.shape[1] != 3
+            and phi.shape[1] % 3 == 0
+        )
+        phi3, nrhs, single = coerce_density(
+            phi.reshape(self.n, 3, -1) if wide else phi, self.n, 3
+        )
+        weighted = phi3 * self.weights[:, None, None]
         if self._pfmm is not None:
-            u = self._pfmm.apply(weighted)
+            u = self._pfmm.apply(weighted if not single else weighted[:, :, 0])
         elif self._fmm is not None:
-            u = self._fmm.apply(weighted)
+            u = self._fmm.apply(weighted if not single else weighted[:, :, 0])
         else:
-            u = self.kernel.apply(self.points, self.points, weighted)
-        u = u + np.einsum("nij,nj->ni", self._self_blocks, phi)
+            u = np.empty((self.n, 3, nrhs))
+            for r in range(nrhs):
+                u[:, :, r] = self.kernel.apply(
+                    self.points, self.points, weighted[:, :, r]
+                )
+            if single:
+                u = u[:, :, 0]
+        if single:
+            u = u + np.einsum("nij,nj->ni", self._self_blocks, phi3[:, :, 0])
+        else:
+            u = u + np.einsum("nij,njr->nir", self._self_blocks, phi3)
         self.matvec_count += 1
-        return u.ravel()
+        if single:
+            return u.ravel()
+        if wide:
+            return u.reshape(self.n, 3 * nrhs)
+        return u.reshape(3 * self.n, nrhs)
 
     def solve(
         self,
@@ -128,6 +162,28 @@ class StokesSingleLayer:
             tol=tol,
             maxiter=maxiter,
             restart=restart,
+        )
+
+    def solve_block(
+        self,
+        u_bc_block: np.ndarray,
+        tol: float = 1e-6,
+        maxiter: int = 1000,
+        restart: int = 80,
+    ) -> BlockGMRESResult:
+        """Solve ``S phi = u`` for a block of boundary conditions.
+
+        One lockstep :func:`~repro.linalg.gmres.gmres_block` solve whose
+        every Arnoldi step is a single blocked matvec — i.e. one batched
+        multi-RHS interaction evaluation for all right-hand sides.
+        ``u_bc_block`` is ``(3n, nrhs)`` or ``(n, 3, nrhs)``; the
+        solution block comes back as ``(3n, nrhs)`` columns.
+        """
+        U = np.asarray(u_bc_block, dtype=np.float64)
+        if U.ndim == 3:
+            U = U.reshape(3 * self.n, -1)
+        return gmres_block(
+            self.matvec, U, tol=tol, maxiter=maxiter, restart=restart
         )
 
     def body_slices(self) -> list[slice]:

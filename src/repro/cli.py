@@ -158,6 +158,13 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _block_density(rng, n: int, kernel, nrhs: int) -> np.ndarray:
+    """A single density or an ``nrhs``-column stacked block."""
+    if nrhs <= 1:
+        return rng.random((n, kernel.source_dof))
+    return rng.random((n, kernel.source_dof, nrhs))
+
+
 def _cmd_commcheck(args: argparse.Namespace) -> int:
     """Run the parallel FMM under perturbed schedules; verify the traces.
 
@@ -174,7 +181,7 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
     kernel = _make_kernel(args.kernel)
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
-    density = rng.random((pts.shape[0], kernel.source_dof))
+    density = _block_density(rng, pts.shape[0], kernel, args.nrhs)
     opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
     failed = False
     traces: list[CommTrace] = []
@@ -267,7 +274,7 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
     kernel = _make_kernel(args.kernel)
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
-    density = rng.random((pts.shape[0], kernel.source_dof))
+    density = _block_density(rng, pts.shape[0], kernel, args.nrhs)
     opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
     failed = False
     for overlap in (True, False):
@@ -285,6 +292,54 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
             failed |= not report.ok
     print("racecheck:", "FAILED" if failed
           else "all schedules certified race-free (zero waivers)")
+    return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the micro-batching evaluation service under synthetic load.
+
+    The CI "serve" smoke runs this at small N: it builds one shared
+    operator, drives the asyncio front door with Poisson arrivals, and
+    reports per-request p50/p95/p99 latency, throughput and batch
+    occupancy.  ``--p99-bound`` turns the report into an assertion
+    (non-zero exit on a p99 excursion or any dropped request).
+    """
+    from repro.serve import EvaluationService, OperatorRegistry, run_load
+
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    registry = OperatorRegistry()
+    key = registry.register(
+        kernel, pts, FMMOptions(p=args.p, max_points=args.s)
+    )
+    service = EvaluationService(
+        registry, max_batch=args.max_batch, max_delay=args.max_delay
+    )
+    report = run_load(
+        service, key, nrequests=args.requests, rate=args.rate,
+        seed=args.seed,
+    )
+    print(f"serve: kernel={kernel.name} N={pts.shape[0]} p={args.p} "
+          f"key={key} max_batch={args.max_batch} "
+          f"max_delay={args.max_delay * 1e3:.1f}ms")
+    print(f"requests: {report.requests} issued, {report.completed} "
+          f"completed, {report.dropped} dropped")
+    print(f"batches: {report.batches} "
+          f"(mean occupancy {report.mean_batch:.2f} RHS/apply)")
+    print(f"throughput: {report.throughput:.1f} req/s over "
+          f"{report.duration:.2f}s")
+    print(f"latency: p50 {report.p50 * 1e3:.2f}ms  "
+          f"p95 {report.p95 * 1e3:.2f}ms  p99 {report.p99 * 1e3:.2f}ms")
+    failed = report.dropped > 0
+    if failed:
+        print("serve: FAILED (dropped requests)")
+    if args.p99_bound is not None and report.p99 > args.p99_bound:
+        print(f"serve: FAILED (p99 {report.p99:.3f}s exceeds bound "
+              f"{args.p99_bound:.3f}s)")
+        failed = True
+    if not failed:
+        print("serve: ok")
     return 1 if failed else 0
 
 
@@ -368,6 +423,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--overlap", default="on", choices=("on", "off"),
                     help="overlap the equivalent-density exchange with "
                          "owned-data compute in the planned applies")
+    pc.add_argument("--nrhs", type=int, default=1,
+                    help="stack this many densities into one multi-RHS "
+                         "block per apply (the whole block rides one "
+                         "overlapped exchange)")
     pc.add_argument("--save-trace", default=None, metavar="PATH",
                     help="write schedule 0's event trace as JSON lines")
     pc.set_defaults(func=_cmd_commcheck, p=4, s=40)
@@ -385,10 +444,34 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--m2l", default="fft", choices=("fft", "dense"))
     pr.add_argument("--applies", type=int, default=2,
                     help="persistent-operator applies per schedule")
+    pr.add_argument("--nrhs", type=int, default=1,
+                    help="stack this many densities into one multi-RHS "
+                         "block per apply")
     pr.add_argument("--seed-race", action="store_true",
                     help="run the deliberately racy fixture instead and "
                          "verify the detector flags it (self-test)")
     pr.set_defaults(func=_cmd_racecheck, p=4, s=40)
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the micro-batching asyncio evaluation service under a "
+             "synthetic Poisson load and report latency percentiles",
+    )
+    common(pv)
+    pv.add_argument("--n", type=int, default=2000)
+    pv.add_argument("--requests", type=int, default=64,
+                    help="number of synthetic evaluation requests")
+    pv.add_argument("--rate", type=float, default=500.0,
+                    help="mean Poisson arrival rate, requests/second")
+    pv.add_argument("--max-batch", type=int, default=8,
+                    help="largest multi-RHS block one apply serves")
+    pv.add_argument("--max-delay", type=float, default=0.002,
+                    help="seconds the batcher waits for followers after "
+                         "the first request of a batch")
+    pv.add_argument("--p99-bound", type=float, default=None,
+                    help="fail (exit 1) if p99 latency exceeds this many "
+                         "seconds — the CI smoke assertion")
+    pv.set_defaults(func=_cmd_serve, p=4, s=60)
 
     pl = sub.add_parser(
         "lint", help="run the repo-invariant AST lint over source trees"

@@ -46,6 +46,34 @@ def _matvec_flops(matrix_shape: tuple[int, int]) -> float:
     return 2.0 * matrix_shape[0] * matrix_shape[1]
 
 
+def coerce_density(
+    density: np.ndarray, npts: int, dof: int
+) -> tuple[np.ndarray, int, bool]:
+    """Normalise a density to ``(npts, dof, nrhs)``; returns (phi, nrhs, single).
+
+    Accepted forms: a single density as ``(npts, dof)`` or flat
+    ``(npts * dof,)`` (``single=True``; callers squeeze the trailing RHS
+    axis off their result), a stacked block ``(npts, dof, nrhs)``, or a
+    flat block ``(npts * dof, nrhs)`` as produced by block Krylov
+    solvers.  Blocks are reshaped, never copied, so a column-major
+    caller pays nothing extra here.
+    """
+    arr = np.asarray(density, dtype=np.float64)
+    if arr.ndim == 3 and arr.shape[:2] == (npts, dof):
+        return arr, arr.shape[2], False
+    if arr.ndim == 2 and arr.shape == (npts, dof):
+        return arr.reshape(npts, dof, 1), 1, True
+    if arr.ndim == 2 and arr.shape[0] == npts * dof:
+        return arr.reshape(npts, dof, arr.shape[1]), arr.shape[1], False
+    if arr.ndim == 1 and arr.size == npts * dof:
+        return arr.reshape(npts, dof, 1), 1, True
+    raise ValueError(
+        f"density shape {arr.shape} does not match {npts} points of "
+        f"{dof} components (accepted: (n, dof), flat (n*dof,), stacked "
+        f"(n, dof, nrhs), flat block (n*dof, nrhs))"
+    )
+
+
 def resolve_kernels(
     kernel: Kernel,
     source_kernel: Kernel | None,
@@ -117,7 +145,9 @@ def evaluate(
         and its operator cache (must share ``tree.root_side``).
     density:
         ``(ns, source_kernel.source_dof)`` or flat source densities in
-        *original* (unsorted) point order.
+        *original* (unsorted) point order; stacked blocks
+        (``(ns, dof, nrhs)`` or ``(ns * dof, nrhs)``) are evaluated
+        column by column on this reference path.
     m2l_mode:
         ``"fft"`` (default) or ``"dense"``.
     fft_m2l:
@@ -143,7 +173,8 @@ def evaluate(
 
     Returns
     -------
-    ``(nt, target_kernel.target_dof)`` values in original target order.
+    ``(nt, target_kernel.target_dof)`` values in original target order
+    (trailing ``nrhs`` axis appended for stacked blocks).
     """
     if m2l_mode not in ("fft", "dense"):
         raise ValueError(f"m2l_mode must be 'fft' or 'dense', got {m2l_mode}")
@@ -155,7 +186,22 @@ def evaluate(
     md, qd = kernel.source_dof, kernel.target_dof
     out_dof = trg_k.target_dof
     ns, nt = tree.sources.shape[0], tree.targets.shape[0]
-    phi = np.asarray(density, dtype=np.float64).reshape(ns, src_k.source_dof)
+    phi3, nrhs, single = coerce_density(density, ns, src_k.source_dof)
+    if not single:
+        # The per-box reference path stays single-RHS: a stacked block
+        # loops column by column (the planned path is the batched one).
+        cols = [
+            evaluate(
+                tree, lists, kernel, cache,
+                np.ascontiguousarray(phi3[:, :, r]),
+                m2l_mode=m2l_mode, fft_m2l=fft_m2l, flops=flops,
+                timer=timer, source_kernel=source_kernel,
+                target_kernel=target_kernel, direct_kernel=direct_kernel,
+            )
+            for r in range(nrhs)
+        ]
+        return np.stack(cols, axis=-1)
+    phi = phi3[:, :, 0]
     n_surf = cache.n_surf
     nb = tree.nboxes
     boxes = tree.boxes
@@ -350,8 +396,9 @@ def _fft_v_list(
                         needed.add(ai)
             if not needed:
                 continue
+            md = fft.kernel.source_dof
             phi_hat = {ai: fft.density_hat(ue[ai]) for ai in needed}
-            flops.add("down_v", len(needed) * fft.flops_per_fft())
+            flops.add("down_v", len(needed) * fft.flops_per_fft(md))
             npairs = 0
             nacc = 0
             for bi in level_boxes:
@@ -366,7 +413,8 @@ def _fft_v_list(
                     offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
                     tensor = fft.kernel_tensor_hat(level, offset)
                     if acc is None:
-                        acc = np.zeros(tensor.shape[0:1] + tensor.shape[2:],
+                        nfreq = fft.m * fft.m * (fft.m // 2 + 1)
+                        acc = np.zeros((tensor.shape[0], nfreq),
                                        dtype=np.complex128)
                     fft.accumulate(acc, tensor, phi_hat[ai])
                     npairs += 1
@@ -378,7 +426,7 @@ def _fft_v_list(
             # performs the same three batched operations — accumulates a
             # bit-identical per-phase total.
             flops.add("down_v", npairs * fft.flops_per_pair())
-            flops.add("down_v", nacc * fft.flops_per_fft())
+            flops.add("down_v", nacc * fft.flops_per_fft(fft.kernel.target_dof))
 
 
 def evaluate_planned(
@@ -407,6 +455,18 @@ def evaluate_planned(
     :class:`~repro.core.fmm.KIFMM` falls back to :func:`evaluate` for
     kernels that declare otherwise.
 
+    Stacked density blocks (see :func:`coerce_density`) ride the same
+    plan in one pass: the box-major work arrays gain a *leading*
+    ``nrhs`` axis, and every stage hoists its expensive shared factor —
+    kernel-matrix assembly (S2M/U/W/X/L2T), the translation operators,
+    the M2L mixing-tensor slab copies, the DFT operators — out of a
+    per-column inner loop whose gathers/GEMMs/scatters run with exactly
+    the single-RHS shapes.  Column ``r`` of a block apply is therefore
+    *bit-identical* to the single-RHS apply of column ``r`` (same BLAS
+    call shapes, same accumulation order — even through the round-off
+    amplifying ``uc2ue``/``dc2de`` inversion chain), while the per-apply
+    setup cost is paid once per block.
+
     ``sanitize`` (or ``REPRO_SANITIZE=1``) enables the runtime
     sanitizers of :mod:`repro.analysis.sanitize`: BufferPool lifecycle
     with NaN poisoning of released scratch, finite checks at every
@@ -424,8 +484,12 @@ def evaluate_planned(
     md, qd = kernel.source_dof, kernel.target_dof
     sdof, out_dof = src_k.source_dof, trg_k.target_dof
     ns, nt = tree.sources.shape[0], tree.targets.shape[0]
-    phi = np.asarray(density, dtype=np.float64).reshape(ns, sdof)
-    phi_sorted = phi[tree.src_perm]
+    phi3, nrhs, single = coerce_density(density, ns, sdof)
+    # RHS-major sorted densities: phi_sorted[r] is a contiguous
+    # (ns, sdof) array, shaped exactly like a single-RHS apply's input.
+    phi_sorted = np.ascontiguousarray(
+        phi3.transpose(2, 0, 1)[:, tree.src_perm]
+    )
     n_surf = cache.n_surf
     nb = plan.nboxes
     pool = plan.buffers
@@ -433,27 +497,37 @@ def evaluate_planned(
     san = sanitize or _san.enabled()
     pool.sanitize = san
     if san:
-        _san.check_finite(phi, "input", "density", rows_are="points")
+        _san.check_finite(phi3, "input", "density", rows_are="points")
 
-    # ---------------- upward pass ----------------
-    ue = pool.zeros("ue", (nb, n_surf * md))
+    # RHS-major work arrays: ue[r] / dc[r] / de[r] are contiguous
+    # (nbox, dof) views.  Every stage below assembles its shared factor
+    # once and loops the right-hand sides over 2-D products with the
+    # single-RHS shapes, so column r of a block apply is bit-identical
+    # to the single-RHS apply of column r (this matters: the
+    # uc2ue/dc2de inversions amplify round-off differences by ~1e6, so
+    # merely "equivalent" batched arithmetic would not stay within the
+    # 1e-12 column-parity budget).
+    ue = pool.zeros("ue", (nrhs, nb, n_surf * md))
     with timer.phase("up"):
         for ul in plan.up_levels:
-            check = pool.zeros("up_check", (ul.boxes.size, n_surf * qd))
+            check = pool.zeros("up_check", (nrhs, ul.boxes.size, n_surf * qd))
             if ul.s2m_rows.size:
                 chk_pts = cache.up_check_points(zero3, ul.level)
-                phi_cat = phi_sorted[ul.s2m_src_pos].reshape(-1)
+                phi_cat = phi_sorted[:, ul.s2m_src_pos].reshape(nrhs, -1)
                 max_pts = max(1, MAX_BLOCK_ENTRIES // (n_surf * qd * sdof))
                 for lo, hi in chunk_segments(ul.s2m_seg, max_pts):
                     p0, p1 = int(ul.s2m_seg[lo]), int(ul.s2m_seg[hi])
                     K = src_k.matrix_local(chk_pts, ul.s2m_pts[p0:p1])
-                    vals = K * phi_cat[p0 * sdof : p1 * sdof][None, :]
                     cols = (ul.s2m_seg[lo:hi] - p0) * sdof
-                    check[ul.s2m_rows[lo:hi]] += np.add.reduceat(
-                        vals, cols, axis=1
-                    ).T
+                    rows = ul.s2m_rows[lo:hi]
+                    for r in range(nrhs):
+                        vals = K * phi_cat[r, p0 * sdof : p1 * sdof][None, :]
+                        check[r][rows] += np.add.reduceat(
+                            vals, cols, axis=1
+                        ).T
                 flops.add_pairs(
-                    "up", n_surf * int(ul.s2m_seg[-1]), src_k.flops_per_pair
+                    "up", n_surf * int(ul.s2m_seg[-1]) * nrhs,
+                    src_k.flops_per_pair,
                 )
             for octant, kids, rows in ul.m2m_groups:
                 M = cache.m2m_check(ul.level + 1, octant)
@@ -462,60 +536,81 @@ def evaluate_planned(
                     # aliasing hazard is between the backing stacks.
                     _san.guard_gemm(check, ue, M,
                                     site=f"m2m level {ul.level}")
-                check[rows] += ue[kids] @ M.T
-                flops.add("up", kids.size * _matvec_flops(M.shape))
+                MT = M.T
+                for r in range(nrhs):
+                    check[r][rows] += ue[r][kids] @ MT
+                flops.add("up", kids.size * nrhs * _matvec_flops(M.shape))
             U = cache.uc2ue(ul.level)
             if san:
                 _san.guard_gemm(ue, check, U,
                                 site=f"uc2ue level {ul.level}")
-            ue[ul.boxes] = check @ U.T
-            flops.add("up", ul.boxes.size * _matvec_flops(U.shape))
+            UT = U.T
+            for r in range(nrhs):
+                ue[r][ul.boxes] = check[r] @ UT
+            flops.add("up", ul.boxes.size * nrhs * _matvec_flops(U.shape))
             pool.release("up_check")
     if san:
-        _san.check_finite(ue, "up", "upward equivalent densities")
+        _san.check_finite(ue.transpose(1, 0, 2), "up",
+                          "upward equivalent densities")
 
     # ---------------- V lists (all levels, before the level sweep) -----
-    dc = pool.zeros("dc", (nb, n_surf * qd))
-    de = pool.zeros("de", (nb, n_surf * md))
-    pot_sorted = pool.zeros("pot", (nt, out_dof))
+    dc = pool.zeros("dc", (nrhs, nb, n_surf * qd))
+    de = pool.zeros("de", (nrhs, nb, n_surf * md))
+    pot_sorted = pool.zeros("pot", (nrhs, nt, out_dof))
 
     if m2l_mode == "fft":
         fft = fft_m2l if fft_m2l is not None else FFTM2L(cache)
         with timer.phase("down_v"):
-            m, mf = fft.m, fft.m // 2 + 1
-            nfreq = m * m * mf
+            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
             for vl in plan.v_levels:
                 nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
-                grid = pool.zeros("v_grid", (nsb, md, m, m, m))
-                phi_hat = fft.density_hat_many(ue[vl.src_boxes], grid)
-                flops.add("down_v", nsb * fft.flops_per_fft())
                 if vl.po_groups:
                     # Parent-pair-blocked Hadamard: an order of magnitude
                     # less DRAM traffic than the class-major stage on
-                    # pair-rich deep trees.
+                    # pair-rich deep trees.  Its spectra live
+                    # frequency-leading so the forward GEMM-DFTs write,
+                    # the Hadamard gathers/scatters, and the inverse
+                    # GEMM-DFTs read with no transpose passes.
                     phi_ext = pool.empty(
-                        "v_phi_ext", (nsb + 1, md, nfreq), np.complex128
+                        "v_phi_ext", (nrhs, nfreq, nsb + 1, md),
+                        np.complex128,
                     )
-                    phi_ext[:nsb] = phi_hat.reshape(nsb, md, nfreq)
-                    acc_ext = pool.empty(
-                        "v_acc_ext", (ntb + 1, qd, nfreq), np.complex128
+                    for r in range(nrhs):
+                        fft.forward_rows_t(
+                            ue[r][vl.src_boxes], phi_ext[r, :, :nsb]
+                        )
+                    acc_ext = pool.zeros(
+                        "v_acc_ext", (nrhs, nfreq, ntb + 1, qd),
+                        np.complex128,
                     )
                     fft.hadamard_blocked(
                         vl.level, vl.po_groups, phi_ext, acc_ext, pool
                     )
-                    acc = acc_ext[:ntb].reshape(ntb, qd, m, m, mf)
+                    for r in range(nrhs):
+                        dc[r][vl.trg_boxes] += fft.inverse_rows_t(
+                            acc_ext[r, :, :ntb]
+                        )
                 else:
+                    phi_ext = pool.empty(
+                        "v_phi_ext", (nrhs, nsb, md, nfreq), np.complex128
+                    )
+                    for r in range(nrhs):
+                        fft.forward_rows(ue[r][vl.src_boxes], phi_ext[r])
                     acc = pool.zeros(
-                        "v_acc", (ntb, qd, m, m, mf), np.complex128
+                        "v_acc", (nrhs, ntb, qd, nfreq), np.complex128
                     )
                     for offset, src_pos, trg_pos in vl.classes:
                         tensor = fft.kernel_tensor_hat(vl.level, offset)
-                        fft.accumulate_many(
-                            acc, tensor, phi_hat[src_pos], trg_pos
-                        )
-                flops.add("down_v", vl.npairs * fft.flops_per_pair())
-                dc[vl.trg_boxes] += fft.check_potential_many(acc)
-                flops.add("down_v", ntb * fft.flops_per_fft())
+                        for r in range(nrhs):
+                            fft.accumulate_many(
+                                acc[r], tensor,
+                                phi_ext[r][src_pos], trg_pos,
+                            )
+                    for r in range(nrhs):
+                        dc[r][vl.trg_boxes] += fft.inverse_rows(acc[r])
+                flops.add("down_v", nsb * nrhs * fft.flops_per_fft(md))
+                flops.add("down_v", vl.npairs * nrhs * fft.flops_per_pair())
+                flops.add("down_v", ntb * nrhs * fft.flops_per_fft(qd))
     else:
         with timer.phase("down_v"):
             for vl in plan.v_levels:
@@ -524,15 +619,22 @@ def evaluate_planned(
                     if san:
                         _san.guard_gemm(dc, ue, T,
                                         site=f"m2l level {vl.level}")
-                    dc[vl.trg_boxes[trg_pos]] += ue[vl.src_boxes[src_pos]] @ T.T
-                    flops.add("down_v", src_pos.size * _matvec_flops(T.shape))
+                    TT = T.T
+                    sb = vl.src_boxes[src_pos]
+                    tb = vl.trg_boxes[trg_pos]
+                    for r in range(nrhs):
+                        dc[r][tb] += ue[r][sb] @ TT
+                    flops.add(
+                        "down_v",
+                        src_pos.size * nrhs * _matvec_flops(T.shape),
+                    )
     if san:
         # The V scratch is dead until the next apply: poison it so a
         # stale read surfaces in the finite checks below.
-        for scratch in ("v_grid", "v_phi_ext", "v_acc_ext", "v_acc",
-                        "v_phi_fb", "v_acc_fb", "v_mb", "v_gt"):
+        for scratch in ("v_phi_ext", "v_acc_ext", "v_acc", "v_r"):
             pool.release(scratch)
-        _san.check_finite(dc, "down_v", "downward check potentials")
+        _san.check_finite(dc.transpose(1, 0, 2), "down_v",
+                          "downward check potentials")
 
     # ---------------- downward sweep ----------------
     for dl in plan.down_levels:
@@ -542,8 +644,10 @@ def evaluate_planned(
                 if san:
                     _san.guard_gemm(dc, de, L,
                                     site=f"l2l level {dl.level}")
-                dc[kids] += de[parents] @ L.T
-                flops.add("eval", kids.size * _matvec_flops(L.shape))
+                LT = L.T
+                for r in range(nrhs):
+                    dc[r][kids] += de[r][parents] @ LT
+                flops.add("eval", kids.size * nrhs * _matvec_flops(L.shape))
 
         if dl.x_boxes.size:
             with timer.phase("down_x"):
@@ -554,9 +658,11 @@ def evaluate_planned(
                     K = src_k.matrix_local(
                         chk_pts, plan.sources_sorted[pos] - plan.centers[bi]
                     )
-                    dc[bi] += K @ phi_sorted[pos].reshape(-1)
+                    for r in range(nrhs):
+                        dc[r, bi] += K @ phi_sorted[r, pos].reshape(-1)
                 flops.add_pairs(
-                    "down_x", n_surf * int(dl.x_seg[-1]), src_k.flops_per_pair
+                    "down_x", n_surf * int(dl.x_seg[-1]) * nrhs,
+                    src_k.flops_per_pair,
                 )
 
         with timer.phase("eval"):
@@ -565,12 +671,19 @@ def evaluate_planned(
                 if san:
                     _san.guard_gemm(de, dc, D,
                                     site=f"dc2de level {dl.level}")
-                de[dl.dc_boxes] = dc[dl.dc_boxes] @ D.T
-                flops.add("eval", dl.dc_boxes.size * _matvec_flops(D.shape))
+                DT = D.T
+                for r in range(nrhs):
+                    de[r][dl.dc_boxes] = dc[r][dl.dc_boxes] @ DT
+                flops.add(
+                    "eval", dl.dc_boxes.size * nrhs * _matvec_flops(D.shape)
+                )
             if dl.l2t_boxes.size:
                 eq_pts = cache.down_equiv_points(zero3, dl.level)
-                de_rows = np.repeat(
-                    de[dl.l2t_boxes], np.diff(dl.l2t_seg), axis=0
+                # Box row of each L2T point (the repeat is equivalent to
+                # np.repeat over the leaf segments, but gathers only the
+                # chunk in flight for each right-hand side).
+                row_box = np.repeat(
+                    np.arange(dl.l2t_boxes.size), np.diff(dl.l2t_seg)
                 )
                 npts = int(dl.l2t_seg[-1])
                 step = max(1, MAX_BLOCK_ENTRIES // (out_dof * n_surf * md))
@@ -578,13 +691,19 @@ def evaluate_planned(
                     p1 = min(npts, p0 + step)
                     K = trg_k.matrix_local(dl.l2t_pts[p0:p1], eq_pts)
                     K3 = K.reshape(p1 - p0, out_dof, n_surf * md)
-                    pot_sorted[dl.l2t_trg_pos[p0:p1]] += np.einsum(
-                        "tqm,tm->tq", K3, de_rows[p0:p1]
-                    )
-                flops.add_pairs("eval", npts * n_surf, trg_k.flops_per_pair)
+                    boxes = dl.l2t_boxes[row_box[p0:p1]]
+                    tp = dl.l2t_trg_pos[p0:p1]
+                    for r in range(nrhs):
+                        pot_sorted[r][tp] += np.einsum(
+                            "tqm,tm->tq", K3, de[r][boxes]
+                        )
+                flops.add_pairs(
+                    "eval", npts * n_surf * nrhs, trg_k.flops_per_pair
+                )
 
     if san:
-        _san.check_finite(de, "eval", "downward equivalent densities")
+        _san.check_finite(de.transpose(1, 0, 2), "eval",
+                          "downward equivalent densities")
 
     # ---------------- near field: U then W, per target leaf -----------
     with timer.phase("down_u"):
@@ -602,11 +721,17 @@ def evaluate_planned(
                 K = dir_k.matrix_local(
                     trg_pts, plan.sources_sorted[pos[c0:c1]] - ctr
                 )
-                pot_sorted[t0:t1] += (
-                    K @ phi_sorted[pos[c0:c1]].reshape(-1)
-                ).reshape(ntr, out_dof)
+                # Direct to potentials (no ill-conditioned inverse
+                # downstream), so the RHS axis folds into one GEMM that
+                # streams K once; the ~1e-16 GEMM-vs-GEMV rounding gap
+                # stays far below the 1e-12 column-parity bound.
+                xs = phi_sorted[:, pos[c0:c1]].reshape(nrhs, -1)
+                y = K @ xs.T
+                pot_sorted[:, t0:t1] += y.reshape(
+                    ntr, out_dof, nrhs
+                ).transpose(2, 0, 1)
             u_pairs += ntr * pos.size
-        flops.add_pairs("down_u", u_pairs, dir_k.flops_per_pair)
+        flops.add_pairs("down_u", u_pairs * nrhs, dir_k.flops_per_pair)
 
     if plan.w_boxes.size:
         with timer.phase("down_w"):
@@ -624,17 +749,28 @@ def evaluate_planned(
                     + rad[:, None, None] * sgrid[None, :, :]
                 ).reshape(-1, 3)
                 K = trg_k.matrix_local(plan.targets_sorted[t0:t1] - ctr, eq_pts)
-                pot_sorted[t0:t1] += (K @ ue[partners].reshape(-1)).reshape(
-                    t1 - t0, out_dof
-                )
+                # RHS-folded like the U list: W contributions go straight
+                # to target potentials, so one GEMM serves every column.
+                xs = ue[:, partners].reshape(nrhs, -1)
+                y = K @ xs.T
+                pot_sorted[:, t0:t1] += y.reshape(
+                    t1 - t0, out_dof, nrhs
+                ).transpose(2, 0, 1)
                 w_pairs += (t1 - t0) * partners.size
-            flops.add_pairs("down_w", n_surf * w_pairs, trg_k.flops_per_pair)
+            flops.add_pairs(
+                "down_w", n_surf * w_pairs * nrhs, trg_k.flops_per_pair
+            )
 
     if san:
-        _san.check_finite(pot_sorted, "down_w" if plan.w_boxes.size else
+        _san.check_finite(pot_sorted.transpose(1, 0, 2),
+                          "down_w" if plan.w_boxes.size else
                           "down_u", "potentials", rows_are="targets")
-    potential = np.empty((nt, out_dof))
-    potential[tree.trg_perm] = pot_sorted
+    if single:
+        potential = np.empty((nt, out_dof))
+        potential[tree.trg_perm] = pot_sorted[0]
+    else:
+        potential = np.empty((nt, out_dof, nrhs))
+        potential[tree.trg_perm] = pot_sorted.transpose(1, 2, 0)
     if san:
         _san.check_escape(potential, pool, "evaluate_planned")
     return potential

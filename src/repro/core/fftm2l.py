@@ -16,12 +16,22 @@ a 3-D discrete convolution with the kernel tensor
 ``T[d] = G((c_B - c_A) + h d)``, which we embed in a ``(2p)^3`` circulant
 and apply with FFTs:
 
-- one forward FFT per *source* box (amortised over all its V-interactions),
+- one forward transform per *source* box (amortised over all its
+  V-interactions),
 - one Hadamard multiply-accumulate per box pair,
-- one inverse FFT per *target* box.
+- one inverse transform per *target* box.
 
 The kernel tensors depend only on (level, anchor offset); like the dense
 operators they rescale across levels for homogeneous kernels.
+
+The per-box transforms themselves are *not* executed as FFTs: the
+embedded grid is zero except at the ``n_surf`` surface nodes (and only
+``n_surf`` check values are read back), so the forward and inverse maps
+are small dense DFT matrices ``(nfreq, n_surf)`` applied as real GEMMs.
+At the paper's ``p`` (4-8) this trades a handful of extra flops for
+BLAS-3 arithmetic intensity over thousands of boxes — several times
+faster than batches of tiny ``(2p)^3`` FFTs — and is exactly the DFT,
+so the circulant convolution identity is untouched.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from repro.core.surfaces import surface_lattice_indices
 #: stage: one ``(HADAMARD_CHUNK, 8, HADAMARD_FREQ_BLOCK)`` complex slab
 #: (~9 MB) fits in the last-level cache, so the transposes surrounding
 #: the batched 8x8 matmuls run at cache speed instead of DRAM-miss speed.
-HADAMARD_FREQ_BLOCK = 144
+HADAMARD_FREQ_BLOCK = 48
 HADAMARD_CHUNK = 512
 
 
@@ -58,6 +68,60 @@ class FFTM2L:
         self._dead = self.p  # circulant index that never contributes
         self._tensors: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
         self._combos: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+        self._combos_real: dict[
+            tuple[int, tuple[int, int, int]], np.ndarray
+        ] = {}
+        self._dft: tuple[np.ndarray, ...] | None = None
+        self._dft_t: tuple[np.ndarray, ...] | None = None
+
+    def _dft_operators(self) -> tuple[np.ndarray, ...]:
+        """Dense surface-node DFT operators (built once, ~a few MB).
+
+        Returns ``(F_re, F_im, G_re, G_im)``:
+
+        - ``F_* (n_surf, nfreq)``: forward map, ``hat = vals @ (F_re +
+          i F_im)`` equals ``rfftn`` of the surface-scattered grid
+          (only surface nodes are non-zero, so the DFT sum collapses to
+          these columns of the full transform).
+        - ``G_* (nfreq, n_surf)``: inverse map with the Hermitian
+          weights of the real transform folded in, ``vals = Re(acc) @
+          G_re - Im(acc) @ G_im`` equals ``irfftn`` sampled at the
+          surface nodes.
+        """
+        if self._dft is None:
+            m, mf = self.m, self.m // 2 + 1
+            kx, ky, kz = np.meshgrid(
+                np.arange(m), np.arange(m), np.arange(mf), indexing="ij"
+            )
+            freqs = np.stack([kx, ky, kz], axis=-1).reshape(-1, 3)
+            lattice = np.stack(self._surf_ijk, axis=1)  # (n_surf, 3)
+            phase = (-2.0 * np.pi / m) * (lattice @ freqs.T)  # (n_surf, nfreq)
+            F = np.exp(1j * phase)
+            # rfft stores one of each conjugate pair for 0 < kz < m/2;
+            # those frequencies count twice in the inverse sum.
+            w = np.where((freqs[:, 2] == 0) | (freqs[:, 2] == m // 2), 1.0, 2.0)
+            G = (np.conj(F) * w[None, :]).T / float(m**3)  # (nfreq, n_surf)
+            self._dft = (
+                np.ascontiguousarray(F.real),
+                np.ascontiguousarray(F.imag),
+                np.ascontiguousarray(G.real),
+                np.ascontiguousarray(G.imag),
+            )
+        return self._dft
+
+    def _dft_operators_t(self) -> tuple[np.ndarray, ...]:
+        """Contiguous transposes of the DFT operators.
+
+        The blocked Hadamard stage keeps its spectra frequency-leading
+        (``(nfreq, ...)``); the matching forward/inverse GEMMs then put
+        the DFT operator on the *left*, which wants the transposed
+        factors contiguous.
+        """
+        if self._dft_t is None:
+            self._dft_t = tuple(
+                np.ascontiguousarray(a.T) for a in self._dft_operators()
+            )
+        return self._dft_t
 
     # -- kernel tensors ------------------------------------------------------
 
@@ -136,20 +200,69 @@ class FFTM2L:
             return M
         return M * (2.0 ** (key_level - level)) ** h
 
-    # -- grid scatter / gather ------------------------------------------------
+    def combo_tensor_real(
+        self, level: int, po: tuple[int, int, int]
+    ) -> np.ndarray:
+        """Real-arithmetic form of :meth:`combo_tensor_hat`, transposed.
 
-    def density_hat(self, ue: np.ndarray) -> np.ndarray:
-        """Forward FFT of one box's upward equivalent density.
+        Complex ``(8 qd) x (8 md)`` per-frequency mixing runs through
+        tiny ``zgemm`` calls that OpenBLAS executes at well under half
+        its ``dgemm`` rate at these sizes.  Interleaving real and
+        imaginary parts turns the same multiply into one real GEMM: a
+        complex row vector viewed as float64 is ``[re0, im0, re1, ...]``,
+        and right-multiplying it by this ``(nfreq, 2*8*md, 2*8*qd)``
+        matrix — ``C[f, 2k, 2j] = C[f, 2k+1, 2j+1] = Re B[k, j]``,
+        ``C[f, 2k, 2j+1] = -C[f, 2k+1, 2j] = Im B[k, j]`` with
+        ``B = M[f].T`` — yields exactly the interleaved view of the
+        complex product.  Same flops, ~2x the throughput, and the
+        operands are free ``.view(float64)`` reinterpretations.
+        """
+        h = self.kernel.homogeneity
+        key_level = 0 if h is not None else level
+        key = (key_level, tuple(int(x) for x in po))
+        C = self._combos_real.get(key)
+        if C is None:
+            B = self.combo_tensor_hat(key_level, key[1]).transpose(0, 2, 1)
+            C = np.empty((B.shape[0], 2 * B.shape[1], 2 * B.shape[2]))
+            C[:, 0::2, 0::2] = B.real
+            C[:, 1::2, 1::2] = B.real
+            C[:, 0::2, 1::2] = B.imag
+            C[:, 1::2, 0::2] = -B.imag
+            self._combos_real[key] = C
+        if h is None or level == key_level:
+            return C
+        return C * (2.0 ** (key_level - level)) ** h
 
-        ``ue`` is the flat point-major density ``(n_surf * source_dof,)``;
-        returns ``(source_dof, m, m, m//2 + 1)`` complex.
+    # -- surface transforms ---------------------------------------------------
+
+    def forward_rows(self, ue_rows: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Forward transforms of many boxes' upward equivalent densities.
+
+        ``ue_rows`` is ``(n, n_surf * source_dof)`` flat point-major
+        densities; ``out`` is a contiguous complex array
+        ``(n, source_dof, nfreq)`` that receives the transforms (the
+        GEMM-DFT of each box's surface-scattered grid).  Returns ``out``.
         """
         md = self.kernel.source_dof
-        vals = ue.reshape(-1, md)
-        grid = np.zeros((md, self.m, self.m, self.m))
-        i, j, k = self._surf_ijk
-        grid[:, i, j, k] = vals.T
-        return np.fft.rfftn(grid, axes=(-3, -2, -1))
+        n = ue_rows.shape[0]
+        F_re, F_im, _, _ = self._dft_operators()
+        vals = ue_rows.reshape(n, -1, md)
+        A = np.ascontiguousarray(vals.transpose(0, 2, 1)).reshape(-1, F_re.shape[0])
+        flat = out.reshape(n * md, -1)
+        np.matmul(A, F_re, out=flat.real)
+        np.matmul(A, F_im, out=flat.imag)
+        return out
+
+    def density_hat(self, ue: np.ndarray) -> np.ndarray:
+        """Forward transform of one box's upward equivalent density.
+
+        ``ue`` is the flat point-major density ``(n_surf * source_dof,)``;
+        returns ``(source_dof, nfreq)`` complex.
+        """
+        md = self.kernel.source_dof
+        nfreq = self.m * self.m * (self.m // 2 + 1)
+        out = np.empty((1, md, nfreq), dtype=np.complex128)
+        return self.forward_rows(ue[None, :], out)[0]
 
     def accumulate(
         self,
@@ -159,35 +272,74 @@ class FFTM2L:
     ) -> None:
         """``acc += tensor_hat applied to phi_hat`` in Fourier space.
 
-        ``acc`` has shape ``(target_dof, m, m, m//2 + 1)``.
+        ``acc`` has shape ``(target_dof, nfreq)``; ``tensor_hat`` is the
+        grid-shaped ``(target_dof, source_dof, m, m, m//2+1)`` kernel
+        transform.
         """
-        acc += np.einsum("qmxyz,mxyz->qxyz", tensor_hat, phi_hat)
+        qd, md = tensor_hat.shape[0], tensor_hat.shape[1]
+        th = tensor_hat.reshape(qd, md, -1)
+        acc += np.einsum("qmf,mf->qf", th, phi_hat)
 
     def check_potential(self, acc: np.ndarray) -> np.ndarray:
-        """Inverse FFT and surface-node gather.
+        """Inverse transform and surface-node gather for one box.
 
-        Returns the flat point-major downward check potential
-        ``(n_surf * target_dof,)``.
+        ``acc`` is ``(target_dof, nfreq)``; returns the flat point-major
+        downward check potential ``(n_surf * target_dof,)``.
         """
-        full = np.fft.irfftn(acc, s=(self.m, self.m, self.m), axes=(-3, -2, -1))
-        i, j, k = self._surf_ijk
-        return np.ascontiguousarray(full[:, i, j, k].T).reshape(-1)
+        return self.inverse_rows(acc[None])[0]
 
     # -- batched variants (the planned evaluator's per-level operations) -----
 
-    def density_hat_many(self, ue_rows: np.ndarray, grid: np.ndarray) -> np.ndarray:
-        """Forward FFTs of many boxes' upward equivalent densities at once.
+    def inverse_rows(self, acc: np.ndarray) -> np.ndarray:
+        """Inverse transforms and surface gathers for a stack of boxes.
+
+        ``acc`` is ``(n, target_dof, nfreq)`` complex; returns
+        ``(n, n_surf * target_dof)`` flat point-major check potentials.
+        """
+        n, qd = acc.shape[0], acc.shape[1]
+        _, _, G_re, G_im = self._dft_operators()
+        flat = acc.reshape(n * qd, -1)
+        pm = np.matmul(np.ascontiguousarray(flat.real), G_re)
+        pm -= np.matmul(np.ascontiguousarray(flat.imag), G_im)
+        return pm.reshape(n, qd, -1).transpose(0, 2, 1).reshape(n, -1)
+
+    def forward_rows_t(self, ue_rows: np.ndarray, out_t: np.ndarray) -> None:
+        """Forward transforms into a frequency-leading stack.
 
         ``ue_rows`` is ``(n, n_surf * source_dof)`` flat point-major
-        densities; ``grid`` is a zeroed ``(n, source_dof, m, m, m)``
-        scratch array (only surface nodes are written).  Returns
-        ``(n, source_dof, m, m, m//2 + 1)`` complex.
+        densities; ``out_t`` is a ``(nfreq, n, source_dof)`` complex view
+        (its last two axes must be memory-contiguous — e.g. one RHS slab
+        of the blocked Hadamard's ``(nfreq, nrhs, n, source_dof)``
+        stack).  Mathematically identical to :meth:`forward_rows` up to
+        GEMM rounding; its output feeds :meth:`hadamard_blocked` without
+        any transpose pass.
         """
         md = self.kernel.source_dof
-        vals = ue_rows.reshape(ue_rows.shape[0], -1, md)
-        i, j, k = self._surf_ijk
-        grid[:, :, i, j, k] = vals.transpose(0, 2, 1)
-        return np.fft.rfftn(grid, axes=(-3, -2, -1))
+        n = ue_rows.shape[0]
+        F_re_t, F_im_t, _, _ = self._dft_operators_t()
+        vals = ue_rows.reshape(n, -1, md)
+        # (n_surf, n * source_dof) surface-major stack of the densities
+        a_t = np.ascontiguousarray(vals.transpose(1, 0, 2)).reshape(
+            F_re_t.shape[1], -1
+        )
+        flat = out_t.reshape(out_t.shape[0], n * md)
+        np.matmul(F_re_t, a_t, out=flat.real)
+        np.matmul(F_im_t, a_t, out=flat.imag)
+
+    def inverse_rows_t(self, acc_t: np.ndarray) -> np.ndarray:
+        """Inverse transforms of a frequency-leading accumulator stack.
+
+        ``acc_t`` is ``(nfreq, n, target_dof)`` complex (any leading-axis
+        stride, e.g. one RHS slab of the blocked Hadamard accumulator);
+        returns ``(n, n_surf * target_dof)`` flat point-major check
+        potentials, matching :meth:`inverse_rows` up to GEMM rounding.
+        """
+        nfreq, n, qd = acc_t.shape
+        _, _, G_re_t, G_im_t = self._dft_operators_t()
+        flat = acc_t.reshape(nfreq, n * qd)
+        pm_t = np.matmul(G_re_t, np.ascontiguousarray(flat.real))
+        pm_t -= np.matmul(G_im_t, np.ascontiguousarray(flat.imag))
+        return pm_t.reshape(-1, n, qd).transpose(1, 0, 2).reshape(n, -1)
 
     def accumulate_many(
         self,
@@ -198,12 +350,15 @@ class FFTM2L:
     ) -> None:
         """Apply one translation class to a stack of source transforms.
 
-        All pairs of a class share ``tensor_hat``; ``trg_pos`` rows of
-        ``acc`` (shape ``(ntrg, target_dof, m, m, m//2 + 1)``) receive the
-        respective products.  Within a class every target occurs at most
-        once, so plain fancy-indexed ``+=`` accumulation is exact.
+        All pairs of a class share ``tensor_hat`` (grid-shaped); the
+        ``trg_pos`` rows of ``acc`` (shape ``(ntrg, target_dof, nfreq)``)
+        receive the products of the ``(n, source_dof, nfreq)`` transform
+        rows.  Within a class every target occurs at most once, so plain
+        fancy-indexed ``+=`` accumulation is exact.
         """
-        acc[trg_pos] += np.einsum("qmxyz,nmxyz->nqxyz", tensor_hat, phi_hat_rows)
+        qd, md = tensor_hat.shape[0], tensor_hat.shape[1]
+        th = tensor_hat.reshape(qd, md, -1)
+        acc[trg_pos] += np.einsum("qmf,nmf->nqf", th, phi_hat_rows)
 
     def hadamard_blocked(
         self,
@@ -213,58 +368,74 @@ class FFTM2L:
         acc_ext: np.ndarray,
         pool: BufferPool,
     ) -> None:
-        """Parent-pair-blocked Hadamard stage.
+        """Parent-pair-blocked Hadamard stage, frequency-leading.
 
         The class-major stage streams ~5 full-spectrum passes per box
         pair; here each gathered parent-pair slab (8 source + 8 target
         child rows) covers up to 64 pairs through per-frequency batched
-        ``(8 qd) x (8 md)`` matmuls, cutting DRAM traffic by an order of
-        magnitude.  ``phi_ext`` is ``(n + 1, source_dof, nfreq)`` and
-        ``acc_ext`` is ``(n + 1, target_dof, nfreq)``; the last row of
-        each is the plan's sentinel (zero source / discarded target).
-        ``acc_ext`` is fully overwritten.  Frequencies are processed in
-        cache-sized blocks — see :data:`HADAMARD_FREQ_BLOCK`.
+        real-form mixing GEMMs (:meth:`combo_tensor_real`), cutting DRAM
+        traffic by an order of magnitude.  Both spectra are *frequency-leading* per RHS:
+        ``phi_ext`` is ``(nrhs, nfreq, n + 1, source_dof)`` and
+        ``acc_ext`` is ``(nrhs, nfreq, n + 1, target_dof)`` (the last
+        box row of each is the plan's sentinel — zero source / discarded
+        target).  In that layout a pair chunk's matmul operand is one
+        trailing-axis fancy gather — frequency rows are contiguous, so
+        the gather needs no transpose pass and stays cache-resident —
+        and the products drain through a single flat-index
+        ``np.add.at`` scatter per chunk, one buffered pass instead of
+        fancy ``+=``'s gather/add/write-back triple.  ``acc_ext`` must
+        arrive zeroed; it is accumulated in place.
+
+        Right-hand sides run the innermost loop with exactly the
+        single-RHS gather/matmul/scatter shapes, so column ``r`` of a
+        block apply is *bit-identical* to the single-RHS apply of
+        column ``r``; the flat index vectors, built once per chunk, are
+        the only work shared across RHS.  Within a parent-offset class
+        every target row is hit at most once, so accumulation order per
+        element is independent of the chunking.
         """
-        nbp, md, nfreq = phi_ext.shape
-        nbt, qd = acc_ext.shape[0], acc_ext.shape[1]
-        ms = [self.combo_tensor_hat(level, po) for po, _, _ in po_groups]
-        phi_ext[-1] = 0.0
+        nrhs, nfreq, nbp, md = phi_ext.shape
+        nbt, qd = acc_ext.shape[2], acc_ext.shape[3]
+        phi_ext[:, :, -1] = 0.0
+        phif = phi_ext.reshape(nrhs, nfreq * nbp * md)
+        accf = acc_ext.reshape(nrhs, nfreq * nbt * qd)
+        dofs_m = np.arange(md, dtype=np.int64)
+        dofs_q = np.arange(qd, dtype=np.int64)
+        groups = []
+        for po, src_rows, trg_rows in po_groups:
+            # flat spectrum columns of the pair chunks' child rows
+            srcc = ((src_rows * md)[:, :, None] + dofs_m).reshape(
+                src_rows.shape[0], -1
+            )
+            trgc = ((trg_rows * qd)[:, :, None] + dofs_q).reshape(
+                trg_rows.shape[0], -1
+            )
+            groups.append((srcc, trgc, self.combo_tensor_real(level, po)))
+        # Frequency blocks outermost: one (fb, nrhs * boxes) slab of each
+        # spectrum stays cache-resident across every group's gathers and
+        # scatters, instead of re-streaming both full spectra per group.
         for f0 in range(0, nfreq, HADAMARD_FREQ_BLOCK):
             f1 = min(f0 + HADAMARD_FREQ_BLOCK, nfreq)
             fb = f1 - f0
-            phi_fb = pool.empty("v_phi_fb", (nbp, md, fb), np.complex128)
-            np.copyto(phi_fb, phi_ext[:, :, f0:f1])
-            acc_fb = pool.zeros("v_acc_fb", (nbt, qd, fb), np.complex128)
-            for (_, src_rows, trg_rows), M in zip(po_groups, ms):
-                mb = pool.empty("v_mb", (fb, 8 * qd, 8 * md), np.complex128)
-                np.copyto(mb, M[f0:f1])
-                mbt = mb.transpose(0, 2, 1)
-                npp = src_rows.shape[0]
+            frange = np.arange(f0, f1, dtype=np.int64)
+            foff_s = (frange * (nbp * md))[:, None]
+            foff_t = (frange * (nbt * qd))[:, None]
+            for srcc, trgc, C in groups:
+                cf = C[f0:f1]
+                npp = srcc.shape[0]
                 for c0 in range(0, npp, HADAMARD_CHUNK):
                     c1 = min(c0 + HADAMARD_CHUNK, npp)
                     nc = c1 - c0
-                    gt = pool.empty("v_gt", (fb, nc, 8 * md), np.complex128)
-                    g = phi_fb[src_rows[c0:c1]]  # (nc, 8, md, fb)
-                    np.copyto(gt, g.transpose(3, 0, 1, 2).reshape(fb, nc, 8 * md))
+                    # flat (frequency, column) gather / scatter indices,
+                    # built once per chunk and shared by every RHS
+                    ling = foff_s + srcc[c0:c1].reshape(-1)
+                    lin = (foff_t + trgc[c0:c1].reshape(-1)).reshape(-1)
                     r = pool.empty("v_r", (fb, nc, 8 * qd), np.complex128)
-                    np.matmul(gt, mbt, out=r)
-                    acc_fb[trg_rows[c0:c1]] += (
-                        r.reshape(fb, nc, 8, qd).transpose(1, 2, 3, 0)
-                    )
-            acc_ext[:, :, f0:f1] = acc_fb
-
-    def check_potential_many(self, acc: np.ndarray) -> np.ndarray:
-        """Inverse FFTs and surface gathers for a stack of target boxes.
-
-        Returns ``(n, n_surf * target_dof)`` flat point-major check
-        potentials.
-        """
-        full = np.fft.irfftn(acc, s=(self.m, self.m, self.m), axes=(-3, -2, -1))
-        i, j, k = self._surf_ijk
-        gathered = full[:, :, i, j, k]  # (n, target_dof, n_surf)
-        return np.ascontiguousarray(gathered.transpose(0, 2, 1)).reshape(
-            acc.shape[0], -1
-        )
+                    rv = r.view(np.float64)
+                    for rh in range(nrhs):
+                        gt = phif[rh][ling].reshape(fb, nc, 8 * md)
+                        np.matmul(gt.view(np.float64), cf, out=rv)
+                        np.add.at(accf[rh], lin, r.reshape(-1))
 
     # -- flop accounting -------------------------------------------------------
 
@@ -274,7 +445,11 @@ class FFTM2L:
         qd, md = self.kernel.target_dof, self.kernel.source_dof
         return 8.0 * qd * md * nfreq
 
-    def flops_per_fft(self) -> float:
-        """Approximate real flops of one forward or inverse grid FFT."""
-        n = self.m**3
-        return 5.0 * n * np.log2(n)
+    def flops_per_fft(self, dof: int = 1) -> float:
+        """Real flops of one forward or inverse surface GEMM-DFT.
+
+        Two ``(dof, n_surf) x (n_surf, nfreq)`` real products (the real
+        and imaginary DFT parts).
+        """
+        nfreq = self.m * self.m * (self.m // 2 + 1)
+        return 4.0 * nfreq * self.cache.n_surf * dof

@@ -233,10 +233,15 @@ class KIFMM:
         ----------
         density:
             ``(ns, source_dof)`` or flat densities in input point order.
+            Stacked blocks — ``(ns, source_dof, nrhs)`` or a flat block
+            ``(ns * source_dof, nrhs)`` — evaluate all right-hand sides
+            in one batched pass over the execution plan (the per-box
+            path loops columns).
 
         Returns
         -------
-        ``(nt, target_dof)`` potentials in input target order.
+        ``(nt, target_dof)`` potentials in input target order, with a
+        trailing ``nrhs`` axis for stacked blocks.
         """
         if self.tree is None or self.lists is None or self.cache is None:
             raise RuntimeError("call setup() before apply()")
@@ -266,8 +271,16 @@ class KIFMM:
         )
 
     def matvec(self, density: np.ndarray) -> np.ndarray:
-        """Flat-vector interface for Krylov solvers: returns ``apply`` raveled."""
-        return self.apply(density).ravel()
+        """Flat interface for Krylov solvers: ``apply`` raveled.
+
+        A 2-D ``(ns * source_dof, nrhs)`` block (block Krylov solvers)
+        maps to the stacked ``(nt * target_dof, nrhs)`` result; the
+        block is reshaped into the batched apply without copies.
+        """
+        out = self.apply(density)
+        if out.ndim == 3:
+            return out.reshape(-1, out.shape[2])
+        return out.ravel()
 
     def statistics(self) -> dict[str, object]:
         """Tree/list/instrumentation summary for reports and benchmarks."""

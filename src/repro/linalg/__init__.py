@@ -7,6 +7,17 @@ regularised pseudo-inverse.
 """
 
 from repro.linalg.pinv import regularized_pinv
-from repro.linalg.gmres import gmres, GMRESResult
+from repro.linalg.gmres import (
+    BlockGMRESResult,
+    GMRESResult,
+    gmres,
+    gmres_block,
+)
 
-__all__ = ["regularized_pinv", "gmres", "GMRESResult"]
+__all__ = [
+    "regularized_pinv",
+    "gmres",
+    "gmres_block",
+    "GMRESResult",
+    "BlockGMRESResult",
+]

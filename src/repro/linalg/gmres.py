@@ -122,3 +122,136 @@ def gmres(
     r = b - matvec(x)
     res = float(np.linalg.norm(r) / bnorm)
     return GMRESResult(x, res <= tol, total_iters, res, history)
+
+
+@dataclass
+class BlockGMRESResult:
+    """Outcome of a lockstep block GMRES solve."""
+
+    x: np.ndarray  # (n, nrhs) solutions, one column per right-hand side
+    converged: bool  # every column reached the tolerance
+    matvecs: int  # BLOCKED operator applications (not column applies)
+    residuals: np.ndarray  # (nrhs,) final relative residuals
+    histories: list[list[float]]  # per-column inner-iteration residuals
+
+
+def gmres_block(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    B: np.ndarray,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    restart: int = 30,
+    maxiter: int = 200,
+) -> BlockGMRESResult:
+    """Solve ``A X = B`` for a block of right-hand sides in lockstep.
+
+    Runs one restarted-GMRES recurrence per column but issues ONE
+    blocked ``matvec`` per Arnoldi step carrying every live column's
+    Krylov vector — with an FMM operator behind ``matvec`` that is a
+    multi-RHS batched apply, so an iteration costs barely more than a
+    single-RHS one.  Columns that converge mid-cycle freeze (their slot
+    carries zeros, whose output is ignored) while the rest iterate on.
+
+    Parameters
+    ----------
+    matvec:
+        Callable applying the operator to an ``(n, k)`` block,
+        returning ``(n, k)`` — e.g. ``KIFMM.matvec`` or
+        ``ParallelFMM.matvec``.
+    B:
+        ``(n, nrhs)`` right-hand sides (a 1-D vector is treated as one
+        column).
+    maxiter:
+        Budget of *blocked* matvecs.
+
+    Returns
+    -------
+    :class:`BlockGMRESResult`; ``matvecs`` counts blocked applies, so
+    the saving over ``nrhs`` independent solves is roughly
+    ``nrhs * single_matvecs / matvecs`` applied at batched-apply cost.
+    """
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        B = B[:, None]
+    n, nrhs = B.shape
+    if x0 is None:
+        X = np.zeros((n, nrhs))
+    else:
+        X = np.array(x0, dtype=np.float64, copy=True).reshape(n, nrhs)
+    bnorm = np.linalg.norm(B, axis=0)
+    safe = np.where(bnorm > 0.0, bnorm, 1.0)
+    active = bnorm > 0.0
+    histories: list[list[float]] = [[] for _ in range(nrhs)]
+    matvecs = 0
+    residuals = np.zeros(nrhs)
+    while active.any() and matvecs < maxiter:
+        R = B - matvec(X)
+        matvecs += 1
+        beta = np.linalg.norm(R, axis=0)
+        residuals = beta / safe
+        active &= residuals > tol
+        if not active.any() or matvecs >= maxiter:
+            break
+        m = min(restart, maxiter - matvecs)
+        V = np.zeros((m + 1, n, nrhs))
+        H = np.zeros((m + 1, m, nrhs))
+        cs = np.zeros((m, nrhs))
+        sn = np.zeros((m, nrhs))
+        g = np.zeros((m + 1, nrhs))
+        cols = np.flatnonzero(active)
+        for c in cols:
+            V[0, :, c] = R[:, c] / beta[c]
+            g[0, c] = beta[c]
+        live = active.copy()
+        k_used = np.zeros(nrhs, dtype=np.int64)
+        for k in range(m):
+            # frozen columns ride along as zeros; their output is unused
+            W = np.array(
+                matvec(V[k] * live[None, :]), dtype=np.float64, copy=True
+            )
+            matvecs += 1
+            for c in np.flatnonzero(live):
+                w = W[:, c]
+                for j in range(k + 1):
+                    H[j, k, c] = V[j, :, c] @ w
+                    w -= H[j, k, c] * V[j, :, c]
+                H[k + 1, k, c] = np.linalg.norm(w)
+                if H[k + 1, k, c] > 1e-14 * g[0, c]:
+                    V[k + 1, :, c] = w / H[k + 1, k, c]
+                for j in range(k):
+                    t = cs[j, c] * H[j, k, c] + sn[j, c] * H[j + 1, k, c]
+                    H[j + 1, k, c] = (
+                        -sn[j, c] * H[j, k, c] + cs[j, c] * H[j + 1, k, c]
+                    )
+                    H[j, k, c] = t
+                denom = np.hypot(H[k, k, c], H[k + 1, k, c])
+                if denom == 0.0:
+                    cs[k, c], sn[k, c] = 1.0, 0.0
+                else:
+                    cs[k, c] = H[k, k, c] / denom
+                    sn[k, c] = H[k + 1, k, c] / denom
+                H[k, k, c] = denom
+                H[k + 1, k, c] = 0.0
+                g[k + 1, c] = -sn[k, c] * g[k, c]
+                g[k, c] = cs[k, c] * g[k, c]
+                k_used[c] = k + 1
+                histories[c].append(abs(g[k + 1, c]) / safe[c])
+                if histories[c][-1] <= tol:
+                    live[c] = False
+            if not live.any() or matvecs >= maxiter:
+                break
+        for c in cols:
+            ku = int(k_used[c])
+            if ku:
+                y = np.linalg.solve(H[:ku, :ku, c], g[:ku, c])
+                X[:, c] += V[:ku, :, c].T @ y
+    R = B - matvec(X)
+    matvecs += 1
+    residuals = np.linalg.norm(R, axis=0) / safe
+    return BlockGMRESResult(
+        x=X,
+        converged=bool(np.all(residuals <= tol)),
+        matvecs=matvecs,
+        residuals=residuals,
+        histories=histories,
+    )

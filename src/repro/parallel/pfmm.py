@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import sanitize as _san
-from repro.core.evaluator import resolve_kernels
+from repro.core.evaluator import coerce_density, resolve_kernels
 from repro.core.fftm2l import FFTM2L
 from repro.core.fmm import FMMOptions
 from repro.core.plan import (
@@ -241,9 +241,8 @@ def _fft_v_list_parallel(
                 offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
                 tensor = fft.kernel_tensor_hat(level, offset)
                 if acc is None:
-                    acc = np.zeros(
-                        tensor.shape[0:1] + tensor.shape[2:], dtype=np.complex128
-                    )
+                    nfreq = fft.m * fft.m * (fft.m // 2 + 1)
+                    acc = np.zeros((tensor.shape[0], nfreq), dtype=np.complex128)
                 fft.accumulate(acc, tensor, phi_hat[int(ai)])
             if acc is not None:
                 dc[bi] += fft.check_potential(acc)
@@ -470,6 +469,17 @@ class RankFMM:
         only decides whether the scatter wait happens before or after
         the owned passes (i.e. whether the in-flight exchange is hidden
         behind them).
+
+        ``local_density`` may be a stacked block — ``(ns, sdof, nrhs)``
+        or a flat ``(ns * sdof, nrhs)`` — in which case the whole block
+        rides ONE overlapped exchange: density rows widen to
+        ``sdof * nrhs`` and per-box equivalent-density payloads to
+        ``nrhs`` contiguous surface vectors, so latency and coordinate
+        traffic are paid once per block instead of once per column.
+        Stages that feed the regularised ``uc2ue``/``dc2de`` inverses
+        loop columns with hoisted operators (bitwise column parity with
+        single-RHS applies); direct-to-potential stages fold the RHS
+        axis into wider GEMMs.
         """
         timer = timer if timer is not None else PhaseTimer()
         tree, plan, cache = self.tree, self.plan, self.cache
@@ -477,25 +487,35 @@ class RankFMM:
         sdof, out_dof = self.src_k.source_dof, self.trg_k.target_dof
         n_surf = cache.n_surf
         nb = plan.nboxes
+        ns = tree.sources.shape[0]
         nt = tree.targets.shape[0]
         pool = plan.buffers
         san = self.options.sanitize or _san.enabled()
         pool.sanitize = san
-        phi = np.asarray(local_density, dtype=np.float64).reshape(
-            tree.sources.shape[0], sdof
+        phi3, nrhs, single = coerce_density(
+            np.asarray(local_density, dtype=np.float64), ns, sdof
         )
         if san:
-            _san.check_finite(phi, "input", "local density",
+            _san.check_finite(phi3, "input", "local density",
                               rows_are="points")
-        phi_sorted = phi[tree.src_perm]
+        # The exchange payload keeps points on the leading axis with all
+        # right-hand sides packed into the row: one exchange, nrhs-wide.
+        phi_sorted = np.ascontiguousarray(phi3[tree.src_perm]).reshape(
+            ns, sdof * nrhs
+        )
+        # RHS-major view for the column-looped upward pass.
+        phi_rm = np.ascontiguousarray(
+            phi_sorted.reshape(ns, sdof, nrhs).transpose(2, 0, 1)
+        )
         rec = current_recorder()
         if rec is not None:
             rec.register(f"rank{comm.rank}:phi_sorted", phi_sorted)
             rec.write(phi_sorted, "sort-density")
 
-        ue = pool.zeros("p_ue", (nb, n_surf * md))
+        ue = pool.zeros("p_ue", (nb, nrhs * n_surf * md))
+        ue3 = ue.reshape(nb, nrhs, n_surf * md)
         with timer.phase("up"):
-            self._upward(ue, phi_sorted)
+            self._upward(ue3, phi_rm)
         if rec is not None:
             rec.register(f"rank{comm.rank}:ue", ue)
             rec.write(ue, "upward-partial")
@@ -503,7 +523,10 @@ class RankFMM:
             _san.check_finite(ue, "up", "partial upward equivalent densities")
 
         lay = self.layout
-        ext_phi = pool.empty("p_ext_phi", (self.ext_points.shape[0], sdof))
+        ext_phi = pool.empty(
+            "p_ext_phi", (self.ext_points.shape[0], sdof * nrhs)
+        )
+        ext_phi3 = ext_phi.reshape(self.ext_points.shape[0], sdof, nrhs)
         if rec is not None:
             rec.register(f"rank{comm.rank}:ext_phi", ext_phi)
         exch = ApplyExchange(
@@ -514,15 +537,15 @@ class RankFMM:
         if not overlap:
             exch.finish()
 
-        dc = pool.zeros("p_dc", (nb, n_surf * qd))
-        de = pool.zeros("p_de", (nb, n_surf * md))
-        pot_sorted = pool.zeros("p_pot", (nt, out_dof))
+        dc3 = pool.zeros("p_dc", (nrhs, nb, n_surf * qd))
+        de3 = pool.zeros("p_de", (nrhs, nb, n_surf * md))
+        pot3 = pool.zeros("p_pot", (nrhs, nt, out_dof))
 
         # Owned-data passes: with overlap on, these run while the
         # equivalent-density/ghost-density scatter is still in flight.
-        self._near_u(self.u_own, ext_phi, pot_sorted, timer)
-        self._near_w(self.w_own, ue, pot_sorted, timer)
-        v_state = self._v_owned(ue, dc, timer)
+        self._near_u(self.u_own, ext_phi3, pot3, timer)
+        self._near_w(self.w_own, ue3, pot3, timer)
+        v_state = self._v_owned(ue3, dc3, timer)
 
         if overlap:
             exch.finish()
@@ -534,68 +557,90 @@ class RankFMM:
                               "global upward equivalent densities")
 
         # Ghost-dependent passes.
-        self._v_ghost(ue, dc, v_state, timer)
-        self._downward(ext_phi, dc, de, pot_sorted, timer)
-        self._near_u(self.u_ghost, ext_phi, pot_sorted, timer)
-        self._near_w(self.w_ghost, ue, pot_sorted, timer)
+        self._v_ghost(ue3, dc3, v_state, timer)
+        self._downward(ext_phi3, dc3, de3, pot3, timer)
+        self._near_u(self.u_ghost, ext_phi3, pot3, timer)
+        self._near_w(self.w_ghost, ue3, pot3, timer)
         if san:
-            _san.check_finite(pot_sorted, "output", "potentials",
+            _san.check_finite(pot3, "output", "potentials",
                               rows_are="targets")
 
-        potential = np.empty((nt, out_dof))
-        potential[tree.trg_perm] = pot_sorted
+        if single:
+            potential = np.empty((nt, out_dof))
+            potential[tree.trg_perm] = pot3[0]
+        else:
+            potential = np.empty((nt, out_dof, nrhs))
+            potential[tree.trg_perm] = pot3.transpose(1, 2, 0)
         if san:
             _san.check_escape(potential, pool, "RankFMM.apply")
         return potential
 
     # -- stages -----------------------------------------------------------
 
-    def _upward(self, ue: np.ndarray, phi_sorted: np.ndarray) -> None:
-        """Partial upward pass (local sources only), level batched."""
+    def _upward(self, ue3: np.ndarray, phi_rm: np.ndarray) -> None:
+        """Partial upward pass (local sources only), level batched.
+
+        Feeds the regularised ``uc2ue`` inverse, so columns are looped
+        with per-level operators hoisted: every column performs exactly
+        the arithmetic of a single-RHS apply (bitwise column parity).
+        """
         cache, plan, src_k = self.cache, self.plan, self.src_k
         n_surf = cache.n_surf
         qd, sdof = self.kernel.target_dof, src_k.source_dof
+        nrhs = ue3.shape[1]
         pool = plan.buffers
         zero3 = np.zeros(3)
         for ul in plan.up_levels:
-            check = pool.zeros("p_up_check", (ul.boxes.size, n_surf * qd))
+            check = pool.zeros(
+                "p_up_check", (nrhs, ul.boxes.size, n_surf * qd)
+            )
             if ul.s2m_rows.size:
                 chk_pts = cache.up_check_points(zero3, ul.level)
-                phi_cat = phi_sorted[ul.s2m_src_pos].reshape(-1)
+                phi_cat = phi_rm[:, ul.s2m_src_pos].reshape(nrhs, -1)
                 max_pts = max(1, MAX_BLOCK_ENTRIES // (n_surf * qd * sdof))
                 for lo, hi in chunk_segments(ul.s2m_seg, max_pts):
                     p0, p1 = int(ul.s2m_seg[lo]), int(ul.s2m_seg[hi])
                     K = src_k.matrix_local(chk_pts, ul.s2m_pts[p0:p1])
-                    vals = K * phi_cat[p0 * sdof : p1 * sdof][None, :]
                     cols = (ul.s2m_seg[lo:hi] - p0) * sdof
-                    check[ul.s2m_rows[lo:hi]] += np.add.reduceat(
-                        vals, cols, axis=1
-                    ).T
+                    rows = ul.s2m_rows[lo:hi]
+                    for r in range(nrhs):
+                        vals = K * phi_cat[r, p0 * sdof : p1 * sdof][None, :]
+                        check[r][rows] += np.add.reduceat(
+                            vals, cols, axis=1
+                        ).T
             for octant, kids, rows in ul.m2m_groups:
                 M = cache.m2m_check(ul.level + 1, octant)
                 if pool.sanitize:
-                    _san.guard_gemm(check, ue, M,
+                    _san.guard_gemm(check, ue3, M,
                                     site=f"p-m2m level {ul.level}")
-                check[rows] += ue[kids] @ M.T
+                for r in range(nrhs):
+                    check[r][rows] += ue3[kids, r] @ M.T
             U = cache.uc2ue(ul.level)
             if pool.sanitize:
-                _san.guard_gemm(ue, check, U,
+                _san.guard_gemm(ue3, check, U,
                                 site=f"p-uc2ue level {ul.level}")
-            ue[ul.boxes] = check @ U.T
+            for r in range(nrhs):
+                ue3[ul.boxes, r] = check[r] @ U.T
             pool.release("p_up_check")
 
     def _near_u(
         self,
         blocks: NearBlocks,
-        ext_phi: np.ndarray,
-        pot_sorted: np.ndarray,
+        ext_phi3: np.ndarray,
+        pot3: np.ndarray,
         timer: PhaseTimer,
     ) -> None:
-        """U-list near field over one ownership split of the partners."""
+        """U-list near field over one ownership split of the partners.
+
+        Direct to potentials (no ill-conditioned inverse downstream), so
+        the RHS axis folds into one GEMM per chunk that streams the
+        kernel block once for the whole batch.
+        """
         if blocks.boxes.size == 0:
             return
         plan, dir_k = self.plan, self.dir_k
         sdof, out_dof = self.src_k.source_dof, self.trg_k.target_dof
+        nrhs = pot3.shape[0]
         with timer.phase("down_u"):
             for i, bi in enumerate(blocks.boxes):
                 t0, t1 = int(blocks.trg_start[i]), int(blocks.trg_stop[i])
@@ -610,22 +655,27 @@ class RankFMM:
                     K = dir_k.matrix_local(
                         trg_pts, self.ext_points[pos[c0:c1]] - ctr
                     )
-                    pot_sorted[t0:t1] += (
-                        K @ ext_phi[pos[c0:c1]].reshape(-1)
-                    ).reshape(ntr, out_dof)
+                    xs = ext_phi3[pos[c0:c1]].reshape(-1, nrhs)
+                    pot3[:, t0:t1] += (K @ xs).reshape(
+                        ntr, out_dof, nrhs
+                    ).transpose(2, 0, 1)
 
     def _near_w(
         self,
         blocks: NearBlocks,
-        ue: np.ndarray,
-        pot_sorted: np.ndarray,
+        ue3: np.ndarray,
+        pot3: np.ndarray,
         timer: PhaseTimer,
     ) -> None:
-        """W-list pass over one ownership split of the partner boxes."""
+        """W-list pass over one ownership split of the partner boxes.
+
+        Direct to potentials, so the RHS axis folds like the U list.
+        """
         if blocks.boxes.size == 0:
             return
         plan, cache, trg_k = self.plan, self.cache, self.trg_k
         out_dof = trg_k.target_dof
+        nrhs = pot3.shape[0]
         with timer.phase("down_w"):
             sgrid = surface_grid(cache.p)
             hw = cache.root_side / np.power(2.0, np.arange(plan.depth + 1)) / 2.0
@@ -640,51 +690,67 @@ class RankFMM:
                     + rad[:, None, None] * sgrid[None, :, :]
                 ).reshape(-1, 3)
                 K = trg_k.matrix_local(plan.targets_sorted[t0:t1] - ctr, eq_pts)
-                pot_sorted[t0:t1] += (K @ ue[partners].reshape(-1)).reshape(
-                    t1 - t0, out_dof
-                )
+                xs = ue3[partners].transpose(0, 2, 1).reshape(-1, nrhs)
+                pot3[:, t0:t1] += (K @ xs).reshape(
+                    t1 - t0, out_dof, nrhs
+                ).transpose(2, 0, 1)
 
     def _v_owned(
-        self, ue: np.ndarray, dc: np.ndarray, timer: PhaseTimer
+        self, ue3: np.ndarray, dc3: np.ndarray, timer: PhaseTimer
     ) -> list[tuple[np.ndarray, np.ndarray]] | None:
         """Forward-FFT owned V sources and accumulate owned classes.
 
         Returns the per-level ``(phi_hat, acc)`` state the ghost pass
         completes (plain arrays, not pool buffers: the state must
-        survive the interleaved passes of the overlap window).
+        survive the interleaved passes of the overlap window).  Columns
+        are looped with the translation tensors hoisted — the V result
+        feeds the ``dc2de`` inverse, so every column must repeat the
+        single-RHS arithmetic exactly.
         """
         plan, cache, fft = self.plan, self.cache, self.fft
         md, qd = self.kernel.source_dof, self.kernel.target_dof
+        nrhs = dc3.shape[0]
         with timer.phase("down_v"):
             if fft is None:
                 for vl, sp in zip(plan.v_levels, self.v_splits):
                     for offset, spos, tpos in sp.own_classes:
                         T = cache.m2l_check(vl.level, offset)
-                        dc[vl.trg_boxes[tpos]] += (
-                            ue[vl.src_boxes[spos]] @ T.T
-                        )
+                        for r in range(nrhs):
+                            dc3[r][vl.trg_boxes[tpos]] += (
+                                ue3[vl.src_boxes[spos], r] @ T.T
+                            )
                 return None
-            m, mf = fft.m, fft.m // 2 + 1
+            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
             state: list[tuple[np.ndarray, np.ndarray]] = []
             for vl, sp in zip(plan.v_levels, self.v_splits):
                 nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
-                phi_hat = np.empty((nsb, md, m, m, mf), dtype=np.complex128)
-                acc = np.zeros((ntb, qd, m, m, mf), dtype=np.complex128)
+                phi_hat = np.empty(
+                    (nrhs, nsb, md, nfreq), dtype=np.complex128
+                )
+                acc = np.zeros((nrhs, ntb, qd, nfreq), dtype=np.complex128)
                 if sp.own_rows.size:
-                    grid = np.zeros((sp.own_rows.size, md, m, m, m))
-                    phi_hat[sp.own_rows] = fft.density_hat_many(
-                        ue[vl.src_boxes[sp.own_rows]], grid
-                    )
+                    rows = vl.src_boxes[sp.own_rows]
+                    for r in range(nrhs):
+                        phi_hat[r][sp.own_rows] = fft.forward_rows(
+                            ue3[rows, r],
+                            np.empty(
+                                (sp.own_rows.size, md, nfreq),
+                                dtype=np.complex128,
+                            ),
+                        )
                 for offset, spos, tpos in sp.own_classes:
                     tensor = fft.kernel_tensor_hat(vl.level, offset)
-                    fft.accumulate_many(acc, tensor, phi_hat[spos], tpos)
+                    for r in range(nrhs):
+                        fft.accumulate_many(
+                            acc[r], tensor, phi_hat[r][spos], tpos
+                        )
                 state.append((phi_hat, acc))
         return state
 
     def _v_ghost(
         self,
-        ue: np.ndarray,
-        dc: np.ndarray,
+        ue3: np.ndarray,
+        dc3: np.ndarray,
         state: list[tuple[np.ndarray, np.ndarray]] | None,
         timer: PhaseTimer,
     ) -> None:
@@ -692,45 +758,62 @@ class RankFMM:
         plan, cache, fft = self.plan, self.cache, self.fft
         if not plan.v_levels:
             return
+        nrhs = dc3.shape[0]
         with timer.phase("down_v"):
             if fft is None:
                 for vl, sp in zip(plan.v_levels, self.v_splits):
                     for offset, spos, tpos in sp.ghost_classes:
                         T = cache.m2l_check(vl.level, offset)
-                        dc[vl.trg_boxes[tpos]] += (
-                            ue[vl.src_boxes[spos]] @ T.T
-                        )
+                        for r in range(nrhs):
+                            dc3[r][vl.trg_boxes[tpos]] += (
+                                ue3[vl.src_boxes[spos], r] @ T.T
+                            )
                 return
             md = self.kernel.source_dof
-            m = fft.m
+            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
             assert state is not None
             for (vl, sp), (phi_hat, acc) in zip(
                 zip(plan.v_levels, self.v_splits), state
             ):
                 if sp.ghost_rows.size:
-                    grid = np.zeros((sp.ghost_rows.size, md, m, m, m))
-                    phi_hat[sp.ghost_rows] = fft.density_hat_many(
-                        ue[vl.src_boxes[sp.ghost_rows]], grid
-                    )
+                    rows = vl.src_boxes[sp.ghost_rows]
+                    for r in range(nrhs):
+                        phi_hat[r][sp.ghost_rows] = fft.forward_rows(
+                            ue3[rows, r],
+                            np.empty(
+                                (sp.ghost_rows.size, md, nfreq),
+                                dtype=np.complex128,
+                            ),
+                        )
                 for offset, spos, tpos in sp.ghost_classes:
                     tensor = fft.kernel_tensor_hat(vl.level, offset)
-                    fft.accumulate_many(acc, tensor, phi_hat[spos], tpos)
-                dc[vl.trg_boxes] += fft.check_potential_many(acc)
+                    for r in range(nrhs):
+                        fft.accumulate_many(
+                            acc[r], tensor, phi_hat[r][spos], tpos
+                        )
+                for r in range(nrhs):
+                    dc3[r][vl.trg_boxes] += fft.inverse_rows(acc[r])
 
     def _downward(
         self,
-        ext_phi: np.ndarray,
-        dc: np.ndarray,
-        de: np.ndarray,
-        pot_sorted: np.ndarray,
+        ext_phi3: np.ndarray,
+        dc3: np.ndarray,
+        de3: np.ndarray,
+        pot3: np.ndarray,
         timer: PhaseTimer,
     ) -> None:
-        """L2L / X / dc2de / L2T sweep over the LET (ghost X data)."""
+        """L2L / X / dc2de / L2T sweep over the LET (ghost X data).
+
+        Columns loop with per-level/per-box operators hoisted: L2L, X
+        and dc2de all feed the regularised downward inverse, and the
+        L2T einsum beats a strided batched GEMM at leaf sizes.
+        """
         plan, cache = self.plan, self.cache
         src_k, trg_k = self.src_k, self.trg_k
         md = self.kernel.source_dof
         n_surf = cache.n_surf
         out_dof = trg_k.target_dof
+        nrhs = pot3.shape[0]
         zero3 = np.zeros(3)
         pool = plan.buffers
         for dl in plan.down_levels:
@@ -738,9 +821,10 @@ class RankFMM:
                 for octant, kids, parents in dl.l2l_groups:
                     L = cache.l2l_check(dl.level, octant)
                     if pool.sanitize:
-                        _san.guard_gemm(dc, de, L,
+                        _san.guard_gemm(dc3, de3, L,
                                         site=f"p-l2l level {dl.level}")
-                    dc[kids] += de[parents] @ L.T
+                    for r in range(nrhs):
+                        dc3[r][kids] += de3[r][parents] @ L.T
             if dl.x_boxes.size:
                 with timer.phase("down_x"):
                     chk_pts = cache.down_check_points(zero3, dl.level)
@@ -750,28 +834,37 @@ class RankFMM:
                         K = src_k.matrix_local(
                             chk_pts, self.ext_points[pos] - plan.centers[bi]
                         )
-                        dc[bi] += K @ ext_phi[pos].reshape(-1)
+                        xs = ext_phi3[pos].transpose(2, 0, 1).reshape(
+                            nrhs, -1
+                        )
+                        for r in range(nrhs):
+                            dc3[r, bi] += K @ xs[r]
             with timer.phase("eval"):
                 if dl.dc_boxes.size:
                     D = cache.dc2de(dl.level)
                     if pool.sanitize:
-                        _san.guard_gemm(de, dc, D,
+                        _san.guard_gemm(de3, dc3, D,
                                         site=f"p-dc2de level {dl.level}")
-                    de[dl.dc_boxes] = dc[dl.dc_boxes] @ D.T
+                    for r in range(nrhs):
+                        de3[r][dl.dc_boxes] = dc3[r][dl.dc_boxes] @ D.T
                 if dl.l2t_boxes.size:
                     eq_pts = cache.down_equiv_points(zero3, dl.level)
-                    de_rows = np.repeat(
-                        de[dl.l2t_boxes], np.diff(dl.l2t_seg), axis=0
-                    )
+                    reps = np.diff(dl.l2t_seg)
+                    de_rows = [
+                        np.repeat(de3[r][dl.l2t_boxes], reps, axis=0)
+                        for r in range(nrhs)
+                    ]
                     npts = int(dl.l2t_seg[-1])
                     step = max(1, MAX_BLOCK_ENTRIES // (out_dof * n_surf * md))
                     for p0 in range(0, npts, step):
                         p1 = min(npts, p0 + step)
                         K = trg_k.matrix_local(dl.l2t_pts[p0:p1], eq_pts)
                         K3 = K.reshape(p1 - p0, out_dof, n_surf * md)
-                        pot_sorted[dl.l2t_trg_pos[p0:p1]] += np.einsum(
-                            "tqm,tm->tq", K3, de_rows[p0:p1]
-                        )
+                        tp = dl.l2t_trg_pos[p0:p1]
+                        for r in range(nrhs):
+                            pot3[r][tp] += np.einsum(
+                                "tqm,tm->tq", K3, de_rows[r][p0:p1]
+                            )
 
 
 def rank_setup(
@@ -1006,7 +1099,10 @@ def run_parallel_fmm(
     )
     opts = options or FMMOptions()
     points = np.asarray(points, dtype=np.float64)
-    density = np.asarray(density, dtype=np.float64).reshape(points.shape[0], -1)
+    density3, nrhs, single = coerce_density(
+        np.asarray(density, dtype=np.float64),
+        points.shape[0], src_k.source_dof,
+    )
     parts = partition_points(points, nranks)
     timers = [PhaseTimer() for _ in range(nranks)]
     use_plan = _planned_eligible((kernel, src_k, trg_k, dir_k), opts)
@@ -1026,29 +1122,42 @@ def run_parallel_fmm(
                 source_kernel=source_kernel, target_kernel=target_kernel,
                 direct_kernel=direct_kernel, timer=timers[comm.rank],
             )
+            dloc = density3[idx]
+            if single:
+                dloc = dloc[:, :, 0]
             for _ in range(napplies):
                 pot = state.apply(
-                    comm, density[idx],
+                    comm, dloc,
                     timer=timers[comm.rank], overlap=overlap,
                 )
             return pot, comm.stats
     else:
 
         def rank_main(comm: SimComm, idx: np.ndarray):
+            # The per-box reference path loops columns (every rank loops
+            # the same count, so the SPMD message rounds stay aligned).
+            dloc = density3[idx]
             for _ in range(napplies):
-                pot = parallel_evaluate(
-                    comm, kernel, points[idx], density[idx],
-                    options=options, timer=timers[comm.rank],
-                    source_kernel=source_kernel, target_kernel=target_kernel,
-                    direct_kernel=direct_kernel, cache=cache,
-                )
+                cols = [
+                    parallel_evaluate(
+                        comm, kernel, points[idx],
+                        np.ascontiguousarray(dloc[:, :, r]),
+                        options=options, timer=timers[comm.rank],
+                        source_kernel=source_kernel,
+                        target_kernel=target_kernel,
+                        direct_kernel=direct_kernel, cache=cache,
+                    )
+                    for r in range(nrhs)
+                ]
+            pot = cols[0] if single else np.stack(cols, axis=2)
             return pot, comm.stats
 
     outputs = run_spmd(
         nranks, rank_main, PerRank(parts),
         trace=trace, schedule_seed=schedule_seed, race=race,
     )
-    potential = np.zeros((points.shape[0], trg_k.target_dof))
+    out_shape = (points.shape[0], trg_k.target_dof)
+    potential = np.zeros(out_shape if single else out_shape + (nrhs,))
     for idx, (pot, _) in zip(parts, outputs):
         potential[idx] = pot
     return ParallelFMMResult(
@@ -1160,17 +1269,28 @@ class ParallelFMM:
         trace=None,
         schedule_seed: int | None = None,
     ) -> np.ndarray:
-        """Evaluate the operator for one density (original point order)."""
+        """Evaluate the operator for one density (original point order).
+
+        Stacked blocks — ``(n, source_dof, nrhs)`` or a flat
+        ``(n * source_dof, nrhs)`` — evaluate every column in one
+        batched SPMD pass: each rank's whole RHS block rides a single
+        overlapped exchange.  Returns ``(n, target_dof)`` potentials,
+        with a trailing ``nrhs`` axis for stacked blocks.
+        """
         if self._states is None or self._parts is None:
             raise RuntimeError("ParallelFMM.apply before setup()")
-        density = np.asarray(density, dtype=np.float64).reshape(
-            self._npoints, -1
+        density3, nrhs, single = coerce_density(
+            np.asarray(density, dtype=np.float64),
+            self._npoints, self.src_k.source_dof,
         )
         overlap = self.overlap
 
         def rank_main(comm: SimComm, state: RankFMM, idx: np.ndarray):
+            dloc = density3[idx]
+            if single:
+                dloc = dloc[:, :, 0]
             pot = state.apply(
-                comm, density[idx],
+                comm, dloc,
                 timer=self.timers[comm.rank], overlap=overlap,
             )
             return pot, comm.stats
@@ -1182,11 +1302,19 @@ class ParallelFMM:
         for mine, (_, stats) in zip(self.comm_stats, outputs):
             mine.merge(stats)
         self.napplies += 1
-        potential = np.zeros((self._npoints, self.trg_k.target_dof))
+        out_shape = (self._npoints, self.trg_k.target_dof)
+        potential = np.zeros(out_shape if single else out_shape + (nrhs,))
         for idx, (pot, _) in zip(self._parts, outputs):
             potential[idx] = pot
         return potential
 
     def matvec(self, flat: np.ndarray) -> np.ndarray:
-        """Flat-vector apply, the shape GMRES wants."""
-        return self.apply(np.asarray(flat)).ravel()
+        """Flat-vector apply, the shape GMRES wants.
+
+        A 2-D ``(n * source_dof, nrhs)`` block (block Krylov solvers)
+        maps to the stacked ``(n * target_dof, nrhs)`` result.
+        """
+        out = self.apply(np.asarray(flat))
+        if out.ndim == 3:
+            return out.reshape(-1, out.shape[2])
+        return out.ravel()

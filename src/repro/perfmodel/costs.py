@@ -57,12 +57,17 @@ def compute_work(
     m2l: str = "fft",
     global_nsrc: np.ndarray | None = None,
     global_ntrg: np.ndarray | None = None,
+    nrhs: int = 1,
 ) -> PhaseWork:
     """Flop volumes of one interaction evaluation.
 
     ``global_nsrc``/``global_ntrg`` default to the tree's own counts;
     they are overridable so scaled particle counts can be modelled on a
-    structurally-identical tree.
+    structurally-identical tree.  ``nrhs`` scales every phase linearly —
+    a batched multi-RHS apply performs each translation, transform and
+    kernel product once per right-hand side (index building, kernel
+    assembly and tree traversal are amortised but cost no flops, so the
+    flop model is exactly linear even though wall-clock time is not).
     """
     if m2l not in ("fft", "dense"):
         raise ValueError(f"m2l must be 'fft' or 'dense', got {m2l}")
@@ -89,7 +94,9 @@ def compute_work(
     grid = 2 * p
     nfreq = grid * grid * (grid // 2 + 1)
     hadamard_flops = 8.0 * qd * md * nfreq
-    fft_flops = 5.0 * grid**3 * np.log2(grid**3)
+    # Forward/inverse transforms are GEMM-DFTs over the n_surf surface
+    # nodes (two real GEMMs each), matching FFTM2L.flops_per_fft.
+    fft_flops = 4.0 * nfreq * n_surf
 
     up = np.zeros(nb)
     down_u = np.zeros(nb)
@@ -141,7 +148,7 @@ def compute_work(
             if m2l == "dense":
                 down_v[i] += nv * m2l_dense_flops
             else:
-                down_v[i] += nv * hadamard_flops + md * fft_flops  # + inverse FFT
+                down_v[i] += nv * hadamard_flops + qd * fft_flops  # + inverse DFT
                 for a in lists.V[i]:
                     if nsrc[a] > 0 and v_outdeg[a] > 0:
                         down_v[i] += md * fft_flops / v_outdeg[a]
@@ -159,8 +166,8 @@ def compute_work(
                     down_w[i] += ntrg[i] * n_surf * fpp
 
     return PhaseWork(
-        up=up, down_u=down_u, down_v=down_v, down_w=down_w,
-        down_x=down_x, eval=evalw,
+        up=up * nrhs, down_u=down_u * nrhs, down_v=down_v * nrhs,
+        down_w=down_w * nrhs, down_x=down_x * nrhs, eval=evalw * nrhs,
     )
 
 
@@ -169,13 +176,18 @@ def communication_volumes(
     lists: InteractionLists,
     kernel: Kernel,
     p: int,
+    nrhs: int = 1,
 ) -> tuple[list[list[int]], list[list[int]], np.ndarray, np.ndarray]:
     """Raw material for the communication model.
 
     Returns ``(equiv_uses, source_uses, equiv_bytes, source_bytes)``:
     for every box, which *target* boxes consume its upward equivalent
     density (V/W lists) or its ghost source data (U/X lists), plus the
-    per-box message sizes in bytes.
+    per-box message sizes in bytes.  ``nrhs`` widens the per-box
+    density payloads (equivalent densities and ghost source strengths
+    carry one column per right-hand side) while coordinates are sent
+    once regardless of the block width — the reason a blocked exchange
+    beats ``nrhs`` single-RHS exchanges on latency *and* volume.
     """
     nb = tree.nboxes
     n_surf = n_surface_points(p)
@@ -194,8 +206,9 @@ def communication_volumes(
             for a in lists.U[i]:
                 if a != i:
                     source_uses[a].append(i)
-    equiv_bytes = np.full(nb, 8.0 * n_surf * md)
+    equiv_bytes = np.full(nb, 8.0 * n_surf * md * nrhs)
     source_bytes = np.array(
-        [8.0 * b.nsrc * (3 + md) for b in tree.boxes], dtype=np.float64
+        [8.0 * b.nsrc * (3 + md * nrhs) for b in tree.boxes],
+        dtype=np.float64,
     )
     return equiv_uses, source_uses, equiv_bytes, source_bytes

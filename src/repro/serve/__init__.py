@@ -1,0 +1,26 @@
+"""Micro-batching asynchronous evaluation service.
+
+The serving front door over the persistent multi-RHS operator: an
+asyncio service that accepts single-density evaluation requests,
+micro-batches them (max-batch / max-delay policy) into one blocked
+multi-RHS apply per batch against a shared operator keyed by
+``(kernel, level, p)``, and reports per-request latency percentiles and
+throughput under a synthetic load generator.
+"""
+
+from repro.serve.load import LoadReport, run_load
+from repro.serve.service import (
+    EvaluationService,
+    OperatorRegistry,
+    ServiceStats,
+    percentile_summary,
+)
+
+__all__ = [
+    "EvaluationService",
+    "LoadReport",
+    "OperatorRegistry",
+    "ServiceStats",
+    "percentile_summary",
+    "run_load",
+]

@@ -1,0 +1,113 @@
+"""Synthetic heavy-traffic load generator for the evaluation service.
+
+Drives an :class:`~repro.serve.service.EvaluationService` with Poisson
+arrivals (exponential inter-arrival gaps at a target request rate) of
+random densities, awaits every response, and reports the per-request
+latency percentiles, sustained throughput and batching statistics the
+serve smoke job asserts on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.service import EvaluationService, percentile_summary
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one synthetic load run."""
+
+    requests: int
+    completed: int
+    dropped: int
+    duration: float
+    throughput: float  # completed requests per second
+    p50: float
+    p95: float
+    p99: float
+    batches: int
+    mean_batch: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "duration_s": self.duration,
+            "throughput_rps": self.throughput,
+            "latency_p50_s": self.p50,
+            "latency_p95_s": self.p95,
+            "latency_p99_s": self.p99,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+        }
+
+
+async def _drive(
+    service: EvaluationService,
+    key: tuple[str, int, int],
+    densities: list[np.ndarray],
+    gaps: np.ndarray,
+) -> tuple[int, int]:
+    """Launch requests on the Poisson schedule; await all responses."""
+    tasks: list[asyncio.Task] = []
+    for density, gap in zip(densities, gaps):
+        tasks.append(asyncio.ensure_future(service.evaluate(key, density)))
+        if gap > 0.0:
+            await asyncio.sleep(float(gap))
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    failed = sum(1 for r in results if isinstance(r, BaseException))
+    return len(results) - failed, failed
+
+
+def run_load(
+    service: EvaluationService,
+    key: tuple[str, int, int],
+    nrequests: int = 64,
+    rate: float = 500.0,
+    seed: int = 0,
+) -> LoadReport:
+    """One synchronous load run: start, drive, stop, report.
+
+    ``rate`` is the mean Poisson arrival rate in requests/second; the
+    draws use a seeded generator so runs are reproducible.
+    """
+    if nrequests < 1:
+        raise ValueError(f"nrequests must be >= 1, got {nrequests}")
+    if rate <= 0.0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    op = service.registry.get(key)
+    n = op.tree.sources.shape[0]
+    dof = op.kernel.source_dof
+    rng = np.random.default_rng(seed)
+    densities = [rng.standard_normal((n, dof)) for _ in range(nrequests)]
+    gaps = rng.exponential(1.0 / rate, size=nrequests)
+
+    async def main() -> tuple[int, int, float]:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        completed, failed = await _drive(service, key, densities, gaps)
+        duration = loop.time() - t0
+        await service.stop()
+        return completed, failed, duration
+
+    completed, failed, duration = asyncio.run(main())
+    stats = service.stats
+    pct = percentile_summary(stats.latencies)
+    return LoadReport(
+        requests=nrequests,
+        completed=completed,
+        dropped=failed,
+        duration=duration,
+        throughput=completed / duration if duration > 0 else 0.0,
+        p50=pct["p50"],
+        p95=pct["p95"],
+        p99=pct["p99"],
+        batches=stats.batches,
+        mean_batch=stats.mean_batch,
+    )

@@ -112,3 +112,68 @@ class TestFMMPath:
         F = drag_force(op, phi, op.body_slices()[0])
         # wall effect: force exceeds the isolated-sphere drag
         assert F[0] > 6 * np.pi * 1.01
+
+
+class TestBlockMatvec:
+    def test_block_forms_match_column_matvecs(self, unit_sphere_op, rng):
+        op = unit_sphere_op
+        n = op.n
+        block3 = rng.standard_normal((n, 3, 4))
+        flat = op.matvec(block3.reshape(3 * n, 4))
+        assert flat.shape == (3 * n, 4)
+        stacked = op.matvec(block3)
+        assert np.array_equal(stacked, flat)
+        wide = op.matvec(block3.reshape(n, 12))
+        assert np.array_equal(wide.reshape(3 * n, 4), flat)
+        for c in range(4):
+            single = op.matvec(block3[:, :, c].ravel())
+            err = np.linalg.norm(flat[:, c] - single) / np.linalg.norm(single)
+            assert err < 1e-12
+
+    def test_fmm_block_matvec_one_apply_per_block(self, rng):
+        s = SphereSurface(np.zeros(3), 1.0, 400)
+        op = StokesSingleLayer(
+            [s], mu=1.0, use_fmm=True, options=FMMOptions(p=4, max_points=60)
+        )
+        before = op.matvec_count
+        block = rng.standard_normal((3 * op.n, 5))
+        out = op.matvec(block)
+        assert out.shape == (3 * op.n, 5)
+        assert op.matvec_count == before + 1  # one blocked evaluation
+        for c in range(5):
+            single = op.matvec(np.ascontiguousarray(block[:, c]))
+            err = (np.linalg.norm(out[:, c] - single)
+                   / np.linalg.norm(single))
+            assert err < 1e-12
+
+    def test_solve_block_matches_column_solves(self, unit_sphere_op):
+        op = unit_sphere_op
+        n = op.n
+        U = np.zeros((n, 3, 2))
+        U[:, 2, 0] = 1.0  # translation along z
+        U[:, 0, 1] = 1.0  # translation along x
+        res = op.solve_block(U, tol=1e-8)
+        assert res.converged
+        for c, direction in enumerate((2, 0)):
+            single = solve_single_layer(
+                op, U[:, :, c], tol=1e-8
+            )
+            diff = np.linalg.norm(res.x[:, c] - single.ravel())
+            assert diff / np.linalg.norm(single) < 1e-6
+
+    def test_solve_block_saves_matvecs(self, unit_sphere_op):
+        op = unit_sphere_op
+        n = op.n
+        U = np.zeros((3 * n, 3))
+        U[2::3, 0] = 1.0
+        U[0::3, 1] = 1.0
+        U[1::3, 2] = 1.0
+        before = op.matvec_count
+        res = op.solve_block(U, tol=1e-7)
+        blocked = op.matvec_count - before
+        assert res.converged
+        before = op.matvec_count
+        for c in range(3):
+            op.solve(np.ascontiguousarray(U[:, c]), tol=1e-7)
+        looped = op.matvec_count - before
+        assert blocked < looped

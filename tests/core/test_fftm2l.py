@@ -23,9 +23,8 @@ def test_fft_matches_dense(kernel, offset, rng):
     level = 2
     ue = rng.standard_normal(cache.n_surf * kernel.source_dof)
     dense = cache.m2l_check(level, offset) @ ue
-    acc = np.zeros(
-        (kernel.target_dof, fft.m, fft.m, fft.m // 2 + 1), dtype=np.complex128
-    )
+    nfreq = fft.m * fft.m * (fft.m // 2 + 1)
+    acc = np.zeros((kernel.target_dof, nfreq), dtype=np.complex128)
     fft.accumulate(acc, fft.kernel_tensor_hat(level, offset), fft.density_hat(ue))
     via_fft = fft.check_potential(acc)
     assert np.allclose(via_fft, dense, atol=1e-10 * max(1.0, np.abs(dense).max()))
@@ -40,7 +39,7 @@ def test_accumulation_is_additive(rng):
     ue1 = rng.standard_normal(cache.n_surf)
     ue2 = rng.standard_normal(cache.n_surf)
     o1, o2 = (2, 0, 0), (0, 3, -1)
-    acc = np.zeros((1, fft.m, fft.m, fft.m // 2 + 1), dtype=np.complex128)
+    acc = np.zeros((1, fft.m * fft.m * (fft.m // 2 + 1)), dtype=np.complex128)
     fft.accumulate(acc, fft.kernel_tensor_hat(level, o1), fft.density_hat(ue1))
     fft.accumulate(acc, fft.kernel_tensor_hat(level, o2), fft.density_hat(ue2))
     combined = fft.check_potential(acc)

@@ -88,3 +88,79 @@ class TestEdgeCases:
 
         gmres(matvec, rng.standard_normal(8), tol=1e-10)
         assert len(calls) >= 1
+
+
+class TestBlockGMRES:
+    def test_block_matches_column_solves(self, rng):
+        from repro.linalg import gmres_block
+
+        A = rng.standard_normal((20, 20)) + 10 * np.eye(20)
+        B = rng.standard_normal((20, 4))
+        res = gmres_block(_mv(A), B, tol=1e-10)
+        assert res.converged
+        assert res.x.shape == (20, 4)
+        assert np.all(res.residuals <= 1e-10)
+        for c in range(4):
+            single = gmres(_mv(A), B[:, c], tol=1e-10)
+            assert np.linalg.norm(res.x[:, c] - single.x) < 1e-8
+
+    def test_blocked_matvecs_amortize(self, rng):
+        """One blocked apply per Arnoldi step, not one per column."""
+        from repro.linalg import gmres_block
+
+        A = rng.standard_normal((30, 30)) + 15 * np.eye(30)
+        B = rng.standard_normal((30, 6))
+        blocked_calls = []
+
+        def matvec(x):
+            blocked_calls.append(1)
+            return A @ x
+
+        res = gmres_block(matvec, B, tol=1e-10)
+        assert res.converged
+        assert res.matvecs == len(blocked_calls)
+        single_calls = []
+
+        def matvec1(x):
+            single_calls.append(1)
+            return A @ x
+
+        for c in range(6):
+            gmres(matvec1, B[:, c], tol=1e-10)
+        assert len(blocked_calls) < len(single_calls)
+
+    def test_single_column_vector_rhs(self, rng):
+        from repro.linalg import gmres_block
+
+        A = rng.standard_normal((12, 12)) + 8 * np.eye(12)
+        b = rng.standard_normal(12)
+        res = gmres_block(_mv(A), b, tol=1e-10)
+        assert res.x.shape == (12, 1)
+        assert res.converged
+
+    def test_zero_column_stays_zero(self, rng):
+        from repro.linalg import gmres_block
+
+        A = rng.standard_normal((10, 10)) + 8 * np.eye(10)
+        B = np.zeros((10, 2))
+        B[:, 1] = rng.standard_normal(10)
+        res = gmres_block(_mv(A), B, tol=1e-10)
+        assert res.converged
+        assert np.all(res.x[:, 0] == 0.0)
+
+    def test_maxiter_reports_failure(self, rng):
+        from repro.linalg import gmres_block
+
+        A = np.triu(np.ones((40, 40))) - 0.99 * np.eye(40)
+        res = gmres_block(_mv(A), rng.standard_normal((40, 3)),
+                          tol=1e-14, maxiter=3)
+        assert not res.converged
+        assert np.all(res.residuals > 0)
+
+    def test_restart_cycles_converge(self, rng):
+        from repro.linalg import gmres_block
+
+        A = rng.standard_normal((40, 40)) + 12 * np.eye(40)
+        B = rng.standard_normal((40, 3))
+        res = gmres_block(_mv(A), B, tol=1e-9, restart=5)
+        assert res.converged

@@ -1,0 +1,190 @@
+"""The micro-batching evaluation service: parity, policy, reporting.
+
+The serve-layer claims: concurrent asyncio requests come back with
+exactly the answers direct applies produce (batching changes the
+schedule, not the mathematics), the max-batch/max-delay policy bounds
+batch sizes, failures surface on the requester (never silently
+dropped), and the load generator completes every request with sane
+percentile ordering.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels import LaplaceKernel, StokesKernel
+from repro.kernels.direct import relative_error
+from repro.serve import (
+    EvaluationService,
+    OperatorRegistry,
+    percentile_summary,
+    run_load,
+)
+
+from tests.conftest import uniform_cloud
+
+
+def _registry(rng, kernel, n=400, p=4, mp=30):
+    pts = uniform_cloud(rng, n)
+    registry = OperatorRegistry()
+    key = registry.register(kernel, pts, FMMOptions(p=p, max_points=mp))
+    return registry, key
+
+
+@pytest.mark.parametrize(
+    "kernel", [LaplaceKernel(), StokesKernel(mu=0.7)],
+    ids=["laplace", "stokes"],
+)
+def test_concurrent_requests_match_direct_applies(rng, kernel):
+    registry, key = _registry(rng, kernel)
+    op = registry.get(key)
+    n, dof = 400, kernel.source_dof
+    densities = [rng.standard_normal((n, dof)) for _ in range(10)]
+    service = EvaluationService(registry, max_batch=4, max_delay=0.01)
+
+    async def main():
+        await service.start()
+        results = await asyncio.gather(
+            *(service.evaluate(key, d) for d in densities)
+        )
+        await service.stop()
+        return results
+
+    results = asyncio.run(main())
+    for density, out in zip(densities, results):
+        direct = op.apply(density)
+        assert out.shape == direct.shape
+        assert relative_error(out, direct) < 1e-12
+    assert service.stats.completed == len(densities)
+    assert service.stats.dropped == 0
+    # a concurrent burst must actually batch
+    assert service.stats.batches < len(densities)
+    assert service.stats.mean_batch > 1.0
+
+
+def test_max_batch_bounds_block_width(rng):
+    registry, key = _registry(rng, LaplaceKernel())
+    service = EvaluationService(registry, max_batch=3, max_delay=0.05)
+    densities = [rng.standard_normal((400, 1)) for _ in range(8)]
+
+    async def main():
+        await service.start()
+        out = await asyncio.gather(
+            *(service.evaluate(key, d) for d in densities)
+        )
+        await service.stop()
+        return out
+
+    asyncio.run(main())
+    stats = service.stats
+    assert stats.batched_requests == 8
+    # no batch may exceed max_batch: 8 requests need at least ceil(8/3)
+    assert stats.batches >= 3
+
+
+def test_max_batch_one_disables_batching(rng):
+    registry, key = _registry(rng, LaplaceKernel())
+    service = EvaluationService(registry, max_batch=1, max_delay=0.0)
+    densities = [rng.standard_normal((400, 1)) for _ in range(5)]
+
+    async def main():
+        await service.start()
+        out = await asyncio.gather(
+            *(service.evaluate(key, d) for d in densities)
+        )
+        await service.stop()
+        return out
+
+    asyncio.run(main())
+    assert service.stats.batches == 5
+    assert service.stats.mean_batch == 1.0
+
+
+def test_bad_request_surfaces_on_the_caller(rng):
+    registry, key = _registry(rng, LaplaceKernel())
+    service = EvaluationService(registry, max_batch=4, max_delay=0.0)
+
+    async def main():
+        await service.start()
+        try:
+            with pytest.raises(ValueError):
+                await service.evaluate(key, rng.standard_normal(13))
+        finally:
+            await service.stop()
+
+    asyncio.run(main())
+    assert service.stats.dropped == 1
+
+
+def test_unknown_key_raises():
+    registry = OperatorRegistry()
+    with pytest.raises(KeyError, match="no operator registered"):
+        registry.get(("laplace", 3, 4))
+
+
+def test_registry_keys_by_kernel_level_p(rng):
+    registry = OperatorRegistry()
+    pts = uniform_cloud(rng, 300)
+    key = registry.register(
+        LaplaceKernel(), pts, FMMOptions(p=4, max_points=30)
+    )
+    op = registry.get(key)
+    assert key == ("laplace", op.tree.depth, 4)
+    key2 = registry.register(
+        StokesKernel(), pts, FMMOptions(p=4, max_points=30)
+    )
+    assert key2[0] == "stokes" and key2 != key
+    assert registry.keys() == sorted([key, key2])
+
+
+def test_evaluate_before_start_raises(rng):
+    registry, key = _registry(rng, LaplaceKernel())
+    service = EvaluationService(registry)
+
+    async def main():
+        await service.evaluate(key, np.zeros((400, 1)))
+
+    with pytest.raises(RuntimeError, match="before start"):
+        asyncio.run(main())
+
+
+def test_load_generator_completes_everything(rng):
+    registry, key = _registry(rng, LaplaceKernel(), n=300)
+    service = EvaluationService(registry, max_batch=8, max_delay=0.002)
+    report = run_load(service, key, nrequests=24, rate=2000.0, seed=3)
+    assert report.completed == 24
+    assert report.dropped == 0
+    assert report.throughput > 0.0
+    assert 0.0 <= report.p50 <= report.p95 <= report.p99
+    assert report.batches >= 1
+    d = report.as_dict()
+    assert d["requests"] == 24 and d["dropped"] == 0
+
+
+def test_percentile_summary_empty_and_ordering():
+    assert percentile_summary([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    pct = percentile_summary(list(range(100)))
+    assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+
+def test_batched_answers_match_for_stokes_load(rng):
+    """End-to-end: every load-generated Stokes request answered right."""
+    kernel = StokesKernel(mu=0.7)
+    registry, key = _registry(rng, kernel, n=300, mp=35)
+    op = registry.get(key)
+    service = EvaluationService(registry, max_batch=4, max_delay=0.005)
+    densities = [rng.standard_normal((300, 3)) for _ in range(6)]
+
+    async def main():
+        await service.start()
+        out = await asyncio.gather(
+            *(service.evaluate(key, d) for d in densities)
+        )
+        await service.stop()
+        return out
+
+    results = asyncio.run(main())
+    for density, out in zip(densities, results):
+        assert relative_error(out, op.apply(density)) < 1e-12
