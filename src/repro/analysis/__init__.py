@@ -18,8 +18,14 @@ tooling" and § "Race detection & sanitizers"):
   guards).
 - :mod:`repro.analysis.lint` — an ``ast``-based lint of repo invariants
   (flop accounting, thread confinement, dtype width, buffer-pool
-  escapes, mutable defaults, request completion) run as
-  ``python -m repro.analysis.lint src/``.
+  escapes, mutable defaults, request completion, plan-stage metadata)
+  run as ``python -m repro.analysis.lint src/``.
+- :mod:`repro.analysis.planir` / :mod:`repro.analysis.plancheck` — the
+  static plan verifier (``repro plancheck``): compiled execution plans
+  extracted as a dataflow IR and certified without running an apply —
+  buffer liveness, dtype-flow with explicit-narrowing enforcement,
+  overlap-schedule happens-before consistency, and an exact flop-budget
+  identity against the performance model, plus seeded-defect self-tests.
 """
 
 from repro.analysis.commcheck import CommReport, Finding, check_trace, compare_traces
@@ -27,17 +33,52 @@ from repro.analysis.racecheck import AccessRecord, Race, RaceDetector, RaceRepor
 from repro.analysis.sanitize import SanitizerError
 from repro.analysis.trace import CommTrace, TraceEvent, payload_digest
 
+# The plan-verifier modules import the evaluation core, whose modules in
+# turn import this package (for the runtime sanitizers) — so their names
+# resolve lazily (PEP 562) to keep the import graph acyclic.
+_PLAN_EXPORTS = {
+    "PlanIR": "planir",
+    "extract_plan_ir": "planir",
+    "extract_rank_ir": "planir",
+    "PlanReport": "plancheck",
+    "certify_parallel": "plancheck",
+    "certify_sequential": "plancheck",
+    "run_checks": "plancheck",
+    "run_selftests": "plancheck",
+}
+
+
+def __getattr__(name: str):
+    if name in _PLAN_EXPORTS:
+        import importlib
+
+        mod = importlib.import_module(
+            f"repro.analysis.{_PLAN_EXPORTS[name]}"
+        )
+        return getattr(mod, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 __all__ = [
     "AccessRecord",
     "CommReport",
     "CommTrace",
     "Finding",
+    "PlanIR",
+    "PlanReport",
     "Race",
     "RaceDetector",
     "RaceReport",
     "SanitizerError",
     "TraceEvent",
+    "certify_parallel",
+    "certify_sequential",
     "check_trace",
     "compare_traces",
+    "extract_plan_ir",
+    "extract_rank_ir",
     "payload_digest",
+    "run_checks",
+    "run_selftests",
 ]

@@ -24,6 +24,9 @@ Rule catalog (details in ``docs/architecture.md``):
 - ``mutable-default`` — no mutable default argument values.
 - ``request-waited`` — every ``irecv`` Request in ``repro/parallel/``
   must reach ``wait()``/``waitall()`` or escape to a caller.
+- ``stage-metadata`` — every ``@plan_stage`` class must declare a
+  literal ``stage_meta = StageMeta(reads=..., writes=..., dtype=...)``
+  with all three named keywords (the plan verifier's dataflow source).
 
 Paths are scoped by the file's position inside the ``repro`` package
 (the path segment from the last ``repro`` component), so fixture trees
@@ -485,6 +488,93 @@ class RequestWaitedRule(Rule):
                     )
 
 
+class StageMetadataRule(Rule):
+    name = "stage-metadata"
+    rationale = (
+        "The static plan verifier (repro plancheck) reconstructs the "
+        "dataflow of compiled plans from each stage class's StageMeta "
+        "declaration; a @plan_stage class without a literal "
+        "`stage_meta = StageMeta(reads=..., writes=..., dtype=...)` "
+        "assignment — all three as named keywords — leaves the IR "
+        "extractor blind to that stage's buffer traffic, so no plan "
+        "containing it can be certified.  The runtime registry rejects "
+        "a missing attribute at import time; this rule enforces the "
+        "full shape statically, before anything is imported."
+    )
+
+    _REQUIRED = ("reads", "writes", "dtype")
+
+    @staticmethod
+    def _is_plan_stage(dec: ast.AST) -> bool:
+        return (isinstance(dec, ast.Name) and dec.id == "plan_stage") or (
+            isinstance(dec, ast.Attribute) and dec.attr == "plan_stage"
+        )
+
+    @staticmethod
+    def _is_stage_meta_call(node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and (
+            (isinstance(node.func, ast.Name) and node.func.id == "StageMeta")
+            or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "StageMeta"
+            )
+        )
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(self._is_plan_stage(d) for d in node.decorator_list):
+                continue
+            assign: ast.Assign | ast.AnnAssign | None = None
+            for stmt in node.body:
+                targets: list[ast.AST] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                if any(
+                    isinstance(t, ast.Name) and t.id == "stage_meta"
+                    for t in targets
+                ):
+                    assign = stmt
+            if assign is None or assign.value is None:
+                yield self._v(
+                    mod, node.lineno,
+                    f"plan stage {node.name!r} has no "
+                    f"`stage_meta = StageMeta(...)` class attribute",
+                )
+                continue
+            call = assign.value
+            if not self._is_stage_meta_call(call):
+                yield self._v(
+                    mod, assign.lineno,
+                    f"plan stage {node.name!r}: stage_meta must be a "
+                    f"literal StageMeta(...) call",
+                )
+                continue
+            present = {kw.arg for kw in call.keywords if kw.arg}
+            missing = [k for k in self._REQUIRED if k not in present]
+            if missing:
+                yield self._v(
+                    mod, assign.lineno,
+                    f"plan stage {node.name!r}: StageMeta missing named "
+                    f"keyword(s) {', '.join(missing)} — positional or "
+                    f"absent arguments hide the dataflow declaration",
+                )
+            for kw in call.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Constant)
+                    and not kw.value.value
+                ):
+                    yield self._v(
+                        mod, kw.value.lineno,
+                        f"plan stage {node.name!r}: StageMeta dtype must "
+                        f"name the stage's output dtype",
+                    )
+
+
 RULES: tuple[Rule, ...] = (
     FlopsAccountedRule(),
     ThreadConfinementRule(),
@@ -492,6 +582,7 @@ RULES: tuple[Rule, ...] = (
     BufferPoolEscapeRule(),
     MutableDefaultRule(),
     RequestWaitedRule(),
+    StageMetadataRule(),
 )
 
 
@@ -504,6 +595,17 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield p
 
 
+def lint_module(mod: Module, rules: Sequence[Rule] = RULES) -> list[Violation]:
+    """Run every rule over one parsed module, honouring line waivers."""
+    violations: list[Violation] = []
+    for rule in rules:
+        for v in rule.check(mod):
+            if rule.name in mod.allows.get(v.line, ()):
+                continue
+            violations.append(v)
+    return violations
+
+
 def run_lint(
     paths: Iterable[str | Path], rules: Sequence[Rule] = RULES
 ) -> list[Violation]:
@@ -513,17 +615,20 @@ def run_lint(
     """
     violations: list[Violation] = []
     for path in iter_python_files(paths):
-        mod = parse_module(path)
-        for rule in rules:
-            for v in rule.check(mod):
-                if rule.name in mod.allows.get(v.line, ()):
-                    continue
-                violations.append(v)
+        violations.extend(lint_module(parse_module(path), rules))
     violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
     return violations
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Exit status: 0 clean, 1 violations found, 2 usage error — a named
+    path that does not exist, a file that cannot be read or parsed, or a
+    path set that matches no Python files at all.  Every skipped input
+    is reported; a lint run that silently linted nothing must not be
+    mistakable for a clean one.
+    """
     args = list(sys.argv[1:] if argv is None else argv)
     if "--list-rules" in args:
         for rule in RULES:
@@ -533,12 +638,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args:
         print("usage: python -m repro.analysis.lint [--list-rules] PATH...")
         return 2
-    violations = run_lint(args)
+    usage_error = False
+    existing: list[str] = []
+    for arg in args:
+        if Path(arg).exists():
+            existing.append(arg)
+        else:
+            print(f"lint: error: path {arg!r} does not exist",
+                  file=sys.stderr)
+            usage_error = True
+    files = list(iter_python_files(existing))
+    if not files:
+        print("lint: error: no Python files found under "
+              f"{', '.join(repr(a) for a in args)}", file=sys.stderr)
+        return 2
+    violations: list[Violation] = []
+    for path in files:
+        try:
+            mod = parse_module(path)
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            print(f"lint: error: skipped {path}: {exc}", file=sys.stderr)
+            usage_error = True
+            continue
+        violations.extend(lint_module(mod))
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
     for v in violations:
         print(v)
-    nfiles = len(list(iter_python_files(args)))
     status = "clean" if not violations else f"{len(violations)} violation(s)"
-    print(f"lint: {nfiles} file(s), {len(RULES)} rule(s) — {status}")
+    print(f"lint: {len(files)} file(s), {len(RULES)} rule(s) — {status}")
+    if usage_error:
+        return 2
     return 1 if violations else 0
 
 

@@ -11,6 +11,7 @@ Examples::
     python -m repro commcheck --ranks 4 --n 600 --schedules 5
     python -m repro racecheck --ranks 4 --schedules 5 --applies 2
     python -m repro racecheck --seed-race
+    python -m repro plancheck --json plancheck.json
     python -m repro lint src/
 """
 
@@ -343,6 +344,126 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_plancheck(args: argparse.Namespace) -> int:
+    """Statically certify every CI plan configuration — no apply runs.
+
+    Sweeps the full configuration matrix (kernels × m2l modes × nrhs ×
+    sequential + every rank count × overlap on/off), extracts each
+    compiled plan's dataflow IR and certifies buffer liveness,
+    dtype-flow, overlap-schedule happens-before consistency and the
+    exact flop-budget identity against the performance model.  There is
+    no waiver mechanism: any finding fails the run.  Unless
+    ``--no-selftest`` is given, the seeded-defect self-tests (reordered
+    wait, silently narrowed dtype, dead store) also run, each required
+    to be caught by exactly the intended check.  ``--json`` writes the
+    machine-readable report (per-check counts, flop-budget deltas).
+    """
+    import json
+
+    from repro.analysis.plancheck import (
+        rank_ir,
+        rank_states,
+        run_checks,
+        run_selftests,
+        sequential_ir,
+    )
+    from repro.core.fftm2l import FFTM2L
+    from repro.core.precompute import OperatorCache
+    from repro.parallel.pfmm import _global_root
+
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    kernels = [k for k in args.kernels.split(",") if k]
+    ranks_list = _parse_ints(args.ranks)
+    nrhs_list = _parse_ints(args.nrhs)
+    failed = False
+    configs: list[dict] = []
+    selftest_ir = None
+
+    def record(report, config: dict) -> None:
+        nonlocal failed
+        configs.append({
+            **config,
+            "ok": report.ok,
+            "counts": report.counts,
+            "flop_deltas": report.flop_deltas(),
+            "findings": [str(f) for f in report.findings],
+        })
+        print(report.summary())
+        for f in report.findings:
+            print(f"  {f}")
+        failed |= not report.ok
+
+    for kname in kernels:
+        kernel = _make_kernel(kname)
+        corner, side = _global_root(pts)
+        shared_cache = OperatorCache(kernel, args.p, side)
+        shared_fft = FFTM2L(shared_cache)
+        for m2l in ("fft", "dense"):
+            opts = FMMOptions(p=args.p, max_points=args.s, m2l=m2l)
+            fmm = KIFMM(kernel, opts).setup(pts)
+            for nrhs in nrhs_list:
+                ir, expected = sequential_ir(fmm, nrhs)
+                name = f"{kname}/{m2l}/sequential/nrhs{nrhs}"
+                record(run_checks(ir, expected, name=name), {
+                    "kernel": kname, "m2l": m2l, "mode": "sequential",
+                    "depth": ir.meta["depth"], "p": args.p, "nrhs": nrhs,
+                    "ranks": 1, "overlap": None,
+                })
+            for nranks in ranks_list:
+                states = rank_states(
+                    kernel, pts, opts, nranks,
+                    cache=shared_cache if m2l == "fft" else None,
+                    fft=shared_fft if m2l == "fft" else None,
+                )
+                for nrhs in nrhs_list:
+                    for overlap in (True, False):
+                        for r, state in enumerate(states):
+                            ir, expected = rank_ir(
+                                state, nrhs=nrhs, overlap=overlap,
+                            )
+                            ov = "on" if overlap else "off"
+                            name = (f"{kname}/{m2l}/ranks{nranks}/"
+                                    f"overlap-{ov}/nrhs{nrhs}/rank{r}")
+                            record(run_checks(ir, expected, name=name), {
+                                "kernel": kname, "m2l": m2l,
+                                "mode": "parallel",
+                                "depth": ir.meta["depth"], "p": args.p,
+                                "nrhs": nrhs, "ranks": nranks,
+                                "rank": r, "overlap": overlap,
+                            })
+                            if selftest_ir is None and overlap:
+                                selftest_ir = (ir, expected)
+
+    selftests: list[dict] = []
+    if not args.no_selftest:
+        if selftest_ir is None:
+            print("plancheck: no multi-rank overlap IR for self-tests")
+            failed = True
+        else:
+            for name, ok, detail in run_selftests(*selftest_ir):
+                print(f"selftest {name}: {'ok' if ok else 'FAILED'} "
+                      f"({detail})")
+                selftests.append(
+                    {"seed": name, "ok": ok, "detail": detail}
+                )
+                failed |= not ok
+
+    if args.json:
+        payload = {
+            "n": int(pts.shape[0]), "p": args.p, "s": args.s,
+            "configs": configs, "selftests": selftests,
+            "ok": not failed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"plancheck: JSON report written to {args.json}")
+    print("plancheck:", "FAILED" if failed
+          else f"all {len(configs)} plan configurations certified "
+               f"(zero waivers)")
+    return 1 if failed else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -472,6 +593,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail (exit 1) if p99 latency exceeds this many "
                          "seconds — the CI smoke assertion")
     pv.set_defaults(func=_cmd_serve, p=4, s=60)
+
+    pp = sub.add_parser(
+        "plancheck",
+        help="statically certify the compiled execution plans (dataflow, "
+             "dtype-flow, overlap schedule, flop budget) without running "
+             "an apply",
+    )
+    common(pp)
+    pp.add_argument("--n", type=int, default=600)
+    pp.add_argument("--kernels", default="laplace,stokes",
+                    help="comma-separated kernels to sweep")
+    pp.add_argument("--ranks", default="2,4",
+                    help="comma-separated rank counts for the parallel "
+                         "configurations (sequential always runs)")
+    pp.add_argument("--nrhs", default="1,8",
+                    help="comma-separated multi-RHS block widths")
+    pp.add_argument("--no-selftest", action="store_true",
+                    help="skip the seeded-defect self-tests")
+    pp.add_argument("--json", default=None, metavar="PATH",
+                    help="write the machine-readable certification report "
+                         "(per-check counts, flop-budget deltas)")
+    pp.set_defaults(func=_cmd_plancheck, p=4, s=40)
 
     pl = sub.add_parser(
         "lint", help="run the repo-invariant AST lint over source trees"

@@ -60,6 +60,53 @@ OCTANT_VECTORS = np.array(
 )
 
 
+@dataclass(frozen=True)
+class StageMeta:
+    """Static dataflow declaration of one plan-stage class.
+
+    ``reads``/``writes`` name the *buffer families* the stage touches
+    during an apply (``"phi"``, ``"check"``, ``"ue"``, ``"vhat"``,
+    ``"dc"``, ``"de"``, ``"ext_phi"``, ``"pot"``); concrete IR regions
+    are per level or per ownership split (``"ue@3"``, ``"ue:ghost"``).
+    ``dtype`` is the dtype family of the stage's persistent outputs.
+
+    The plan-IR extractor (:mod:`repro.analysis.planir`) cross-checks
+    every emitted IR node against its stage's declaration, and the
+    ``stage-metadata`` lint rule rejects any :func:`plan_stage` class
+    that does not declare a complete ``StageMeta``.
+    """
+
+    reads: tuple[str, ...]
+    writes: tuple[str, ...]
+    dtype: str
+
+
+#: Registry of plan-stage classes, by class name.  Populated by
+#: :func:`plan_stage`; consumed by the static plan verifier.
+PLAN_STAGES: dict[str, type] = {}
+
+
+def plan_stage(cls: type) -> type:
+    """Register ``cls`` as a plan stage (requires ``stage_meta``).
+
+    Validation happens at class-creation time so an incomplete stage
+    declaration is an import error, not a latent verifier blind spot.
+    """
+    meta = cls.__dict__.get("stage_meta")
+    if not isinstance(meta, StageMeta):
+        raise TypeError(
+            f"plan stage {cls.__name__!r} must declare a "
+            f"`stage_meta = StageMeta(...)` class attribute"
+        )
+    if not (meta.reads or meta.writes) or not meta.dtype:
+        raise TypeError(
+            f"plan stage {cls.__name__!r} metadata must name at least one "
+            f"read or write buffer family and a dtype"
+        )
+    PLAN_STAGES[cls.__name__] = cls
+    return cls
+
+
 def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     """Concatenation of ``arange(starts[i], stops[i])`` as one int64 array.
 
@@ -188,6 +235,7 @@ class BufferPool:
         return sum(b.nbytes for b in self._store.values())
 
 
+@plan_stage
 @dataclass
 class UpLevel:
     """Upward-pass work at one level (source boxes only).
@@ -208,7 +256,12 @@ class UpLevel:
     s2m_seg: np.ndarray
     m2m_groups: list[tuple[int, np.ndarray, np.ndarray]]
 
+    stage_meta = StageMeta(
+        reads=("phi", "ue"), writes=("check", "ue"), dtype="float64"
+    )
 
+
+@plan_stage
 @dataclass
 class VLevel:
     """All effective V-list pairs of one level, grouped two ways.
@@ -236,11 +289,16 @@ class VLevel:
     classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
     po_groups: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
 
+    stage_meta = StageMeta(
+        reads=("ue", "vhat"), writes=("vhat", "dc"), dtype="float64"
+    )
+
     @property
     def npairs(self) -> int:
         return sum(len(s) for _, s, _ in self.classes)
 
 
+@plan_stage
 @dataclass
 class DownLevel:
     """Downward-pass work at one level (target boxes only).
@@ -263,6 +321,12 @@ class DownLevel:
     x_boxes: np.ndarray
     x_seg: np.ndarray
     x_src_pos: np.ndarray
+
+    stage_meta = StageMeta(
+        reads=("phi", "ext_phi", "dc", "de"),
+        writes=("dc", "de", "pot"),
+        dtype="float64",
+    )
 
 
 @dataclass
@@ -320,6 +384,7 @@ class ExecutionPlan:
         }
 
 
+@plan_stage
 @dataclass
 class NearBlocks:
     """Per-target-box grouping of near-field (U/W/X style) pairs.
@@ -334,6 +399,10 @@ class NearBlocks:
     trg_stop: np.ndarray
     seg: np.ndarray
     src_pos: np.ndarray
+
+    stage_meta = StageMeta(
+        reads=("phi", "ext_phi", "ue"), writes=("pot",), dtype="float64"
+    )
 
 
 def build_near_blocks(

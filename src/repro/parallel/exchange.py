@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.plan import StageMeta, plan_stage
 from repro.parallel.simmpi import Request, SimComm, current_recorder
 from repro.util.timing import PhaseTimer
 
@@ -257,6 +258,7 @@ def exchange_source_geometry(
     return result
 
 
+@plan_stage
 @dataclass
 class ExchangePlan:
     """One rank's role in the per-apply exchange of one payload kind.
@@ -275,6 +277,10 @@ class ExchangePlan:
     owned: list[tuple[int, list[int], bool, list[int], bool]]
     #: Boxes this rank uses but does not own: ``(box, owner)``.
     recv_from: list[tuple[int, int]]
+
+    stage_meta = StageMeta(
+        reads=("phi", "ue"), writes=("ue", "ext_phi"), dtype="float64"
+    )
 
 
 def build_exchange_plan(

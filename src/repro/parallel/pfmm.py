@@ -29,10 +29,12 @@ from repro.core.plan import (
     MAX_BLOCK_ENTRIES,
     ExecutionPlan,
     NearBlocks,
+    StageMeta,
     build_near_blocks,
     build_plan,
     build_w_blocks,
     chunk_segments,
+    plan_stage,
 )
 from repro.core.precompute import OperatorCache
 from repro.core.surfaces import surface_grid
@@ -378,6 +380,7 @@ def _global_root(
     return center - side / 2.0, side
 
 
+@plan_stage
 @dataclass
 class _VSplit:
     """One V level's pairs split by source-box ownership.
@@ -391,6 +394,10 @@ class _VSplit:
     ghost_rows: np.ndarray
     own_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
     ghost_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+
+    stage_meta = StageMeta(
+        reads=("ue", "vhat"), writes=("vhat", "dc"), dtype="float64"
+    )
 
 
 class RankFMM:

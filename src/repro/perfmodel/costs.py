@@ -8,7 +8,12 @@ implementation actually performs, not asymptotic estimates.
 
 Downward-phase work is attributed to the *target* box (whose contributor
 ranks redundantly perform it in the parallel algorithm) and upward work
-to the *source* box.
+to the *source* box.  The one exception is the V-list forward transform:
+the planned evaluator forward-FFTs each effective source box once per
+level, so its cost sits on the *source* box — this keeps the per-phase
+totals an exact identity with the evaluator's flop counter, which the
+static plan verifier (``repro plancheck``) certifies configuration by
+configuration.
 """
 
 from __future__ import annotations
@@ -58,16 +63,23 @@ def compute_work(
     global_nsrc: np.ndarray | None = None,
     global_ntrg: np.ndarray | None = None,
     nrhs: int = 1,
+    up_nsrc: np.ndarray | None = None,
 ) -> PhaseWork:
     """Flop volumes of one interaction evaluation.
 
     ``global_nsrc``/``global_ntrg`` default to the tree's own counts;
     they are overridable so scaled particle counts can be modelled on a
-    structurally-identical tree.  ``nrhs`` scales every phase linearly —
-    a batched multi-RHS apply performs each translation, transform and
-    kernel product once per right-hand side (index building, kernel
-    assembly and tree traversal are amortised but cost no flops, so the
-    flop model is exactly linear even though wall-clock time is not).
+    structurally-identical tree.  ``up_nsrc`` (default ``global_nsrc``)
+    gates and sizes the *upward* pass separately: a rank of the parallel
+    algorithm performs its partial upward pass over its **local** source
+    counts while its downward partners are gated by **global** counts,
+    so modelling one rank's LET passes ``global_nsrc=ptree.global_nsrc``
+    together with ``up_nsrc=<local counts>``.  ``nrhs`` scales every
+    phase linearly — a batched multi-RHS apply performs each
+    translation, transform and kernel product once per right-hand side
+    (index building, kernel assembly and tree traversal are amortised
+    but cost no flops, so the flop model is exactly linear even though
+    wall-clock time is not).
     """
     if m2l not in ("fft", "dense"):
         raise ValueError(f"m2l must be 'fft' or 'dense', got {m2l}")
@@ -85,6 +97,11 @@ def compute_work(
         np.asarray(global_ntrg, dtype=np.float64)
         if global_ntrg is not None
         else np.array([b.ntrg for b in boxes], dtype=np.float64)
+    )
+    unsrc = (
+        np.asarray(up_nsrc, dtype=np.float64)
+        if up_nsrc is not None
+        else nsrc
     )
 
     pinv_flops = 2.0 * (n_surf * md) * (n_surf * qd)
@@ -105,13 +122,16 @@ def compute_work(
     down_x = np.zeros(nb)
     evalw = np.zeros(nb)
 
-    # Out-degree of each source box in the V graph, to amortise its
-    # forward FFT over the targets that consume it.
-    v_outdeg = np.zeros(nb)
+    # Which V-graph source boxes feed at least one target that actually
+    # holds targets: exactly those get a forward transform (once per
+    # level) in the planned evaluator, attributed here to the source box
+    # that performs it.
+    v_feeds = np.zeros(nb, dtype=bool)
     if m2l == "fft":
         for b in boxes:
-            for a in lists.V[b.index]:
-                v_outdeg[a] += 1.0
+            if ntrg[b.index] > 0:
+                for a in lists.V[b.index]:
+                    v_feeds[a] = True
 
     # Which boxes actually carry downward data: a box inverts its check
     # potential (and a leaf evaluates L2T) only if it or an ancestor
@@ -127,15 +147,16 @@ def compute_work(
 
     for b in boxes:
         i = b.index
-        has_src = nsrc[i] > 0
         has_trg = ntrg[i] > 0
-        if has_src:
+        if unsrc[i] > 0:
             if b.is_leaf:
-                up[i] += n_surf * nsrc[i] * fpp  # S2M check evaluation
+                up[i] += n_surf * unsrc[i] * fpp  # S2M check evaluation
             else:
-                nkids = sum(1 for c in b.children if nsrc[c] > 0)
+                nkids = sum(1 for c in b.children if unsrc[c] > 0)
                 up[i] += nkids * m2m_flops
             up[i] += pinv_flops  # uc2ue inversion
+        if m2l == "fft" and nsrc[i] > 0 and v_feeds[i]:
+            down_v[i] += md * fft_flops  # forward transform of this source
 
         if not has_trg:
             continue
@@ -149,9 +170,6 @@ def compute_work(
                 down_v[i] += nv * m2l_dense_flops
             else:
                 down_v[i] += nv * hadamard_flops + qd * fft_flops  # + inverse DFT
-                for a in lists.V[i]:
-                    if nsrc[a] > 0 and v_outdeg[a] > 0:
-                        down_v[i] += md * fft_flops / v_outdeg[a]
         for a in lists.X[i]:
             if nsrc[a] > 0:
                 down_x[i] += n_surf * nsrc[a] * fpp

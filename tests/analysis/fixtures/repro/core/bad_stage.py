@@ -1,0 +1,13 @@
+"""Seeded stage-metadata violation: StageMeta missing the dtype keyword."""
+
+from dataclasses import dataclass
+
+from repro.core.plan import StageMeta, plan_stage
+
+
+@plan_stage
+@dataclass
+class BadStage:
+    boxes: object
+
+    stage_meta = StageMeta(reads=("phi",), writes=("check",))  # seeded violation: stage-metadata

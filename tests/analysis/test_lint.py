@@ -15,6 +15,7 @@ EXPECTED = {
     ("mutable-default", "bad_default.py"),
     ("thread-confinement", "bad_threading.py"),
     ("request-waited", "bad_request.py"),
+    ("stage-metadata", "bad_stage.py"),
 }
 
 
@@ -44,6 +45,39 @@ def test_escape_hatch_waives_only_named_rule():
     # the same violation without the allow comment is reported
     bad = FIXTURES / "repro" / "core" / "bad_dtype.py"
     assert [v.rule for v in run_lint([bad])] == ["dtype-width"]
+
+
+def test_cli_exits_nonzero_on_missing_path(capsys):
+    """A named path that does not exist is a usage error, not a clean run."""
+    assert main(["does/not/exist"]) == 2
+    err = capsys.readouterr().err
+    assert "does/not/exist" in err
+    assert "does not exist" in err
+
+
+def test_cli_missing_path_reported_even_with_valid_paths(capsys):
+    """One bad path taints the run even if other paths lint clean."""
+    assert main([str(SRC), "no/such/dir"]) == 2
+    captured = capsys.readouterr()
+    assert "no/such/dir" in captured.err
+
+
+def test_cli_exits_nonzero_when_no_files_matched(tmp_path, capsys):
+    """An existing directory with no Python files lints nothing — error."""
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 2
+    assert "no Python files" in capsys.readouterr().err
+
+
+def test_cli_reports_unparsable_file(tmp_path, capsys):
+    """A syntax error is reported as a skip and fails the run."""
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    assert main([str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "broken.py" in err
+    assert "skipped" in err
 
 
 def test_rule_catalog_documented(capsys):

@@ -1,0 +1,131 @@
+"""The static plan verifier: clean on real plans, loud on seeded defects.
+
+Two properties carry the certification's weight: every CI plan
+configuration must certify with zero findings (there is no waiver
+mechanism), and each seeded defect must be caught by *exactly* the
+intended check — a checker that flags everything, or nothing, fails
+here.  A third pillar ties statics to dynamics: the IR's flop totals
+equal a real apply's measured counter bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plancheck import (
+    SEEDS,
+    certify_parallel,
+    certify_sequential,
+    rank_irs,
+    run_checks,
+    run_selftests,
+    seed_dead_store,
+    seed_narrowed_dtype,
+    seed_reordered_wait,
+    sequential_ir,
+)
+from repro.core.fmm import FMMOptions, KIFMM
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.stokes import StokesKernel
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(3)
+    return rng.random((600, 3))
+
+
+@pytest.fixture(scope="module")
+def parallel_ir(points):
+    """One rank's IR (+expected flops) of an overlapped 2-rank setup."""
+    opts = FMMOptions(p=4, max_points=40, m2l="fft")
+    return rank_irs(LaplaceKernel(), points, opts, 2, overlap=True)[0]
+
+
+@pytest.mark.parametrize("m2l", ["fft", "dense"])
+@pytest.mark.parametrize(
+    "kernel", [LaplaceKernel(), StokesKernel()], ids=["laplace", "stokes"]
+)
+def test_sequential_certifies_clean(kernel, points, m2l):
+    opts = FMMOptions(p=4, max_points=40, m2l=m2l)
+    for nrhs in (1, 8):
+        report = certify_sequential(kernel, points, opts, nrhs=nrhs)
+        assert report.ok, [str(f) for f in report.findings]
+        assert set(report.counts) == {
+            "dataflow", "types", "schedule", "flops", "metadata",
+        }
+        assert all(d == 0.0 for d in report.flop_deltas().values())
+
+
+@pytest.mark.parametrize("overlap", [True, False], ids=["ov-on", "ov-off"])
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_parallel_certifies_clean(points, nranks, overlap):
+    opts = FMMOptions(p=4, max_points=40, m2l="fft")
+    reports = certify_parallel(
+        LaplaceKernel(), points, opts, nranks, overlap=overlap,
+    )
+    assert len(reports) == nranks
+    for report in reports:
+        assert report.ok, [str(f) for f in report.findings]
+
+
+def test_ir_flops_match_measured_apply(points):
+    """Static totals equal the dynamic FlopCounter of a real apply."""
+    rng = np.random.default_rng(11)
+    for kernel in (LaplaceKernel(), StokesKernel()):
+        for m2l in ("fft", "dense"):
+            opts = FMMOptions(p=4, max_points=40, m2l=m2l)
+            fmm = KIFMM(kernel, opts).setup(points)
+            fmm.apply(
+                rng.standard_normal(points.shape[0] * kernel.source_dof)
+            )
+            ir, _ = sequential_ir(fmm, nrhs=1)
+            measured = fmm.flops.by_phase()
+            for phase, total in ir.flop_totals().items():
+                assert total == measured.get(phase, 0.0)  # bitwise
+
+
+def test_seeded_wait_reorder_caught_by_schedule_only(parallel_ir):
+    ir, expected = parallel_ir
+    report = run_checks(seed_reordered_wait(ir), expected)
+    assert not report.ok
+    assert {f.check for f in report.findings} == {"schedule"}
+    assert any("happens-before" in f.message for f in report.findings)
+
+
+def test_seeded_narrowing_caught_by_types_only(parallel_ir):
+    ir, expected = parallel_ir
+    report = run_checks(seed_narrowed_dtype(ir), expected)
+    assert not report.ok
+    assert {f.check for f in report.findings} == {"types"}
+    assert any("narrowing" in f.message for f in report.findings)
+
+
+def test_seeded_dead_store_caught_by_dataflow_only(parallel_ir):
+    ir, expected = parallel_ir
+    report = run_checks(seed_dead_store(ir), expected)
+    assert not report.ok
+    assert {f.check for f in report.findings} == {"dataflow"}
+    assert any("dead store" in f.message for f in report.findings)
+
+
+def test_seeding_does_not_mutate_the_original(parallel_ir):
+    """Seeds deep-copy: the clean IR stays certifiable afterwards."""
+    ir, expected = parallel_ir
+    for seed, _ in SEEDS.values():
+        seed(ir)
+    assert run_checks(ir, expected).ok
+
+
+def test_selftest_runner_passes_on_clean_ir(parallel_ir):
+    results = run_selftests(*parallel_ir)
+    assert len(results) == len(SEEDS)
+    assert all(ok for _, ok, _ in results), results
+
+
+def test_flop_check_detects_model_divergence(parallel_ir):
+    """A perturbed expected budget is a finding, never absorbed."""
+    ir, expected = parallel_ir
+    skewed = dict(expected)
+    skewed["down_v"] += 1.0
+    report = run_checks(ir, skewed)
+    assert {f.check for f in report.findings} == {"flops"}

@@ -30,15 +30,13 @@ def test_work_matches_evaluator_flops(rng, m2l, cloud):
     fmm.apply(rng.standard_normal((500, 1)))
     measured = fmm.flops.by_phase()
     model = compute_work(fmm.tree, fmm.lists, kernel, p, m2l=m2l).totals()
-    for phase in ("up", "down_u", "down_w", "down_x", "eval"):
-        assert model[phase] == pytest.approx(measured.get(phase, 0.0)), phase
-    # V-list flops agree exactly for dense; FFT amortisation is approximate
-    if m2l == "dense":
-        assert model["down_v"] == pytest.approx(measured.get("down_v", 0.0))
-    else:
-        assert model["down_v"] == pytest.approx(
-            measured.get("down_v", 0.0), rel=0.35
-        )
+    # Every phase agrees bitwise: all per-stage terms are integer-valued
+    # floats (the forward FFT is attributed to the source box, not
+    # amortised over its consumers), so float summation is exact and
+    # the model is an identity with the evaluator's counter — the same
+    # identity `repro plancheck` certifies statically.
+    for phase, value in model.items():
+        assert value == measured.get(phase, 0.0), phase
 
 
 def test_vector_kernel_scales_work(rng):
