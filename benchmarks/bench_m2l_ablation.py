@@ -1,5 +1,5 @@
-"""M2L ablation — FFT-accelerated vs dense translations (Section 4,
-footnote 5).
+"""M2L ablation — FFT-accelerated vs dense vs rSVD-compressed
+translations (Section 4, footnote 5).
 
 "We could easily increase the flop rate by switching from the
 algorithmically fast, but implementationally slower FFT M2L translations
@@ -7,11 +7,16 @@ to the slower direct evaluation.  But the speed gains are negligible
 compared to the algorithmic savings."
 
 This bench measures, on the real Python implementation: wall-clock time
-of the interaction evaluation under both M2L variants, their flop
+of the interaction evaluation under all three M2L backends, their flop
 volumes, and confirms the results agree.  The FFT variant needs fewer
-flops per translation (the algorithmic saving); the dense variant runs at
-a higher achieved flop rate (big matrix-matrix-like products) — exactly
-the trade-off the footnote describes.
+flops per translation (the algorithmic saving); the dense variant runs
+at a higher achieved flop rate (big matrix-matrix-like products) —
+exactly the trade-off the footnote describes.  The rSVD backend sits
+between the two: compressed factors cut the dense flop count while
+keeping the BLAS-3 shape (and therefore the dense path's flop rate).
+
+``python -m repro bench`` runs the fuller (kernel, p, N) ablation grid
+and writes ``BENCH_m2l.json``.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from repro.kernels.direct import relative_error
 from repro.util.tables import format_table
 
 N = 6000
+
+BACKENDS = ("fft", "dense", "rsvd")
 
 
 def _run(kernel, m2l, p):
@@ -47,17 +54,13 @@ def _run(kernel, m2l, p):
 )
 @pytest.mark.parametrize("p", [6, 8])
 def test_m2l_ablation(benchmark, kernel, p):
-    def run_both():
-        u_fft, t_fft, f_fft = _run(kernel, "fft", p)
-        u_dense, t_dense, f_dense = _run(kernel, "dense", p)
-        return u_fft, t_fft, f_fft, u_dense, t_dense, f_dense
+    def run_all():
+        return {m2l: _run(kernel, m2l, p) for m2l in BACKENDS}
 
-    u_fft, t_fft, f_fft, u_dense, t_dense, f_dense = benchmark.pedantic(
-        run_both, rounds=1, iterations=1
-    )
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = [
-        ("fft", t_fft, f_fft / 1e9, f_fft / t_fft / 1e9),
-        ("dense", t_dense, f_dense / 1e9, f_dense / t_dense / 1e9),
+        (m2l, t, f / 1e9, f / t / 1e9)
+        for m2l, (_, t, f) in results.items()
     ]
     print()
     print(format_table(
@@ -65,8 +68,13 @@ def test_m2l_ablation(benchmark, kernel, p):
         rows,
         title=f"M2L ablation / {kernel.name}, p={p}, N={N}",
     ))
-    # FFT and dense agree up to roundoff amplified by the regularised
-    # inversions (condition grows with p); far below discretisation error
-    assert relative_error(u_fft, u_dense) < 1e-5
-    # the algorithmic saving: FFT needs fewer V-list flops
-    assert f_fft < f_dense
+    u_dense, _, f_dense = results["dense"]
+    # all backends agree up to roundoff amplified by the regularised
+    # inversions (fft) or the compression tolerance ~1e-6 (rsvd) —
+    # far below discretisation error either way
+    for m2l in ("fft", "rsvd"):
+        assert relative_error(results[m2l][0], u_dense) < 1e-5
+    # the algorithmic saving: both accelerated backends need fewer
+    # V-list flops than the dense operators
+    assert results["fft"][2] < f_dense
+    assert results["rsvd"][2] < f_dense

@@ -353,11 +353,13 @@ def sequential_ir(fmm: KIFMM, nrhs: int = 1) -> tuple[PlanIR, dict[str, float]]:
     if fmm._plan is None:
         raise ValueError("configuration does not produce a batched plan")
     opts = fmm.options
+    sched = fmm.m2l_schedule
     ir = extract_plan_ir(
-        fmm._plan, fmm.kernel, fmm.cache, m2l_mode=opts.m2l, nrhs=nrhs,
+        fmm._plan, fmm.kernel, fmm.cache, m2l_mode=sched, nrhs=nrhs,
     )
     expected = compute_work(
-        fmm.tree, fmm.lists, fmm.kernel, opts.p, m2l=opts.m2l, nrhs=nrhs,
+        fmm.tree, fmm.lists, fmm.kernel, opts.p, m2l=sched, nrhs=nrhs,
+        rsvd_rank=fmm.cache.m2l_rsvd_rank,
     ).totals()
     return ir, expected
 
@@ -401,7 +403,7 @@ def rank_states(
             kernel, opts.p, side,
             inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
         )
-    if fft is None and opts.m2l == "fft":
+    if fft is None and opts.m2l in ("fft", "auto"):
         fft = FFTM2L(cache)
     parts = partition_points(points, nranks)
 
@@ -430,7 +432,8 @@ def rank_ir(
         (b.nsrc for b in state.tree.boxes), np.float64, state.tree.nboxes,
     )
     expected = compute_work(
-        state.tree, state.lists, kernel, opts.p, m2l=opts.m2l,
+        state.tree, state.lists, kernel, opts.p, m2l=state.m2l_schedule,
+        rsvd_rank=state.cache.m2l_rsvd_rank,
         global_nsrc=state.ptree.global_nsrc,
         global_ntrg=np.fromiter(
             (b.ntrg for b in state.tree.boxes), np.float64,

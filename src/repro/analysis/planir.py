@@ -33,7 +33,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.evaluator import resolve_kernels
+from repro.core.evaluator import _rsvd_pair_flops, resolve_kernels
+from repro.core.m2lschedule import M2LSchedule, as_schedule, v_stats_from_plan
 from repro.core.plan import ExecutionPlan
 from repro.core.precompute import OperatorCache
 from repro.kernels.base import Kernel
@@ -293,7 +294,7 @@ def extract_plan_ir(
     kernel: Kernel,
     cache: OperatorCache,
     *,
-    m2l_mode: str = "fft",
+    m2l_mode: str | M2LSchedule = "fft",
     nrhs: int = 1,
     source_kernel: Kernel | None = None,
     target_kernel: Kernel | None = None,
@@ -305,7 +306,16 @@ def extract_plan_ir(
     :func:`repro.core.evaluator.evaluate_planned` exactly — the per-phase
     flop totals of the returned IR are bit-identical to the counter of a
     real apply (asserted by ``tests/analysis/test_plancheck.py``).
+    ``m2l_mode`` accepts a mode string or a resolved
+    :class:`~repro.core.m2lschedule.M2LSchedule`; rsvd-scheduled levels
+    emit ``RsvdLevel`` nodes whose dtype records the factor precision,
+    with ``narrowing=True`` for the declared float32 mixed-precision
+    mode (accumulation stays float64, so the ``dc`` buffers keep their
+    dtype).
     """
+    sched = as_schedule(
+        m2l_mode, stats=v_stats_from_plan(plan), cache=cache, kernel=kernel
+    )
     src_k, trg_k, dir_k = resolve_kernels(
         kernel, source_kernel, target_kernel, direct_kernel
     )
@@ -320,7 +330,8 @@ def extract_plan_ir(
     b = _IRBuilder(
         meta={
             "mode": "sequential", "kernel": type(kernel).__name__,
-            "p": cache.p, "depth": plan.depth, "m2l": m2l_mode,
+            "p": cache.p, "depth": plan.depth, "m2l": sched.mode,
+            "m2l_schedule": sched.describe(),
             "nrhs": nrhs, "n_surf": n_surf, "md": md, "qd": qd,
         }
     )
@@ -343,7 +354,8 @@ def extract_plan_ir(
     for vl in plan.v_levels:
         lvl = vl.level
         nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
-        if m2l_mode == "fft":
+        backend = sched.backend(lvl)
+        if backend == "fft":
             vhat = f"vhat@{lvl}"
             nfreq, _, _ = _fft_constants(cache.p, n_surf, md, qd)
             b.buffer(vhat, (nsb * md + ntb * qd, nfreq), "complex128")
@@ -362,11 +374,29 @@ def extract_plan_ir(
                 reads=(vhat,), writes=(f"dc@{lvl}",), releases=(vhat,),
                 flops=ntb * nrhs * per_fft(qd),
             )
-        else:
+        elif backend == "dense":
             b.node(
                 f"v@{lvl}", phase="down_v", stage="VLevel",
                 reads=(ue_region(lvl),), writes=(f"dc@{lvl}",),
                 flops=vl.npairs * nrhs * mv2,
+            )
+        else:
+            # rsvd: the per-pair cost is the offset class's numerical
+            # rank, so the node sums class by class, mirroring the
+            # evaluator's per-class flop adds term for term.
+            rflops = sum(
+                len(src_pos) * nrhs
+                * _rsvd_pair_flops(
+                    cache.m2l_rsvd_rank(lvl, offset), n_surf, md, qd
+                )
+                for offset, src_pos, _ in vl.classes
+            )
+            b.node(
+                f"v@{lvl}", phase="down_v", stage="RsvdLevel",
+                reads=(ue_region(lvl),), writes=(f"dc@{lvl}",),
+                dtype="float32" if sched.dtype == "float32" else "float64",
+                narrowing=sched.dtype == "float32",
+                flops=rflops,
             )
 
     for dl in plan.down_levels:
@@ -416,7 +446,15 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
     plan, cache, lay = state.plan, state.cache, state.layout
     kernel = state.kernel
     src_k, trg_k, dir_k = state.src_k, state.trg_k, state.dir_k
-    m2l_mode = state.options.m2l
+    sched = getattr(state, "m2l_schedule", None)
+    if sched is None:
+        # The rank's plan was built with global partner gating, so its
+        # V statistics resolve the same schedule every rank (and the
+        # sequential reference) sees.
+        sched = as_schedule(
+            state.options.m2l, dtype=state.options.dtype,
+            stats=v_stats_from_plan(plan), cache=cache, kernel=kernel,
+        )
     n_surf = cache.n_surf
     md, qd = kernel.source_dof, kernel.target_dof
     sdof, out_dof = src_k.source_dof, trg_k.target_dof
@@ -428,7 +466,8 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
     b = _IRBuilder(
         meta={
             "mode": "parallel", "kernel": type(kernel).__name__,
-            "p": cache.p, "depth": plan.depth, "m2l": m2l_mode,
+            "p": cache.p, "depth": plan.depth, "m2l": sched.mode,
+            "m2l_schedule": sched.describe(),
             "nrhs": nrhs, "overlap": overlap, "n_surf": n_surf,
             "md": md, "qd": qd,
         }
@@ -518,10 +557,11 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
     def emit_v_split(split: str) -> None:
         for vl, sp in zip(plan.v_levels, state.v_splits):
             lvl = vl.level
+            backend = sched.backend(lvl)
             rows = sp.own_rows if split == "own" else sp.ghost_rows
             classes = sp.own_classes if split == "own" else sp.ghost_classes
             npairs = sum(len(s) for _, s, _ in classes)
-            if m2l_mode == "fft":
+            if backend == "fft":
                 vhat = f"vhat@{lvl}"
                 if vhat not in b.buffers:
                     nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
@@ -541,11 +581,27 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
                         stage="_VSplit", reads=(vhat,), writes=(vhat,),
                         dtype="complex128", flops=npairs * nrhs * fft_pair,
                     )
-            elif npairs:
+            elif backend == "dense" and npairs:
                 b.node(
                     f"v:{split}@{lvl}", phase="down_v", stage="_VSplit",
                     reads=(f"ue:{split}",), writes=(f"dc@{lvl}",),
                     flops=npairs * nrhs * mv2,
+                )
+            elif npairs:
+                rflops = sum(
+                    len(src_sel) * nrhs
+                    * _rsvd_pair_flops(
+                        cache.m2l_rsvd_rank(lvl, offset), n_surf, md, qd
+                    )
+                    for offset, src_sel, _ in classes
+                )
+                b.node(
+                    f"v:{split}@{lvl}", phase="down_v", stage="_VSplit",
+                    reads=(f"ue:{split}",), writes=(f"dc@{lvl}",),
+                    dtype="float32" if sched.dtype == "float32"
+                    else "float64",
+                    narrowing=sched.dtype == "float32",
+                    flops=rflops,
                 )
 
     # Owned-data passes (the overlap window's compute).
@@ -558,15 +614,16 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
 
     # Ghost-dependent passes.
     emit_v_split("ghost")
-    if m2l_mode == "fft":
-        for vl in plan.v_levels:
-            lvl = vl.level
-            b.node(
-                f"vinv@{lvl}", phase="down_v", stage="VLevel",
-                reads=(f"vhat@{lvl}",), writes=(f"dc@{lvl}",),
-                releases=(f"vhat@{lvl}",),
-                flops=vl.trg_boxes.size * nrhs * per_fft(qd),
-            )
+    for vl in plan.v_levels:
+        lvl = vl.level
+        if sched.backend(lvl) != "fft":
+            continue
+        b.node(
+            f"vinv@{lvl}", phase="down_v", stage="VLevel",
+            reads=(f"vhat@{lvl}",), writes=(f"dc@{lvl}",),
+            releases=(f"vhat@{lvl}",),
+            flops=vl.trg_boxes.size * nrhs * per_fft(qd),
+        )
 
     x_reads = tuple(
         r for r, have in (

@@ -71,7 +71,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     pts = _WORKLOADS[args.workload](args.n, rng)
     density = rng.random((pts.shape[0], kernel.source_dof))
     opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l,
-                      plan=args.plan)
+                      dtype=args.dtype, plan=args.plan)
     fmm = KIFMM(kernel, opts)
     t0 = time.perf_counter()
     fmm.setup(pts)
@@ -81,7 +81,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     t_eval = time.perf_counter() - t0
     stats = fmm.tree.statistics()
     print(f"kernel={kernel.name} N={pts.shape[0]} p={args.p} s={args.s} "
-          f"m2l={args.m2l} plan={args.plan}")
+          f"m2l={args.m2l} dtype={args.dtype} plan={args.plan}")
+    print(f"m2l schedule: {fmm.m2l_schedule.describe()}")
     print(f"tree: {stats['nboxes']} boxes, {stats['nleaves']} leaves, "
           f"depth {stats['depth']}")
     print(f"setup: {t_setup:.2f}s   evaluation: {t_eval:.2f}s")
@@ -183,7 +184,8 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
     density = _block_density(rng, pts.shape[0], kernel, args.nrhs)
-    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l,
+                      dtype=args.dtype)
     failed = False
     traces: list[CommTrace] = []
     reference = None
@@ -276,7 +278,8 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
     density = _block_density(rng, pts.shape[0], kernel, args.nrhs)
-    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l)
+    opts = FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l,
+                      dtype=args.dtype)
     failed = False
     for overlap in (True, False):
         for i in range(args.schedules):
@@ -312,7 +315,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pts = _WORKLOADS[args.workload](args.n, rng)
     registry = OperatorRegistry()
     key = registry.register(
-        kernel, pts, FMMOptions(p=args.p, max_points=args.s)
+        kernel, pts,
+        FMMOptions(p=args.p, max_points=args.s, m2l=args.m2l,
+                   dtype=args.dtype),
     )
     service = EvaluationService(
         registry, max_batch=args.max_batch, max_delay=args.max_delay
@@ -397,24 +402,32 @@ def _cmd_plancheck(args: argparse.Namespace) -> int:
     for kname in kernels:
         kernel = _make_kernel(kname)
         corner, side = _global_root(pts)
+        # One operator cache per kernel: every backend's operators
+        # (pseudoinverses, dense/rsvd translations, FFT tensors) are
+        # keyed independently, so all configurations can share it.
         shared_cache = OperatorCache(kernel, args.p, side)
         shared_fft = FFTM2L(shared_cache)
-        for m2l in ("fft", "dense"):
-            opts = FMMOptions(p=args.p, max_points=args.s, m2l=m2l)
+        for m2l, dtype in (("fft", "float64"), ("dense", "float64"),
+                           ("rsvd", "float64"), ("rsvd", "float32"),
+                           ("auto", "float64")):
+            conf = f"{m2l}-{dtype}" if dtype != "float64" else m2l
+            opts = FMMOptions(p=args.p, max_points=args.s, m2l=m2l,
+                              dtype=dtype)
             fmm = KIFMM(kernel, opts).setup(pts)
             for nrhs in nrhs_list:
                 ir, expected = sequential_ir(fmm, nrhs)
-                name = f"{kname}/{m2l}/sequential/nrhs{nrhs}"
+                name = f"{kname}/{conf}/sequential/nrhs{nrhs}"
                 record(run_checks(ir, expected, name=name), {
-                    "kernel": kname, "m2l": m2l, "mode": "sequential",
+                    "kernel": kname, "m2l": m2l, "dtype": dtype,
+                    "mode": "sequential",
                     "depth": ir.meta["depth"], "p": args.p, "nrhs": nrhs,
                     "ranks": 1, "overlap": None,
                 })
             for nranks in ranks_list:
                 states = rank_states(
                     kernel, pts, opts, nranks,
-                    cache=shared_cache if m2l == "fft" else None,
-                    fft=shared_fft if m2l == "fft" else None,
+                    cache=shared_cache,
+                    fft=shared_fft if m2l in ("fft", "auto") else None,
                 )
                 for nrhs in nrhs_list:
                     for overlap in (True, False):
@@ -423,10 +436,11 @@ def _cmd_plancheck(args: argparse.Namespace) -> int:
                                 state, nrhs=nrhs, overlap=overlap,
                             )
                             ov = "on" if overlap else "off"
-                            name = (f"{kname}/{m2l}/ranks{nranks}/"
+                            name = (f"{kname}/{conf}/ranks{nranks}/"
                                     f"overlap-{ov}/nrhs{nrhs}/rank{r}")
                             record(run_checks(ir, expected, name=name), {
                                 "kernel": kname, "m2l": m2l,
+                                "dtype": dtype,
                                 "mode": "parallel",
                                 "depth": ir.meta["depth"], "p": args.p,
                                 "nrhs": nrhs, "ranks": nranks,
@@ -464,6 +478,126 @@ def _cmd_plancheck(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Measured 3-way M2L ablation (dense / fft / rsvd) across the grid.
+
+    For every (kernel, p, N) grid point the three backends evaluate the
+    identical problem from one shared operator cache; the report records
+    wall-clock, V-list flop volume, achieved rate and the relative
+    deviation from the dense reference, plus what the ``auto`` picker
+    would have chosen.  ``--out`` writes the machine-readable JSON
+    (consumed by CI, which asserts rsvd stays competitive with fft via
+    ``--rsvd-factor``).
+    """
+    import json
+
+    from repro.core.precompute import OperatorCache
+    from repro.kernels.direct import relative_error
+    from repro.parallel.pfmm import _global_root
+
+    kernels = [k for k in args.kernels.split(",") if k]
+    orders = _parse_ints(args.orders)
+    sizes = _parse_ints(args.sizes)
+    if args.m2l == "auto":  # full 3-way ablation (the default)
+        backends = [("dense", "float64"), ("fft", "float64"),
+                    ("rsvd", "float64")]
+    else:  # restricted sweep: the dense reference plus the chosen backend
+        backends = [("dense", "float64")]
+        if args.m2l != "dense":
+            backends.append((args.m2l, "float64"))
+    if args.f32 or args.dtype == "float32":
+        backends.append(("rsvd", "float32"))
+    entries: list[dict] = []
+    rsvd_wins: list[str] = []
+    best_ratio: float | None = None
+    rows = []
+    for kname in kernels:
+        for n in sizes:
+            rng = np.random.default_rng(args.seed)
+            pts = _WORKLOADS[args.workload](n, rng)
+            kernel = _make_kernel(kname)
+            density = rng.random((pts.shape[0], kernel.source_dof))
+            corner, side = _global_root(pts)
+            for p in orders:
+                cache = OperatorCache(kernel, p, side)
+                point = f"{kname}/p{p}/n{n}"
+                times: dict[str, float] = {}
+                reference = None
+                for m2l, dtype in backends:
+                    fmm = KIFMM(
+                        kernel,
+                        FMMOptions(p=p, max_points=args.s, m2l=m2l,
+                                   dtype=dtype),
+                    ).setup(pts, root=(corner, side), cache=cache)
+                    fmm.apply(density)  # warm the operator caches
+                    fmm.flops.reset()
+                    dt = float("inf")
+                    for _ in range(args.repeats):
+                        fmm.flops.reset()
+                        t0 = time.perf_counter()
+                        u = fmm.apply(density)
+                        dt = min(dt, time.perf_counter() - t0)
+                    if reference is None:
+                        reference = u  # dense runs first
+                    flop = fmm.flops.get("down_v")
+                    err = float(relative_error(u, reference))
+                    conf = m2l if dtype == "float64" else f"{m2l}-{dtype}"
+                    times[conf] = dt
+                    entries.append({
+                        "kernel": kname, "p": p, "n": n,
+                        "m2l": m2l, "dtype": dtype,
+                        "eval_seconds": dt,
+                        "down_v_gflop": flop / 1e9,
+                        "achieved_gflops": flop / dt / 1e9,
+                        "rel_err_vs_dense": err,
+                        "schedule": fmm.m2l_schedule.describe(),
+                    })
+                    rows.append((point, conf, dt, flop / 1e9,
+                                 flop / dt / 1e9, err))
+                auto = KIFMM(
+                    kernel, FMMOptions(p=p, max_points=args.s, m2l="auto"),
+                ).setup(pts, root=(corner, side), cache=cache)
+                entries.append({
+                    "kernel": kname, "p": p, "n": n, "m2l": "auto",
+                    "dtype": "float64", "eval_seconds": None,
+                    "schedule": auto.m2l_schedule.describe(),
+                })
+                measured = {c: t for c, t in times.items()
+                            if c in ("dense", "fft", "rsvd")}
+                if min(measured, key=measured.get) == "rsvd":
+                    rsvd_wins.append(point)
+                if "rsvd" in times and "fft" in times:
+                    ratio = times["rsvd"] / times["fft"]
+                    best_ratio = (ratio if best_ratio is None
+                                  else min(best_ratio, ratio))
+    print(format_table(
+        ("grid point", "M2L", "eval sec", "V Gflop", "GF/s",
+         "err vs dense"),
+        rows, title="M2L backend ablation",
+    ))
+    print(f"rsvd fastest at: {', '.join(rsvd_wins) if rsvd_wins else '-'}")
+    if best_ratio is not None:
+        print(f"best rsvd/fft time ratio: {best_ratio:.2f}")
+    if args.out:
+        payload = {
+            "workload": args.workload, "s": args.s, "seed": args.seed,
+            "entries": entries, "rsvd_wins": rsvd_wins,
+            "best_rsvd_over_fft": best_ratio,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"bench: JSON report written to {args.out}")
+    if args.rsvd_factor is not None and (
+        best_ratio is None or best_ratio > args.rsvd_factor
+    ):
+        detail = ("no rsvd+fft grid point measured" if best_ratio is None
+                  else f"best rsvd/fft ratio {best_ratio:.2f} exceeds "
+                       f"{args.rsvd_factor:.2f} at every grid point")
+        print(f"bench: FAILED ({detail})")
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -491,10 +625,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max points per leaf")
         p.add_argument("--seed", type=int, default=0)
 
+    def m2l_flags(p: argparse.ArgumentParser, default: str = "auto") -> None:
+        p.add_argument("--m2l", default=default,
+                       choices=("fft", "dense", "rsvd", "auto"),
+                       help="V-list translation backend (auto picks per "
+                            "tree level)")
+        p.add_argument("--dtype", default="float64",
+                       choices=("float64", "float32"),
+                       help="rsvd factor precision (float32 = mixed "
+                            "precision; ignored by fft/dense)")
+
     pe = sub.add_parser("evaluate", help="run one interaction evaluation")
     common(pe)
     pe.add_argument("--n", type=int, default=10_000)
-    pe.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    m2l_flags(pe)
     pe.add_argument("--plan", default="batched",
                     choices=("batched", "naive"),
                     help="evaluator: precomputed level-batched plan or "
@@ -537,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--ranks", type=int, default=4)
     pc.add_argument("--schedules", type=int, default=5,
                     help="number of perturbed schedules to fuzz")
-    pc.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    m2l_flags(pc, default="fft")
     pc.add_argument("--applies", type=int, default=1,
                     help="persistent-operator applies per schedule (setup "
                          "once, apply N times inside one traced region)")
@@ -562,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--ranks", type=int, default=4)
     pr.add_argument("--schedules", type=int, default=5,
                     help="perturbed schedules per overlap mode")
-    pr.add_argument("--m2l", default="fft", choices=("fft", "dense"))
+    m2l_flags(pr, default="fft")
     pr.add_argument("--applies", type=int, default=2,
                     help="persistent-operator applies per schedule")
     pr.add_argument("--nrhs", type=int, default=1,
@@ -580,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(pv)
     pv.add_argument("--n", type=int, default=2000)
+    m2l_flags(pv)
     pv.add_argument("--requests", type=int, default=64,
                     help="number of synthetic evaluation requests")
     pv.add_argument("--rate", type=float, default=500.0,
@@ -615,6 +760,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the machine-readable certification report "
                          "(per-check counts, flop-budget deltas)")
     pp.set_defaults(func=_cmd_plancheck, p=4, s=40)
+
+    pb = sub.add_parser(
+        "bench",
+        help="measured 3-way M2L backend ablation (dense/fft/rsvd) "
+             "across kernels, orders and sizes, writing a JSON report",
+    )
+    common(pb)
+    m2l_flags(pb)  # --m2l restricts the sweep; --dtype float32 adds
+    # the mixed-precision rsvd entry (same as --f32)
+    pb.add_argument("--kernels", default="laplace,stokes",
+                    help="comma-separated kernels to sweep")
+    pb.add_argument("--orders", default="4,6",
+                    help="comma-separated surface orders")
+    pb.add_argument("--sizes", default="4000,12000",
+                    help="comma-separated problem sizes")
+    pb.add_argument("--repeats", type=int, default=3,
+                    help="timed applies per configuration (best-of)")
+    pb.add_argument("--f32", action="store_true",
+                    help="also measure the rsvd float32 mixed-precision "
+                         "mode")
+    pb.add_argument("--out", default="BENCH_m2l.json", metavar="PATH",
+                    help="JSON report path (empty string disables)")
+    pb.add_argument("--rsvd-factor", type=float, default=None,
+                    help="fail (exit 1) unless rsvd reaches this multiple "
+                         "of the fft time at some grid point — the CI "
+                         "competitiveness assertion")
+    pb.set_defaults(func=_cmd_bench)
 
     pl = sub.add_parser(
         "lint", help="run the repo-invariant AST lint over source trees"

@@ -32,6 +32,12 @@ import numpy as np
 
 from repro.analysis import sanitize as _san
 from repro.core.fftm2l import FFTM2L
+from repro.core.m2lschedule import (
+    M2LSchedule,
+    resolve_m2l_schedule,
+    v_stats_from_lists,
+    v_stats_from_plan,
+)
 from repro.core.plan import MAX_BLOCK_ENTRIES, ExecutionPlan, chunk_segments
 from repro.core.precompute import OperatorCache
 from repro.core.surfaces import surface_grid
@@ -44,6 +50,17 @@ from repro.util.timing import PhaseTimer
 
 def _matvec_flops(matrix_shape: tuple[int, int]) -> float:
     return 2.0 * matrix_shape[0] * matrix_shape[1]
+
+
+def _rsvd_pair_flops(rank: int, n_surf: int, md: int, qd: int) -> float:
+    """Real flops of one rsvd-compressed M2L pair (two stacked GEMMs).
+
+    ``(ue @ vf.T) @ uf.T`` costs ``2 k (n_surf md) + 2 k (n_surf qd)``
+    per density row.  Every factor is an integer, so the float product
+    is integer-valued and the evaluator / plan-IR / cost-model totals
+    stay a bitwise identity.
+    """
+    return 2.0 * rank * n_surf * (md + qd)
 
 
 def coerce_density(
@@ -126,7 +143,7 @@ def evaluate(
     kernel: Kernel,
     cache: OperatorCache,
     density: np.ndarray,
-    m2l_mode: str = "fft",
+    m2l_mode: str | M2LSchedule = "fft",
     fft_m2l: FFTM2L | None = None,
     flops: FlopCounter | None = None,
     timer: PhaseTimer | None = None,
@@ -149,7 +166,9 @@ def evaluate(
         (``(ns, dof, nrhs)`` or ``(ns * dof, nrhs)``) are evaluated
         column by column on this reference path.
     m2l_mode:
-        ``"fft"`` (default) or ``"dense"``.
+        ``"fft"`` (default), ``"dense"``, ``"rsvd"``, ``"auto"`` — or an
+        already-resolved :class:`~repro.core.m2lschedule.M2LSchedule`
+        (strings resolve against this tree's gated V statistics).
     fft_m2l:
         Optional pre-built :class:`FFTM2L` (reused across evaluations).
     flops, timer:
@@ -176,8 +195,13 @@ def evaluate(
     ``(nt, target_kernel.target_dof)`` values in original target order
     (trailing ``nrhs`` axis appended for stacked blocks).
     """
-    if m2l_mode not in ("fft", "dense"):
-        raise ValueError(f"m2l_mode must be 'fft' or 'dense', got {m2l_mode}")
+    if isinstance(m2l_mode, M2LSchedule):
+        sched = m2l_mode
+    else:
+        sched = resolve_m2l_schedule(
+            m2l_mode, "float64",
+            stats=v_stats_from_lists(tree, lists), cache=cache, kernel=kernel,
+        )
     src_k, trg_k, dir_k = resolve_kernels(
         kernel, source_kernel, target_kernel, direct_kernel
     )
@@ -194,7 +218,7 @@ def evaluate(
             evaluate(
                 tree, lists, kernel, cache,
                 np.ascontiguousarray(phi3[:, :, r]),
-                m2l_mode=m2l_mode, fft_m2l=fft_m2l, flops=flops,
+                m2l_mode=sched, fft_m2l=fft_m2l, flops=flops,
                 timer=timer, source_kernel=source_kernel,
                 target_kernel=target_kernel, direct_kernel=direct_kernel,
             )
@@ -250,9 +274,11 @@ def evaluate(
     potential = np.zeros((nt, out_dof))
 
     fft = None
-    if m2l_mode == "fft":
+    if sched.needs_fft:
         fft = fft_m2l if fft_m2l is not None else FFTM2L(cache)
-        _fft_v_list(tree, lists, fft, ue, has_ue, dc, has_dc, flops, timer)
+        _fft_v_list(
+            tree, lists, fft, sched, ue, has_ue, dc, has_dc, flops, timer
+        )
 
     for level in range(1, tree.depth + 1):
         for bi in tree.levels[level]:
@@ -274,8 +300,9 @@ def evaluate(
                     has_dc[bi] = True
                     flops.add("eval", _matvec_flops(L.shape))
 
-            # V list (dense mode; FFT mode already accumulated above).
-            if m2l_mode == "dense" and len(lists.V[bi]):
+            # V list (dense/rsvd backends; fft levels accumulated above).
+            backend = sched.backend(level)
+            if backend != "fft" and len(lists.V[bi]):
                 with timer.phase("down_v"):
                     for ai in lists.V[bi]:
                         if not has_ue[ai]:
@@ -284,10 +311,27 @@ def evaluate(
                         offset = tuple(
                             b.anchor[d] - a.anchor[d] for d in range(3)
                         )
-                        T = cache.m2l_check(level, offset)
-                        dc[bi] += T @ ue[ai]
+                        if backend == "dense":
+                            T = cache.m2l_check(level, offset)
+                            dc[bi] += T @ ue[ai]
+                            flops.add("down_v", _matvec_flops(T.shape))
+                        else:
+                            uf, vf = cache.m2l_rsvd(
+                                level, offset, sched.dtype
+                            )
+                            src = ue[ai]
+                            if sched.dtype == "float32":
+                                src = src.astype(np.float32)  # lint: allow(dtype-width)
+                            # Factor precision may be float32; the +=
+                            # upcasts, keeping the accumulator float64.
+                            dc[bi] += uf @ (vf @ src)
+                            flops.add(
+                                "down_v",
+                                _rsvd_pair_flops(
+                                    vf.shape[0], n_surf, md, qd
+                                ),
+                            )
                         has_dc[bi] = True
-                        flops.add("down_v", _matvec_flops(T.shape))
 
             # X list: direct sources -> downward check surface.
             if len(lists.X[bi]):
@@ -374,6 +418,7 @@ def _fft_v_list(
     tree: Octree,
     lists: InteractionLists,
     fft: FFTM2L,
+    sched: M2LSchedule,
     ue: np.ndarray,
     has_ue: np.ndarray,
     dc: np.ndarray,
@@ -381,10 +426,12 @@ def _fft_v_list(
     flops: FlopCounter,
     timer: PhaseTimer,
 ) -> None:
-    """Apply all V-list interactions level by level in Fourier space."""
+    """Apply the fft-scheduled V-list levels in Fourier space."""
     boxes = tree.boxes
     with timer.phase("down_v"):
         for level in range(2, tree.depth + 1):
+            if sched.backend(level) != "fft":
+                continue
             level_boxes = tree.levels[level]
             # Which source boxes at this level feed some V list?
             needed: set[int] = set()
@@ -435,7 +482,7 @@ def evaluate_planned(
     kernel: Kernel,
     cache: OperatorCache,
     density: np.ndarray,
-    m2l_mode: str = "fft",
+    m2l_mode: str | M2LSchedule = "fft",
     fft_m2l: FFTM2L | None = None,
     flops: FlopCounter | None = None,
     timer: PhaseTimer | None = None,
@@ -474,8 +521,13 @@ def evaluate_planned(
     non-finite), GEMM aliasing guards, and a pool-escape check on the
     returned potential.
     """
-    if m2l_mode not in ("fft", "dense"):
-        raise ValueError(f"m2l_mode must be 'fft' or 'dense', got {m2l_mode}")
+    if isinstance(m2l_mode, M2LSchedule):
+        sched = m2l_mode
+    else:
+        sched = resolve_m2l_schedule(
+            m2l_mode, "float64",
+            stats=v_stats_from_plan(plan), cache=cache, kernel=kernel,
+        )
     src_k, trg_k, dir_k = resolve_kernels(
         kernel, source_kernel, target_kernel, direct_kernel
     )
@@ -558,11 +610,14 @@ def evaluate_planned(
     de = pool.zeros("de", (nrhs, nb, n_surf * md))
     pot_sorted = pool.zeros("pot", (nrhs, nt, out_dof))
 
-    if m2l_mode == "fft":
+    fft = None
+    if sched.needs_fft:
         fft = fft_m2l if fft_m2l is not None else FFTM2L(cache)
-        with timer.phase("down_v"):
-            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
-            for vl in plan.v_levels:
+    with timer.phase("down_v"):
+        for vl in plan.v_levels:
+            backend = sched.backend(vl.level)
+            if backend == "fft":
+                nfreq = fft.m * fft.m * (fft.m // 2 + 1)
                 nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
                 if vl.po_groups:
                     # Parent-pair-blocked Hadamard: an order of magnitude
@@ -611,9 +666,7 @@ def evaluate_planned(
                 flops.add("down_v", nsb * nrhs * fft.flops_per_fft(md))
                 flops.add("down_v", vl.npairs * nrhs * fft.flops_per_pair())
                 flops.add("down_v", ntb * nrhs * fft.flops_per_fft(qd))
-    else:
-        with timer.phase("down_v"):
-            for vl in plan.v_levels:
+            elif backend == "dense":
                 for offset, src_pos, trg_pos in vl.classes:
                     T = cache.m2l_check(vl.level, offset)
                     if san:
@@ -627,6 +680,31 @@ def evaluate_planned(
                     flops.add(
                         "down_v",
                         src_pos.size * nrhs * _matvec_flops(T.shape),
+                    )
+            else:
+                # rsvd: each offset class applies as two stacked BLAS-3
+                # GEMMs through the compressed factors.  Mixed precision
+                # narrows the source block to the factor dtype; the +=
+                # into the float64 check buffers upcasts, keeping the
+                # accumulation double.
+                for offset, src_pos, trg_pos in vl.classes:
+                    uf, vf = cache.m2l_rsvd(vl.level, offset, sched.dtype)
+                    if san:
+                        _san.guard_gemm(dc, ue, uf,
+                                        site=f"m2l-rsvd level {vl.level}")
+                    ufT = uf.T
+                    vfT = vf.T
+                    sb = vl.src_boxes[src_pos]
+                    tb = vl.trg_boxes[trg_pos]
+                    for r in range(nrhs):
+                        src = ue[r][sb]
+                        if sched.dtype == "float32":
+                            src = src.astype(np.float32)  # lint: allow(dtype-width)
+                        dc[r][tb] += (src @ vfT) @ ufT
+                    flops.add(
+                        "down_v",
+                        src_pos.size * nrhs
+                        * _rsvd_pair_flops(vf.shape[0], n_surf, md, qd),
                     )
     if san:
         # The V scratch is dead until the next apply: poison it so a

@@ -20,6 +20,14 @@ import numpy as np
 
 from repro.core.evaluator import evaluate, evaluate_planned, resolve_kernels
 from repro.core.fftm2l import FFTM2L
+from repro.core.m2lschedule import (
+    M2L_DTYPES,
+    M2L_MODES,
+    M2LSchedule,
+    resolve_m2l_schedule,
+    v_stats_from_lists,
+    v_stats_from_plan,
+)
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.precompute import OperatorCache
 from repro.core.surfaces import INNER_RADIUS, OUTER_RADIUS
@@ -44,7 +52,16 @@ class FMMOptions:
     max_points:
         The ``s`` of the paper — maximum sources (or targets) per leaf.
     m2l:
-        ``"fft"`` (default, the paper's accelerated scheme) or ``"dense"``.
+        V-list translation backend: ``"fft"`` (the paper's accelerated
+        scheme), ``"dense"``, ``"rsvd"`` (randomized-SVD-compressed
+        operators applied as stacked BLAS-3 GEMMs), or ``"auto"``
+        (default) which picks per tree level from the level's V-list
+        statistics — see :mod:`repro.core.m2lschedule`.
+    dtype:
+        Arithmetic precision of the rsvd M2L factors: ``"float64"``
+        (default) or ``"float32"`` (mixed precision — single-precision
+        factors and multiplies, float64 accumulation into the downward
+        check buffers).  Ignored by the fft and dense backends.
     inner, outer:
         Equivalent/check surface radius factors (Section 2.1 constraints
         require ``1 < inner < outer < 3``).
@@ -73,7 +90,8 @@ class FMMOptions:
 
     p: int = 6
     max_points: int = 60
-    m2l: str = "fft"
+    m2l: str = "auto"
+    dtype: str = "float64"
     inner: float = INNER_RADIUS
     outer: float = OUTER_RADIUS
     rcond: float = 1e-12
@@ -87,8 +105,14 @@ class FMMOptions:
             raise ValueError(f"p must be >= 2, got {self.p}")
         if self.max_points < 1:
             raise ValueError(f"max_points must be >= 1, got {self.max_points}")
-        if self.m2l not in ("fft", "dense"):
-            raise ValueError(f"m2l must be 'fft' or 'dense', got {self.m2l!r}")
+        if self.m2l not in M2L_MODES:
+            raise ValueError(
+                f"m2l must be one of {M2L_MODES}, got {self.m2l!r}"
+            )
+        if self.dtype not in M2L_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {M2L_DTYPES}, got {self.dtype!r}"
+            )
         if not 1.0 < self.inner < self.outer < 3.0:
             raise ValueError(
                 f"surface radii must satisfy 1 < inner < outer < 3, "
@@ -133,6 +157,7 @@ class KIFMM:
         self.timer = PhaseTimer()
         self._fft: FFTM2L | None = None
         self._plan: ExecutionPlan | None = None
+        self._m2l: M2LSchedule | None = None
 
     def setup(
         self,
@@ -184,12 +209,24 @@ class KIFMM:
                 outer=opts.outer,
                 rcond=opts.rcond,
             )
-        self._fft = FFTM2L(self.cache) if opts.m2l == "fft" else None
         if opts.plan == "batched":
             with self.timer.phase("plan"):
                 self._plan = build_plan(self.tree, self.lists)
         else:
             self._plan = None
+        # Both evaluators resolve backends from the same gated V
+        # statistics, so resolving once here fixes the schedule for
+        # every apply (and for the plan verifier's flop model).
+        stats = (
+            v_stats_from_plan(self._plan)
+            if self._plan is not None
+            else v_stats_from_lists(self.tree, self.lists)
+        )
+        self._m2l = resolve_m2l_schedule(
+            opts.m2l, opts.dtype,
+            stats=stats, cache=self.cache, kernel=self.kernel,
+        )
+        self._fft = FFTM2L(self.cache) if self._m2l.needs_fft else None
         return self
 
     def _dispatch(
@@ -209,7 +246,7 @@ class KIFMM:
             k.translation_invariant for k in (self.kernel, *kernels)
         )
         common = dict(
-            m2l_mode=self.options.m2l,
+            m2l_mode=self._m2l,
             fft_m2l=self._fft,
             flops=self.flops,
             timer=self.timer,
@@ -282,6 +319,13 @@ class KIFMM:
             return out.reshape(-1, out.shape[2])
         return out.ravel()
 
+    @property
+    def m2l_schedule(self) -> M2LSchedule:
+        """The resolved per-level M2L backend schedule (after setup)."""
+        if self._m2l is None:
+            raise RuntimeError("call setup() first")
+        return self._m2l
+
     def statistics(self) -> dict[str, object]:
         """Tree/list/instrumentation summary for reports and benchmarks."""
         if self.tree is None or self.lists is None:
@@ -290,6 +334,8 @@ class KIFMM:
         stats.update({f"{k}_list": v for k, v in self.lists.counts().items()})
         if self._plan is not None:
             stats.update(self._plan.statistics())
+        if self._m2l is not None:
+            stats["m2l_schedule"] = self._m2l.describe()
         stats["flops"] = self.flops.by_phase()
         stats["seconds"] = self.timer.by_phase()
         return stats

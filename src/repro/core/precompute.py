@@ -25,6 +25,7 @@ from repro.core.surfaces import (
 )
 from repro.kernels.base import Kernel
 from repro.linalg.pinv import regularized_pinv
+from repro.linalg.rsvd import randomized_svd
 
 
 def octant_offset(octant: int) -> np.ndarray:
@@ -85,12 +86,25 @@ class OperatorCache:
         self.inner = float(inner)
         self.outer = float(outer)
         self.rcond = float(rcond)
+        # Relative tolerance of the rSVD-compressed M2L factors, tied to
+        # the inversion cutoff: the per-operator truncation noise sits a
+        # decade below the square root of the pseudo-inverse
+        # regularisation floor, leaving headroom for accumulation across
+        # a box's full V list while staying well below the
+        # p-discretisation error at the paper's operating points.
+        self.rsvd_tol = float(0.1 * np.sqrt(self.rcond))
         self.n_surf = surface_grid(p).shape[0]
         self._uc2ue: dict[int, np.ndarray] = {}
         self._dc2de: dict[int, np.ndarray] = {}
         self._m2m: dict[tuple[int, int], np.ndarray] = {}
         self._l2l: dict[tuple[int, int], np.ndarray] = {}
         self._m2l: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+        self._m2l_rsvd: dict[
+            tuple[int, tuple[int, int, int]], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._m2l_rsvd_f32: dict[
+            tuple[int, tuple[int, int, int]], tuple[np.ndarray, np.ndarray]
+        ] = {}
 
     # -- geometry ----------------------------------------------------------
 
@@ -229,3 +243,69 @@ class OperatorCache:
         if h is None or level == key:
             return base
         return base * self._scale(level, key) ** h
+
+    def _m2l_rsvd_base(
+        self, level: int, offset: tuple[int, int, int]
+    ) -> tuple[int, tuple[np.ndarray, np.ndarray]]:
+        """Reference-level rSVD factors ``(uf, vf)`` of one offset class.
+
+        ``uf = u * s`` is ``(n_surf * target_dof, k)`` and ``vf = vt`` is
+        ``(k, n_surf * source_dof)``, so ``m2l_check ≈ uf @ vf`` to the
+        cache's ``rsvd_tol``.  The sketch seed is a base-7 encoding of
+        the offset (components lie in [-3, 3]), making the factors a
+        pure function of the offset class — bitwise identical across
+        setups, call orders and processes.
+        """
+        if max(abs(o) for o in offset) < 2:
+            raise ValueError(f"offset {offset} is adjacent; not a V-list pair")
+        h = self._homog
+        key = 0 if h is not None else level
+        cache_key = (key, tuple(int(o) for o in offset))
+        if cache_key not in self._m2l_rsvd:
+            o0, o1, o2 = cache_key[1]
+            seed = 1 + (o0 + 3) * 49 + (o1 + 3) * 7 + (o2 + 3)
+            u, s, vt = randomized_svd(
+                self.m2l_check(key, cache_key[1]), self.rsvd_tol, seed=seed
+            )
+            self._m2l_rsvd[cache_key] = (u * s, vt)
+        return key, self._m2l_rsvd[cache_key]
+
+    def m2l_rsvd(
+        self,
+        level: int,
+        offset: tuple[int, int, int],
+        dtype: str = "float64",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compressed M2L factors: ``m2l_check(level, offset) ≈ uf @ vf``.
+
+        The rSVD backend applies a V-list class as two stacked BLAS-3
+        GEMMs, ``(ue @ vf.T) @ uf.T``.  Homogeneous kernels rescale like
+        :meth:`m2l_check`, with the level factor folded into ``uf``.
+        ``dtype="float32"`` returns single-precision factors — the
+        mixed-precision mode's declared narrowing; accumulation into the
+        downward-check buffers stays float64 at the call sites.
+        """
+        key, (uf, vf) = self._m2l_rsvd_base(level, offset)
+        h = self._homog
+        if dtype == "float32":
+            cache_key = (key, tuple(int(o) for o in offset))
+            if cache_key not in self._m2l_rsvd_f32:
+                self._m2l_rsvd_f32[cache_key] = (
+                    uf.astype(np.float32),  # lint: allow(dtype-width)
+                    vf.astype(np.float32),  # lint: allow(dtype-width)
+                )
+            uf32, vf32 = self._m2l_rsvd_f32[cache_key]
+            if h is None or level == key:
+                return uf32, vf32
+            return uf32 * np.float32(self._scale(level, key) ** h), vf32
+        if dtype != "float64":
+            raise ValueError(
+                f"m2l_rsvd dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if h is None or level == key:
+            return uf, vf
+        return uf * self._scale(level, key) ** h, vf
+
+    def m2l_rsvd_rank(self, level: int, offset: tuple[int, int, int]) -> int:
+        """Compression rank of one offset class (dtype independent)."""
+        return int(self._m2l_rsvd_base(level, offset)[1][1].shape[0])

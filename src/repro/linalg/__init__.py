@@ -6,7 +6,8 @@ the KIFMM density solves (equations 2.1–2.5) use a truncated-SVD
 regularised pseudo-inverse.
 """
 
-from repro.linalg.pinv import regularized_pinv
+from repro.linalg.pinv import regularized_pinv, svd_rank, truncated_svd
+from repro.linalg.rsvd import randomized_svd
 from repro.linalg.gmres import (
     BlockGMRESResult,
     GMRESResult,
@@ -16,6 +17,9 @@ from repro.linalg.gmres import (
 
 __all__ = [
     "regularized_pinv",
+    "svd_rank",
+    "truncated_svd",
+    "randomized_svd",
     "gmres",
     "gmres_block",
     "GMRESResult",

@@ -25,6 +25,12 @@ from repro.analysis import sanitize as _san
 from repro.core.evaluator import coerce_density, resolve_kernels
 from repro.core.fftm2l import FFTM2L
 from repro.core.fmm import FMMOptions
+from repro.core.m2lschedule import (
+    M2LSchedule,
+    resolve_m2l_schedule,
+    v_stats_from_lists,
+    v_stats_from_plan,
+)
 from repro.core.plan import (
     MAX_BLOCK_ENTRIES,
     ExecutionPlan,
@@ -120,7 +126,7 @@ def _downward_local(
     phi: np.ndarray,
     global_ue: dict[int, np.ndarray],
     ghost_src: dict[int, tuple[np.ndarray, np.ndarray]],
-    m2l_mode: str,
+    sched: M2LSchedule,
     src_k: Kernel | None = None,
     trg_k: Kernel | None = None,
     dir_k: Kernel | None = None,
@@ -142,9 +148,9 @@ def _downward_local(
     potential = np.zeros((tree.targets.shape[0], out_dof))
     has_global_src = ptree.global_nsrc > 0
 
-    fft = FFTM2L(cache) if m2l_mode == "fft" else None
+    fft = FFTM2L(cache) if sched.needs_fft else None
     if fft is not None:
-        _fft_v_list_parallel(ptree, lists, fft, global_ue, dc, has_dc)
+        _fft_v_list_parallel(ptree, lists, fft, sched, global_ue, dc, has_dc)
 
     for level in range(1, tree.depth + 1):
         for bi in tree.levels[level]:
@@ -155,13 +161,23 @@ def _downward_local(
             if has_de[b.parent]:
                 dc[bi] += cache.l2l_check(level, _octant(b)) @ de[b.parent]
                 has_dc[bi] = True
-            if m2l_mode == "dense":
+            backend = sched.backend(level)
+            if backend != "fft":
                 for ai in lists.V[bi]:
                     if not has_global_src[ai]:
                         continue
                     a = boxes[ai]
                     offset = tuple(b.anchor[d] - a.anchor[d] for d in range(3))
-                    dc[bi] += cache.m2l_check(level, offset) @ global_ue[int(ai)]
+                    if backend == "dense":
+                        dc[bi] += (
+                            cache.m2l_check(level, offset) @ global_ue[int(ai)]
+                        )
+                    else:
+                        uf, vf = cache.m2l_rsvd(level, offset, sched.dtype)
+                        src = global_ue[int(ai)]
+                        if sched.dtype == "float32":
+                            src = src.astype(np.float32)
+                        dc[bi] += uf @ (vf @ src)
                     has_dc[bi] = True
             if len(lists.X[bi]):
                 check_pts = cache.down_check_points(center, level)
@@ -211,15 +227,18 @@ def _fft_v_list_parallel(
     ptree: ParallelTree,
     lists,
     fft: FFTM2L,
+    sched: M2LSchedule,
     global_ue: dict[int, np.ndarray],
     dc: np.ndarray,
     has_dc: np.ndarray,
 ) -> None:
-    """FFT-accelerated V-list pass over the rank's LET."""
+    """FFT-accelerated V-list pass over the rank's LET (fft levels)."""
     tree = ptree.tree
     boxes = tree.boxes
     has_global_src = ptree.global_nsrc > 0
     for level in range(2, tree.depth + 1):
+        if sched.backend(level) != "fft":
+            continue
         level_boxes = tree.levels[level]
         needed: set[int] = set()
         for bi in level_boxes:
@@ -351,9 +370,17 @@ def parallel_evaluate(
         timer=timer,
     )
 
+    # Backend resolution must gate the V statistics by *global* source
+    # counts — every rank then derives the identical schedule, keeping
+    # the redundant downward passes bitwise consistent across ranks.
+    sched = resolve_m2l_schedule(
+        opts.m2l, opts.dtype,
+        stats=v_stats_from_lists(tree, lists, nsrc=ptree.global_nsrc),
+        cache=cache, kernel=kernel,
+    )
     with timer.phase("down"):
         potential = _downward_local(
-            ptree, lists, kernel, cache, phi, global_ue, ghost_src, opts.m2l,
+            ptree, lists, kernel, cache, phi, global_ue, ghost_src, sched,
             src_k=src_k, trg_k=trg_k, dir_k=dir_k,
         )
     return potential
@@ -437,6 +464,7 @@ class RankFMM:
         source_kernel: Kernel | None,
         target_kernel: Kernel | None,
         direct_kernel: Kernel | None,
+        m2l_schedule: M2LSchedule | None = None,
     ) -> None:
         self.kernel = kernel
         self.options = options
@@ -455,6 +483,12 @@ class RankFMM:
         self.v_splits = v_splits
         self.src_start = src_start
         self.src_stop = src_stop
+        if m2l_schedule is None:
+            m2l_schedule = resolve_m2l_schedule(
+                options.m2l, options.dtype,
+                stats=v_stats_from_plan(plan), cache=cache, kernel=kernel,
+            )
+        self.m2l_schedule = m2l_schedule
         self.src_k, self.trg_k, self.dir_k = resolve_kernels(
             kernel, source_kernel, target_kernel, direct_kernel
         )
@@ -702,34 +736,57 @@ class RankFMM:
                     t1 - t0, out_dof, nrhs
                 ).transpose(2, 0, 1)
 
+    def _v_direct(
+        self, vl, classes, backend: str, ue3: np.ndarray, dc3: np.ndarray
+    ) -> None:
+        """Apply one ownership split of a dense/rsvd level's classes."""
+        cache = self.cache
+        nrhs = dc3.shape[0]
+        dtype = self.m2l_schedule.dtype
+        for offset, spos, tpos in classes:
+            if backend == "dense":
+                T = cache.m2l_check(vl.level, offset)
+                for r in range(nrhs):
+                    dc3[r][vl.trg_boxes[tpos]] += (
+                        ue3[vl.src_boxes[spos], r] @ T.T
+                    )
+            else:
+                uf, vf = cache.m2l_rsvd(vl.level, offset, dtype)
+                ufT, vfT = uf.T, vf.T
+                for r in range(nrhs):
+                    src = ue3[vl.src_boxes[spos], r]
+                    if dtype == "float32":
+                        src = src.astype(np.float32)
+                    dc3[r][vl.trg_boxes[tpos]] += (src @ vfT) @ ufT
+
     def _v_owned(
         self, ue3: np.ndarray, dc3: np.ndarray, timer: PhaseTimer
-    ) -> list[tuple[np.ndarray, np.ndarray]] | None:
+    ) -> list[tuple[np.ndarray, np.ndarray] | None]:
         """Forward-FFT owned V sources and accumulate owned classes.
 
-        Returns the per-level ``(phi_hat, acc)`` state the ghost pass
-        completes (plain arrays, not pool buffers: the state must
-        survive the interleaved passes of the overlap window).  Columns
-        are looped with the translation tensors hoisted — the V result
-        feeds the ``dc2de`` inverse, so every column must repeat the
-        single-RHS arithmetic exactly.
+        Returns per-level state the ghost pass completes: ``(phi_hat,
+        acc)`` for fft-scheduled levels (plain arrays, not pool buffers:
+        the state must survive the interleaved passes of the overlap
+        window) and ``None`` for dense/rsvd levels, whose owned classes
+        are applied directly here.  Columns are looped with the
+        translation operators hoisted — the V result feeds the
+        ``dc2de`` inverse, so every column must repeat the single-RHS
+        arithmetic exactly.
         """
-        plan, cache, fft = self.plan, self.cache, self.fft
+        plan, fft = self.plan, self.fft
+        sched = self.m2l_schedule
         md, qd = self.kernel.source_dof, self.kernel.target_dof
         nrhs = dc3.shape[0]
+        state: list[tuple[np.ndarray, np.ndarray] | None] = []
         with timer.phase("down_v"):
-            if fft is None:
-                for vl, sp in zip(plan.v_levels, self.v_splits):
-                    for offset, spos, tpos in sp.own_classes:
-                        T = cache.m2l_check(vl.level, offset)
-                        for r in range(nrhs):
-                            dc3[r][vl.trg_boxes[tpos]] += (
-                                ue3[vl.src_boxes[spos], r] @ T.T
-                            )
-                return None
-            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
-            state: list[tuple[np.ndarray, np.ndarray]] = []
             for vl, sp in zip(plan.v_levels, self.v_splits):
+                if sched.backend(vl.level) != "fft":
+                    self._v_direct(
+                        vl, sp.own_classes, sched.backend(vl.level), ue3, dc3
+                    )
+                    state.append(None)
+                    continue
+                nfreq = fft.m * fft.m * (fft.m // 2 + 1)
                 nsb, ntb = vl.src_boxes.size, vl.trg_boxes.size
                 phi_hat = np.empty(
                     (nrhs, nsb, md, nfreq), dtype=np.complex128
@@ -758,30 +815,28 @@ class RankFMM:
         self,
         ue3: np.ndarray,
         dc3: np.ndarray,
-        state: list[tuple[np.ndarray, np.ndarray]] | None,
+        state: list[tuple[np.ndarray, np.ndarray] | None],
         timer: PhaseTimer,
     ) -> None:
         """Complete the V pass with ghost-owned source boxes."""
-        plan, cache, fft = self.plan, self.cache, self.fft
+        plan, fft = self.plan, self.fft
         if not plan.v_levels:
             return
+        sched = self.m2l_schedule
+        md = self.kernel.source_dof
         nrhs = dc3.shape[0]
         with timer.phase("down_v"):
-            if fft is None:
-                for vl, sp in zip(plan.v_levels, self.v_splits):
-                    for offset, spos, tpos in sp.ghost_classes:
-                        T = cache.m2l_check(vl.level, offset)
-                        for r in range(nrhs):
-                            dc3[r][vl.trg_boxes[tpos]] += (
-                                ue3[vl.src_boxes[spos], r] @ T.T
-                            )
-                return
-            md = self.kernel.source_dof
-            nfreq = fft.m * fft.m * (fft.m // 2 + 1)
-            assert state is not None
-            for (vl, sp), (phi_hat, acc) in zip(
+            for (vl, sp), st in zip(
                 zip(plan.v_levels, self.v_splits), state
             ):
+                if sched.backend(vl.level) != "fft":
+                    self._v_direct(
+                        vl, sp.ghost_classes, sched.backend(vl.level),
+                        ue3, dc3,
+                    )
+                    continue
+                nfreq = fft.m * fft.m * (fft.m // 2 + 1)
+                phi_hat, acc = st
                 if sp.ghost_rows.size:
                     rows = vl.src_boxes[sp.ghost_rows]
                     for r in range(nrhs):
@@ -923,9 +978,6 @@ def rank_setup(
             kernel, opts.p, tree.root_side,
             inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
         )
-    if fft is None and opts.m2l == "fft":
-        fft = FFTM2L(cache)
-
     nb = tree.nboxes
     # Layout of the combined (local + ghost) source array: used boxes in
     # ascending order, each holding its *global* sources in the owner's
@@ -1018,6 +1070,15 @@ def rank_setup(
                 )
             )
 
+    # The plan's V statistics are gated by global source counts (via
+    # partner_nsrc), so every rank resolves the identical schedule.
+    sched = resolve_m2l_schedule(
+        opts.m2l, opts.dtype,
+        stats=v_stats_from_plan(plan), cache=cache, kernel=kernel,
+    )
+    if fft is None and sched.needs_fft:
+        fft = FFTM2L(cache)
+
     src_start = np.fromiter((b.src_start for b in boxes), np.int64, nb)
     src_stop = np.fromiter((b.src_stop for b in boxes), np.int64, nb)
     return RankFMM(
@@ -1040,6 +1101,7 @@ def rank_setup(
         source_kernel=source_kernel,
         target_kernel=target_kernel,
         direct_kernel=direct_kernel,
+        m2l_schedule=sched,
     )
 
 
@@ -1120,7 +1182,11 @@ def run_parallel_fmm(
             kernel, opts.p, side,
             inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
         )
-        shared_fft = FFTM2L(shared_cache) if opts.m2l == "fft" else None
+        # "auto" may schedule fft levels; prebuild so ranks share the
+        # lazily-populated tensors (rank_setup ignores it otherwise).
+        shared_fft = (
+            FFTM2L(shared_cache) if opts.m2l in ("fft", "auto") else None
+        )
 
         def rank_main(comm: SimComm, idx: np.ndarray):
             state = rank_setup(
@@ -1244,7 +1310,7 @@ class ParallelFMM:
                 self.kernel, opts.p, side,
                 inner=opts.inner, outer=opts.outer, rcond=opts.rcond,
             )
-        if self.fft is None and opts.m2l == "fft":
+        if self.fft is None and opts.m2l in ("fft", "auto"):
             self.fft = FFTM2L(self.cache)
         parts = partition_points(points, self.nranks)
 

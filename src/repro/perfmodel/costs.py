@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.m2lschedule import M2LSchedule
 from repro.core.surfaces import n_surface_points
 from repro.kernels.base import Kernel
 from repro.octree.lists import InteractionLists
@@ -59,11 +60,12 @@ def compute_work(
     lists: InteractionLists,
     kernel: Kernel,
     p: int,
-    m2l: str = "fft",
+    m2l: str | M2LSchedule = "fft",
     global_nsrc: np.ndarray | None = None,
     global_ntrg: np.ndarray | None = None,
     nrhs: int = 1,
     up_nsrc: np.ndarray | None = None,
+    rsvd_rank=None,
 ) -> PhaseWork:
     """Flop volumes of one interaction evaluation.
 
@@ -80,9 +82,26 @@ def compute_work(
     (index building, kernel assembly and tree traversal are amortised
     but cost no flops, so the flop model is exactly linear even though
     wall-clock time is not).
+
+    ``m2l`` is a uniform backend name (``"fft"``, ``"dense"``,
+    ``"rsvd"``) or a resolved
+    :class:`~repro.core.m2lschedule.M2LSchedule` for mixed per-level
+    backends (``"auto"`` must be resolved by the caller — the picker
+    needs an operator cache, the flop model does not).  Any rsvd level
+    additionally needs ``rsvd_rank``, a ``(level, offset) -> rank``
+    callable (typically ``cache.m2l_rsvd_rank``), because the
+    compressed per-pair cost depends on each offset class's numerical
+    rank.
     """
-    if m2l not in ("fft", "dense"):
-        raise ValueError(f"m2l must be 'fft' or 'dense', got {m2l}")
+    if isinstance(m2l, M2LSchedule):
+        backend_of = m2l.backend
+    elif m2l in ("fft", "dense", "rsvd"):
+        backend_of = lambda level, _b=m2l: _b  # noqa: E731
+    else:
+        raise ValueError(
+            f"m2l must be 'fft', 'dense', 'rsvd' or a resolved "
+            f"M2LSchedule, got {m2l}"
+        )
     nb = tree.nboxes
     boxes = tree.boxes
     n_surf = n_surface_points(p)
@@ -123,15 +142,15 @@ def compute_work(
     evalw = np.zeros(nb)
 
     # Which V-graph source boxes feed at least one target that actually
-    # holds targets: exactly those get a forward transform (once per
-    # level) in the planned evaluator, attributed here to the source box
-    # that performs it.
+    # holds targets *on an fft-scheduled level*: exactly those get a
+    # forward transform (once per level) in the planned evaluator,
+    # attributed here to the source box that performs it.  V lists are
+    # same-level, so the target's level is the source's.
     v_feeds = np.zeros(nb, dtype=bool)
-    if m2l == "fft":
-        for b in boxes:
-            if ntrg[b.index] > 0:
-                for a in lists.V[b.index]:
-                    v_feeds[a] = True
+    for b in boxes:
+        if ntrg[b.index] > 0 and backend_of(b.level) == "fft":
+            for a in lists.V[b.index]:
+                v_feeds[a] = True
 
     # Which boxes actually carry downward data: a box inverts its check
     # potential (and a leaf evaluates L2T) only if it or an ancestor
@@ -155,7 +174,7 @@ def compute_work(
                 nkids = sum(1 for c in b.children if unsrc[c] > 0)
                 up[i] += nkids * m2m_flops
             up[i] += pinv_flops  # uc2ue inversion
-        if m2l == "fft" and nsrc[i] > 0 and v_feeds[i]:
+        if nsrc[i] > 0 and v_feeds[i]:
             down_v[i] += md * fft_flops  # forward transform of this source
 
         if not has_trg:
@@ -166,8 +185,29 @@ def compute_work(
             evalw[i] += pinv_flops  # dc2de inversion
         nv = sum(1 for a in lists.V[i] if nsrc[a] > 0)
         if nv:
-            if m2l == "dense":
+            backend = backend_of(b.level)
+            if backend == "dense":
                 down_v[i] += nv * m2l_dense_flops
+            elif backend == "rsvd":
+                if rsvd_rank is None:
+                    raise ValueError(
+                        "rsvd-scheduled levels need rsvd_rank, a "
+                        "(level, offset) -> rank callable (e.g. "
+                        "OperatorCache.m2l_rsvd_rank)"
+                    )
+                # Two stacked GEMMs through the rank-k factors; the
+                # rank is an offset-class property, so each pair is
+                # priced individually (mirrors _rsvd_pair_flops).
+                for a in lists.V[i]:
+                    if nsrc[a] > 0:
+                        ab = boxes[a]
+                        offset = tuple(
+                            b.anchor[d] - ab.anchor[d] for d in range(3)
+                        )
+                        down_v[i] += (
+                            2.0 * rsvd_rank(b.level, offset)
+                            * n_surf * (md + qd)
+                        )
             else:
                 down_v[i] += nv * hadamard_flops + qd * fft_flops  # + inverse DFT
         for a in lists.X[i]:

@@ -232,3 +232,9 @@ class EvaluationService:
             self._apply_batch(key, batch)
             if shutdown:
                 return
+            # With max_delay=0.0 and a non-empty queue, neither
+            # _collect (get_nowait) nor queue.get (items ready) ever
+            # suspends, so without an explicit yield this worker would
+            # monopolise the event loop: resolved futures' waiters and
+            # new producers would starve until the queue drained.
+            await asyncio.sleep(0)

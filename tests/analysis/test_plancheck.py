@@ -41,12 +41,16 @@ def parallel_ir(points):
     return rank_irs(LaplaceKernel(), points, opts, 2, overlap=True)[0]
 
 
-@pytest.mark.parametrize("m2l", ["fft", "dense"])
+@pytest.mark.parametrize(
+    "m2l,dtype",
+    [("fft", "float64"), ("dense", "float64"), ("rsvd", "float64"),
+     ("rsvd", "float32"), ("auto", "float64")],
+)
 @pytest.mark.parametrize(
     "kernel", [LaplaceKernel(), StokesKernel()], ids=["laplace", "stokes"]
 )
-def test_sequential_certifies_clean(kernel, points, m2l):
-    opts = FMMOptions(p=4, max_points=40, m2l=m2l)
+def test_sequential_certifies_clean(kernel, points, m2l, dtype):
+    opts = FMMOptions(p=4, max_points=40, m2l=m2l, dtype=dtype)
     for nrhs in (1, 8):
         report = certify_sequential(kernel, points, opts, nrhs=nrhs)
         assert report.ok, [str(f) for f in report.findings]
@@ -68,11 +72,24 @@ def test_parallel_certifies_clean(points, nranks, overlap):
         assert report.ok, [str(f) for f in report.findings]
 
 
+@pytest.mark.parametrize(
+    "m2l,dtype", [("rsvd", "float64"), ("rsvd", "float32"),
+                  ("auto", "float64")],
+)
+def test_parallel_certifies_rsvd_and_auto(points, m2l, dtype):
+    """Compressed and mixed per-level schedules certify rank by rank."""
+    opts = FMMOptions(p=4, max_points=40, m2l=m2l, dtype=dtype)
+    reports = certify_parallel(LaplaceKernel(), points, opts, 2)
+    assert len(reports) == 2
+    for report in reports:
+        assert report.ok, [str(f) for f in report.findings]
+
+
 def test_ir_flops_match_measured_apply(points):
     """Static totals equal the dynamic FlopCounter of a real apply."""
     rng = np.random.default_rng(11)
     for kernel in (LaplaceKernel(), StokesKernel()):
-        for m2l in ("fft", "dense"):
+        for m2l in ("fft", "dense", "rsvd", "auto"):
             opts = FMMOptions(p=4, max_points=40, m2l=m2l)
             fmm = KIFMM(kernel, opts).setup(points)
             fmm.apply(

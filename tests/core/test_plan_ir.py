@@ -41,12 +41,12 @@ def _fingerprint(ir):
     return buffers, nodes
 
 
-def _setup_ir(kernel, points, depth, nrhs):
-    opts = FMMOptions(p=3, max_points=20, max_depth=depth)
+def _setup_ir(kernel, points, depth, nrhs, m2l="fft"):
+    opts = FMMOptions(p=3, max_points=20, max_depth=depth, m2l=m2l)
     fmm = KIFMM(kernel, opts).setup(points)
     assert fmm.tree.depth == depth
     ir = extract_plan_ir(
-        fmm._plan, kernel, fmm.cache, m2l_mode=opts.m2l, nrhs=nrhs,
+        fmm._plan, kernel, fmm.cache, m2l_mode=fmm.m2l_schedule, nrhs=nrhs,
     )
     return fmm, ir
 
@@ -67,13 +67,13 @@ def test_ir_bitwise_stable_across_setups(kernel, points, depth):
 def test_resetup_of_one_operator_is_stable(points, depth):
     """setup() called twice on the same KIFMM recompiles identically."""
     kernel = LaplaceKernel()
-    opts = FMMOptions(p=3, max_points=20, max_depth=depth)
+    opts = FMMOptions(p=3, max_points=20, max_depth=depth, m2l="fft")
     fmm = KIFMM(kernel, opts)
     irs = []
     for _ in range(2):
         fmm.setup(points)
         irs.append(extract_plan_ir(
-            fmm._plan, kernel, fmm.cache, m2l_mode=opts.m2l, nrhs=1,
+            fmm._plan, kernel, fmm.cache, m2l_mode=fmm.m2l_schedule, nrhs=1,
         ))
     assert _fingerprint(irs[0]) == _fingerprint(irs[1])
 
@@ -102,12 +102,14 @@ def test_per_level_buffer_shapes_match_plan(points, depth):
 
 
 @pytest.mark.parametrize("nrhs", [1, 4])
-def test_flop_totals_match_performance_model(points, nrhs):
+@pytest.mark.parametrize("m2l", ["fft", "dense", "rsvd", "auto"])
+def test_flop_totals_match_performance_model(points, m2l, nrhs):
     """The summed stage estimates ARE the model volumes — exactly."""
     for kernel in (LaplaceKernel(), StokesKernel()):
-        fmm, ir = _setup_ir(kernel, points, 4, nrhs=nrhs)
+        fmm, ir = _setup_ir(kernel, points, 4, nrhs=nrhs, m2l=m2l)
         expected = compute_work(
             fmm.tree, fmm.lists, kernel, fmm.options.p,
-            m2l=fmm.options.m2l, nrhs=nrhs,
+            m2l=fmm.m2l_schedule, rsvd_rank=fmm.cache.m2l_rsvd_rank,
+            nrhs=nrhs,
         ).totals()
         assert ir.flop_totals() == expected

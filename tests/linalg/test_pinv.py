@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.linalg import regularized_pinv
+from repro.linalg import regularized_pinv, svd_rank, truncated_svd
 
 
 class TestWellConditioned:
@@ -41,6 +41,58 @@ class TestRegularisation:
         P = regularized_pinv(np.zeros((3, 4)))
         assert P.shape == (4, 3)
         assert np.all(P == 0.0)
+
+    def test_degenerate_fallback_dtype_contract(self):
+        """The rank-0 fallback must honour the float64 output contract.
+
+        Regression: the all-modes-truncated path returns a fresh zeros
+        array rather than an einsum over empty factors; it must still be
+        float64 regardless of the input dtype (integer lists, float32
+        arrays) — downstream accumulations rely on it.
+        """
+        for degenerate in (
+            np.zeros((3, 4)),
+            np.zeros((3, 4), dtype=np.float32),
+            [[0, 0], [0, 0], [0, 0]],
+        ):
+            P = regularized_pinv(degenerate, rcond=1e-8)
+            m, n = np.shape(degenerate)
+            assert P.shape == (n, m)
+            assert P.dtype == np.float64
+            assert np.all(P == 0.0)
+
+    def test_keep_boundary_is_inclusive(self):
+        """A singular value exactly at rcond * s[0] is kept, not cut."""
+        s = np.array([1.0, 0.5, 1e-8, 1e-12])
+        assert svd_rank(s, 1e-8) == 3  # 1e-8 == rcond * s[0] survives
+        assert svd_rank(s, np.nextafter(1e-8, 1.0)) == 2
+        assert svd_rank(np.zeros(3), 1e-8) == 0
+        assert svd_rank(np.zeros(0), 1e-8) == 0
+        with pytest.raises(ValueError):
+            svd_rank(s, -1e-3)
+
+
+class TestTruncatedSVD:
+    def test_factors_reconstruct(self, rng):
+        A = rng.standard_normal((7, 5))
+        u, s, vt = truncated_svd(A, rcond=1e-12)
+        assert np.allclose((u * s) @ vt, A, atol=1e-10)
+        assert u.flags["C_CONTIGUOUS"] and vt.flags["C_CONTIGUOUS"]
+        assert u.dtype == s.dtype == vt.dtype == np.float64
+
+    def test_truncates_rank(self, rng):
+        B = rng.standard_normal((8, 3))
+        A = B @ B.T  # rank 3 in an 8x8 matrix
+        u, s, vt = truncated_svd(A, rcond=1e-10)
+        assert s.size == 3
+        assert u.shape == (8, 3) and vt.shape == (3, 8)
+
+    def test_matches_pinv_construction(self, rng):
+        A = rng.standard_normal((6, 4))
+        u, s, vt = truncated_svd(A, rcond=1e-12)
+        assert np.allclose(
+            (vt.T / s) @ u.T, regularized_pinv(A, rcond=1e-12), atol=1e-12
+        )
 
     def test_cutoff_monotone(self, rng):
         """Stronger truncation never increases the inverse's norm."""

@@ -1,0 +1,92 @@
+"""Randomized SVD tests — determinism, accuracy, degenerate inputs.
+
+The M2L compression path relies on three properties: a fixed seed makes
+the factorisation bitwise reproducible (operator caches on different
+ranks must agree exactly), the truncation satisfies the same relative
+tolerance contract as :func:`repro.linalg.truncated_svd`, and degenerate
+inputs (zero or empty matrices) produce well-typed rank-0 factors
+instead of raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg import randomized_svd, truncated_svd
+
+
+def _low_rank(rng, m, n, rank, decay=0.5):
+    """A matrix with geometrically decaying spectrum beyond ``rank``."""
+    u, _ = np.linalg.qr(rng.standard_normal((m, m)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    k = min(m, n)
+    s = np.ones(k)
+    s[rank:] = decay ** np.arange(1, k - rank + 1) * 1e-10
+    return (u[:, :k] * s) @ v[:, :k].T
+
+
+class TestAccuracy:
+    def test_reconstructs_low_rank_matrix(self, rng):
+        A = _low_rank(rng, 40, 30, rank=8)
+        u, s, vt = randomized_svd(A, tol=1e-8, seed=3)
+        assert s.size >= 8
+        assert np.linalg.norm((u * s) @ vt - A) < 1e-7 * np.linalg.norm(A)
+
+    def test_tolerance_contract_matches_truncated_svd(self, rng):
+        """Kept ranks agree with the deterministic SVD's inclusive keep."""
+        A = _low_rank(rng, 25, 25, rank=5)
+        _, s_full, _ = truncated_svd(A, rcond=0.0)
+        for tol in (1e-4, 1e-8):
+            _, s, _ = randomized_svd(A, tol=tol, seed=1)
+            expected = int(np.count_nonzero(s_full >= tol * s_full[0]))
+            assert s.size == expected
+
+    def test_full_width_falls_back_to_exact_svd(self, rng):
+        """A spectrum the sketch cannot truncate ends in truncated_svd."""
+        A = rng.standard_normal((12, 12))  # roughly flat spectrum
+        u, s, vt = randomized_svd(A, tol=1e-15, seed=2)
+        ue, se, vte = truncated_svd(A, rcond=1e-15)
+        assert np.array_equal(s, se)
+        assert np.allclose((u * s) @ vt, (ue * se) @ vte, atol=1e-12)
+
+    def test_orthonormal_factors(self, rng):
+        A = _low_rank(rng, 30, 20, rank=6)
+        u, s, vt = randomized_svd(A, tol=1e-8, seed=9)
+        assert np.allclose(u.T @ u, np.eye(s.size), atol=1e-10)
+        assert np.allclose(vt @ vt.T, np.eye(s.size), atol=1e-10)
+        assert np.all(np.diff(s) <= 1e-12)  # non-increasing
+
+
+class TestDeterminism:
+    def test_bitwise_reproducible_across_calls(self, rng):
+        A = _low_rank(rng, 35, 28, rank=7)
+        runs = [randomized_svd(A, tol=1e-8, seed=11) for _ in range(3)]
+        for u, s, vt in runs[1:]:
+            assert np.array_equal(u, runs[0][0])
+            assert np.array_equal(s, runs[0][1])
+            assert np.array_equal(vt, runs[0][2])
+
+    def test_seed_changes_sketch_not_answer(self, rng):
+        A = _low_rank(rng, 30, 30, rank=5)
+        _, s1, _ = randomized_svd(A, tol=1e-8, seed=1)
+        _, s2, _ = randomized_svd(A, tol=1e-8, seed=2)
+        assert s1.size == s2.size
+        assert np.allclose(s1, s2, rtol=1e-9)
+
+
+class TestDegenerate:
+    @pytest.mark.parametrize(
+        "matrix",
+        [np.zeros((4, 6)), np.zeros((0, 5)), np.zeros((5, 0))],
+        ids=["zero", "no-rows", "no-cols"],
+    )
+    def test_rank0_factors(self, matrix):
+        u, s, vt = randomized_svd(matrix, tol=1e-8, seed=0)
+        m, n = matrix.shape
+        assert u.shape == (m, 0) and s.shape == (0,) and vt.shape == (0, n)
+        assert u.dtype == s.dtype == vt.dtype == np.float64
+
+    def test_float32_input_promotes(self):
+        A = np.eye(4, dtype=np.float32)
+        u, s, vt = randomized_svd(A, tol=1e-6, seed=0)
+        assert u.dtype == np.float64
+        assert np.allclose((u * s) @ vt, np.eye(4), atol=1e-6)

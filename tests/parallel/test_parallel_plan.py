@@ -91,6 +91,32 @@ def test_dense_m2l_planned_path(rng):
     assert relative_error(par.potential, seq) < 1e-9
 
 
+@pytest.mark.parametrize(
+    "m2l,dtype,tol",
+    [("rsvd", "float64", 1e-9), ("rsvd", "float32", 1e-6),
+     ("auto", "float64", 1e-9)],
+)
+def test_rsvd_and_auto_m2l_planned_path(rng, m2l, dtype, tol):
+    """Compressed/mixed schedules through the LET-local planned path.
+
+    float64 rsvd matches the sequential evaluator to roundoff (the
+    seeded factorisation makes both sides use identical factors); the
+    float32 mixed-precision mode differs only by single-precision
+    rounding in a different owned/ghost summation order.
+    """
+    pts = clustered_cloud(rng, 500)
+    phi = rng.standard_normal((500, 1))
+    opts = FMMOptions(p=4, max_points=30, m2l=m2l, dtype=dtype)
+    seq = KIFMM(LaplaceKernel(), opts).setup(pts).apply(phi)
+    par = run_parallel_fmm(3, LaplaceKernel(), pts, phi, opts)
+    assert relative_error(par.potential, seq) < tol
+    naive = run_parallel_fmm(
+        3, LaplaceKernel(), pts, phi,
+        FMMOptions(p=4, max_points=30, m2l=m2l, dtype=dtype, plan="naive"),
+    )
+    assert relative_error(naive.potential, seq) < tol
+
+
 def test_matvec_shape_for_gmres(rng):
     pts = uniform_cloud(rng, 300)
     op = ParallelFMM(2, StokesKernel(), FMMOptions(p=4, max_points=40))

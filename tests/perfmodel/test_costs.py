@@ -17,7 +17,7 @@ from repro.perfmodel.costs import communication_volumes, compute_work
 from tests.conftest import clustered_cloud, uniform_cloud
 
 
-@pytest.mark.parametrize("m2l", ["dense", "fft"])
+@pytest.mark.parametrize("m2l", ["dense", "fft", "rsvd", "auto"])
 @pytest.mark.parametrize("cloud", ["uniform", "clustered"])
 def test_work_matches_evaluator_flops(rng, m2l, cloud):
     kernel = LaplaceKernel()
@@ -29,7 +29,10 @@ def test_work_matches_evaluator_flops(rng, m2l, cloud):
     fmm = KIFMM(kernel, opts).setup(pts)
     fmm.apply(rng.standard_normal((500, 1)))
     measured = fmm.flops.by_phase()
-    model = compute_work(fmm.tree, fmm.lists, kernel, p, m2l=m2l).totals()
+    model = compute_work(
+        fmm.tree, fmm.lists, kernel, p, m2l=fmm.m2l_schedule,
+        rsvd_rank=fmm.cache.m2l_rsvd_rank,
+    ).totals()
     # Every phase agrees bitwise: all per-stage terms are integer-valued
     # floats (the forward FFT is attributed to the source box, not
     # amortised over its consumers), so float summation is exact and
@@ -69,6 +72,17 @@ def test_rejects_bad_m2l(rng):
     lists = build_lists(tree)
     with pytest.raises(ValueError):
         compute_work(tree, lists, LaplaceKernel(), 4, m2l="nope")
+    # "auto" is a picker policy, not a backend: the flop model needs the
+    # resolved schedule (resolution requires an operator cache)
+    with pytest.raises(ValueError):
+        compute_work(tree, lists, LaplaceKernel(), 4, m2l="auto")
+
+
+def test_rsvd_requires_rank_callable(rng):
+    tree = build_tree(uniform_cloud(rng, 400), max_points=25)
+    lists = build_lists(tree)
+    with pytest.raises(ValueError, match="rsvd_rank"):
+        compute_work(tree, lists, LaplaceKernel(), 4, m2l="rsvd")
 
 
 def test_communication_volumes_duality(rng):

@@ -102,6 +102,44 @@ def test_max_batch_one_disables_batching(rng):
     assert service.stats.mean_batch == 1.0
 
 
+def test_zero_delay_batcher_yields_between_batches(rng):
+    """max_delay=0.0 must not monopolise the event loop.
+
+    With an instant-dispatch policy and a non-empty queue, neither the
+    queue get nor the collect loop ever suspends, so the batch worker
+    must yield explicitly after each apply — otherwise every waiter's
+    wakeup (and any new producer) is deferred until the whole queue
+    drains.  The spy records the interleaving: at least one requester
+    must observe its result before the final batch is applied.
+    """
+    registry, key = _registry(rng, LaplaceKernel(), n=300)
+    service = EvaluationService(registry, max_batch=1, max_delay=0.0)
+    events = []
+    orig = service._apply_batch
+
+    def spy(key_, batch):
+        events.append("batch")
+        return orig(key_, batch)
+
+    service._apply_batch = spy
+    densities = [rng.standard_normal((300, 1)) for _ in range(6)]
+
+    async def request(d):
+        await service.evaluate(key, d)
+        events.append("resolved")
+
+    async def main():
+        await service.start()
+        await asyncio.gather(*(request(d) for d in densities))
+        await service.stop()
+
+    asyncio.run(main())
+    assert events.count("batch") == 6 and events.count("resolved") == 6
+    first_resolved = events.index("resolved")
+    last_batch = len(events) - 1 - events[::-1].index("batch")
+    assert first_resolved < last_batch, events
+
+
 def test_bad_request_surfaces_on_the_caller(rng):
     registry, key = _registry(rng, LaplaceKernel())
     service = EvaluationService(registry, max_batch=4, max_delay=0.0)

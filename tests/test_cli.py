@@ -14,6 +14,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["evaluate", "--kernel", "warp", "--n", "10"])
 
+    @pytest.mark.parametrize(
+        "command", ["evaluate", "commcheck", "racecheck", "serve", "bench"]
+    )
+    @pytest.mark.parametrize("flag", ["--m2l", "--dtype"])
+    def test_unknown_backend_exits_2_naming_choices(
+        self, command, flag, capsys
+    ):
+        """Typos in --m2l/--dtype must exit 2 and name the choices."""
+        with pytest.raises(SystemExit) as exc:
+            main([command, flag, "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        expected = ("fft", "dense", "rsvd", "auto") if flag == "--m2l" \
+            else ("float64", "float32")
+        for choice in expected:
+            assert choice in err
+
 
 class TestEvaluate:
     def test_basic(self, capsys):
@@ -38,6 +55,56 @@ class TestEvaluate:
         )
         assert rc == 0
         assert "kernel=stokes" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("m2l", ["rsvd", "auto"])
+    def test_rsvd_and_auto_backends(self, capsys, m2l):
+        rc = main(
+            ["evaluate", "--n", "400", "--p", "3", "--m2l", m2l,
+             "--check", "--samples", "30"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"m2l={m2l}" in out
+        assert "m2l schedule:" in out
+
+    def test_rsvd_float32(self, capsys):
+        rc = main(
+            ["evaluate", "--n", "400", "--p", "3", "--m2l", "rsvd",
+             "--dtype", "float32"]
+        )
+        assert rc == 0
+        assert "dtype=float32" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_quick_ablation_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_m2l.json"
+        rc = main(
+            ["bench", "--kernels", "laplace", "--orders", "3",
+             "--sizes", "500", "--s", "40", "--repeats", "1",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M2L backend ablation" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        confs = {(e["m2l"], e["dtype"]) for e in payload["entries"]}
+        assert {("dense", "float64"), ("fft", "float64"),
+                ("rsvd", "float64"), ("auto", "float64")} <= confs
+        for e in payload["entries"]:
+            if e["m2l"] != "auto":
+                assert e["rel_err_vs_dense"] < 1e-5
+
+    def test_rsvd_factor_assertion_can_fail(self, capsys, tmp_path):
+        rc = main(
+            ["bench", "--kernels", "laplace", "--orders", "3",
+             "--sizes", "500", "--s", "40", "--repeats", "1",
+             "--out", "", "--rsvd-factor", "0.0"]
+        )
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
 
 
 class TestAccuracy:
