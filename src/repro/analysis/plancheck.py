@@ -440,6 +440,7 @@ def rank_ir(
             state.tree.nboxes,
         ),
         nrhs=nrhs, up_nsrc=local_nsrc,
+        v_targets=getattr(state, "v_compute", None),
     ).totals()
     return ir, expected
 

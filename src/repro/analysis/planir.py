@@ -612,18 +612,35 @@ def extract_rank_ir(state, *, nrhs: int = 1, overlap: bool = True) -> PlanIR:
     if overlap:
         emit_waits()
 
-    # Ghost-dependent passes.
+    # Ghost-dependent passes.  At coarse split levels the inverse
+    # transform covers only this rank's assigned boxes (``inv_rows``)
+    # and the level ends with the split exchange: ``post:vsp`` ships the
+    # locally-computed downward-check rows, ``wait:vsp`` delivers the
+    # remotely-computed ones into the same per-level region.
     emit_v_split("ghost")
-    for vl in plan.v_levels:
+    for vl, sp in zip(plan.v_levels, state.v_splits):
         lvl = vl.level
-        if sched.backend(lvl) != "fft":
-            continue
-        b.node(
-            f"vinv@{lvl}", phase="down_v", stage="VLevel",
-            reads=(f"vhat@{lvl}",), writes=(f"dc@{lvl}",),
-            releases=(f"vhat@{lvl}",),
-            flops=vl.trg_boxes.size * nrhs * per_fft(qd),
-        )
+        if sched.backend(lvl) == "fft":
+            ninv = (
+                int(sp.inv_rows.size) if sp.inv_rows is not None
+                else int(vl.trg_boxes.size)
+            )
+            if ninv:
+                b.node(
+                    f"vinv@{lvl}", phase="down_v", stage="VLevel",
+                    reads=(f"vhat@{lvl}",), writes=(f"dc@{lvl}",),
+                    releases=(f"vhat@{lvl}",),
+                    flops=ninv * nrhs * per_fft(qd),
+                )
+        if getattr(sp, "bcast", None):
+            b.node(
+                f"post:vsp@{lvl}", phase="comm", kind="post",
+                stage="CoarseSplit", reads=(f"dc@{lvl}",),
+            )
+            b.node(
+                f"wait:vsp@{lvl}", phase="comm", kind="wait",
+                stage="CoarseSplit", writes=(f"dc@{lvl}",),
+            )
 
     x_reads = tuple(
         r for r, have in (

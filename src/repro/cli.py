@@ -160,6 +160,72 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_project(args: argparse.Namespace) -> int:
+    """Project tree-top exchange cost to thousands of simulated ranks.
+
+    Builds a real model tree, then sweeps simulated processor counts in
+    powers of two, comparing the flat owner gather/scatter (per-box
+    fan-in grows O(P) at the critical rank) against the hierarchical
+    scheme (segmented binomial collectives plus the coarse-level V
+    split, O(log P) fan-in).  ``--out`` writes ``BENCH_scaling.json``;
+    ``--min-speedup`` / ``--max-crossover`` turn the report into CI
+    assertions.
+    """
+    import json
+
+    from repro.octree import build_lists, build_tree
+    from repro.perfmodel import TCS1
+    from repro.perfmodel.simulate import project_scaling
+
+    kernel = _make_kernel(args.kernel)
+    rng = np.random.default_rng(args.seed)
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    tree = build_tree(pts, max_points=args.s)
+    lists = build_lists(tree)
+    report = project_scaling(
+        tree, lists, kernel, args.p, TCS1,
+        max_ranks=args.max_ranks, nrhs=args.nrhs,
+    )
+    rows = [
+        (pt["P"], pt["shared_boxes"], pt["flat_total"], pt["tree_total"],
+         round(pt["speedup"], 2), pt["flat_max_rank_msgs"],
+         pt["tree_max_rank_msgs"])
+        for pt in report["points"]
+    ]
+    print(format_table(
+        ("P", "shared", "flat s", "tree s", "speedup",
+         "flat msgs/rank", "tree msgs/rank"),
+        rows,
+        title=f"tree-top projection (TCS-1 model), kernel={kernel.name}, "
+              f"model tree N={pts.shape[0]}, depth={report['depth']}",
+    ))
+    cross = report["crossover_rank"]
+    print(f"flat->hierarchical crossover rank: "
+          f"{cross if cross is not None else 'none'}")
+    print(f"modelled tree-top improvement at P={args.max_ranks}: "
+          f"{report['speedup_at_max']:.1f}x "
+          f"(max fan-in {report['msgs_flat_at_max']} -> "
+          f"{report['msgs_tree_at_max']} msgs/rank)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"project: JSON report written to {args.out}")
+    failed = False
+    if args.max_crossover is not None and (
+        cross is None or cross > args.max_crossover
+    ):
+        print(f"project: FAILED (crossover rank {cross} not within "
+              f"{args.max_crossover})")
+        failed = True
+    if args.min_speedup is not None and (
+        report["speedup_at_max"] < args.min_speedup
+    ):
+        print(f"project: FAILED (speedup {report['speedup_at_max']:.2f}x "
+              f"below {args.min_speedup:.2f}x at P={args.max_ranks})")
+        failed = True
+    return 1 if failed else 0
+
+
 def _block_density(rng, n: int, kernel, nrhs: int) -> np.ndarray:
     """A single density or an ``nrhs``-column stacked block."""
     if nrhs <= 1:
@@ -202,6 +268,17 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
         print(f"  traffic: {total.messages_sent} msgs / {total.bytes_sent} B "
               f"sent, {total.messages_received} msgs / "
               f"{total.bytes_received} B received")
+        if args.collectives:
+            print("  collectives:")
+            for prim in ("allreduce", "bcast", "reduce_scatter",
+                         "tree_reduce", "tree_bcast"):
+                calls = getattr(total, f"{prim}_calls")
+                nbytes = getattr(total, f"{prim}_bytes")
+                print(f"    {prim:>14}: {calls} calls / {nbytes} B")
+            phases = sorted(total.by_phase.items())
+            if phases:
+                print("  p2p bytes by phase: "
+                      + ", ".join(f"{ph}={b}" for ph, b in phases))
         failed |= not report.ok
         traces.append(trace)
         if reference is None:
@@ -671,6 +748,30 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--procs", default="1,4,16,64,256,1024")
     ps.set_defaults(func=_cmd_scaling)
 
+    pj = sub.add_parser(
+        "project",
+        help="project the tree-top exchange to thousands of simulated "
+             "ranks: flat owner gather/scatter vs hierarchical binomial "
+             "collectives + coarse V split",
+    )
+    common(pj)
+    pj.add_argument("--n", type=int, default=20_000,
+                    help="model tree size")
+    pj.add_argument("--max-ranks", type=int, default=4096,
+                    help="largest simulated processor count (powers of "
+                         "two are swept up to this)")
+    pj.add_argument("--nrhs", type=int, default=1,
+                    help="modelled multi-RHS block width")
+    pj.add_argument("--out", default="BENCH_scaling.json", metavar="PATH",
+                    help="JSON report path (empty string disables)")
+    pj.add_argument("--min-speedup", type=float, default=None,
+                    help="fail (exit 1) if the modelled tree-top "
+                         "improvement at --max-ranks is below this factor")
+    pj.add_argument("--max-crossover", type=int, default=None,
+                    help="fail (exit 1) unless the flat->hierarchical "
+                         "crossover rank exists and is at most this")
+    pj.set_defaults(func=_cmd_project, p=4, s=60)
+
     pc = sub.add_parser(
         "commcheck",
         help="run the parallel FMM under perturbed schedules and verify "
@@ -694,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "overlapped exchange)")
     pc.add_argument("--save-trace", default=None, metavar="PATH",
                     help="write schedule 0's event trace as JSON lines")
+    pc.add_argument("--collectives", action="store_true",
+                    help="print the per-primitive collective summary "
+                         "(allreduce/bcast/reduce-scatter/tree-reduce/"
+                         "tree-bcast call and byte counts)")
     pc.set_defaults(func=_cmd_commcheck, p=4, s=40)
 
     pr = sub.add_parser(

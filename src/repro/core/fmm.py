@@ -79,6 +79,12 @@ class FMMOptions:
         :func:`~repro.core.evaluator.evaluate_planned`; ``"naive"`` keeps
         the per-box reference path.  Kernels that are not translation
         invariant always use the per-box path.
+    comm:
+        Parallel communication scheme for the owner gather/scatter of
+        :mod:`repro.parallel.exchange`: ``"tree"`` (default, hierarchical
+        binomial reduction — O(log P) messages per rank at the tree top)
+        or ``"flat"`` (the paper's literal Algorithm 1 — O(P) at coarse
+        boxes).  Bitwise-identical results; ignored by the serial path.
     sanitize:
         Run the planned evaluators under the runtime sanitizers
         (:mod:`repro.analysis.sanitize`): BufferPool lifecycle with
@@ -98,6 +104,7 @@ class FMMOptions:
     max_depth: int = 21
     balance: bool = False
     plan: str = "batched"
+    comm: str = "tree"
     sanitize: bool = False
 
     def __post_init__(self) -> None:
@@ -121,6 +128,10 @@ class FMMOptions:
         if self.plan not in ("batched", "naive"):
             raise ValueError(
                 f"plan must be 'batched' or 'naive', got {self.plan!r}"
+            )
+        if self.comm not in ("tree", "flat"):
+            raise ValueError(
+                f"comm must be 'tree' or 'flat', got {self.comm!r}"
             )
 
 

@@ -68,6 +68,42 @@ class RsvdLevel:
     stage_meta = StageMeta(reads=("ue",), writes=("dc",), dtype="float64")
 
 
+@plan_stage
+@dataclass
+class CoarseSplit:
+    """Marker stage of the coarse-level V-translation split exchange.
+
+    At levels where the box count drops below the rank count, the
+    redundant tree-top V translations are split: each target box is
+    assigned (deterministic cyclic assignment over its contributor
+    ranks) to exactly one rank, which computes the box's downward-check
+    contribution and broadcasts the rows along the binomial rank tree.
+    The plan verifier's ``post:vsp@L`` / ``wait:vsp@L`` IR nodes name
+    this stage: the exchange reads the locally-computed downward check
+    rows and delivers the remotely-computed ones.
+    """
+
+    level: int
+
+    stage_meta = StageMeta(reads=("dc",), writes=("dc",), dtype="float64")
+
+
+def coarse_split_levels(
+    level_counts, nranks: int
+) -> frozenset[int]:
+    """Levels whose box count is below the rank count.
+
+    ``level_counts[l]`` is the number of tree boxes at level ``l``.
+    These are the levels where the redundant tree-top V work leaves
+    ranks idle — the levels the coarse split distributes.  Empty at
+    ``nranks == 1`` (every populated level has at least one box).
+    """
+    return frozenset(
+        lvl for lvl, count in enumerate(level_counts)
+        if 0 < count < nranks
+    )
+
+
 @dataclass
 class M2LSchedule:
     """A resolved per-level V-list backend assignment.

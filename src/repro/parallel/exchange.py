@@ -7,9 +7,30 @@ iterate over all boxes in the LET instead of just the leaf boxes, and
 (2) the owner of a box sums up the received upward equivalent densities
 to obtain the global upward equivalent densities for that box").
 
-All sends are buffered (MPI_Isend semantics), and the gather and scatter
-steps are fully phased — every rank posts all its sends for a step before
-receiving — so the protocol is deadlock-free regardless of box ordering.
+All sends are buffered (MPI_Isend semantics), and within each box the
+dependency edges form a rooted tree, processed in ascending box order on
+every rank — the protocol is deadlock-free under both schemes below.
+
+Every exchange supports two *communication schemes*:
+
+``"flat"``
+    The paper's literal Algorithm 1: every contributor sends its piece
+    point-to-point to the box owner, the owner reduces and sends the
+    combined data point-to-point to every user.  The owner of a coarse
+    box handles O(P) messages.
+``"tree"`` (default)
+    The hierarchical tree-top reduction: contributors combine partial
+    data along the deterministic binomial rank tree of
+    :func:`repro.parallel.simmpi.tree_order` rooted at the owner, so
+    each rank — the owner included — touches O(log P) messages per box;
+    the scatter mirrors the same tree downward from the owner.
+
+The two schemes are **bitwise identical**: both reduce with the fixed
+binomial association of :func:`~repro.parallel.simmpi.combine_tree`
+over the same participant layout, and both concatenate source pieces in
+tree-position order (owner first, then the remaining contributors in
+rotated ascending rank order).  Switching the scheme changes the
+message pattern, never a floating-point result.
 
 Two flavours live here:
 
@@ -26,13 +47,56 @@ Two flavours live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.plan import StageMeta, plan_stage
-from repro.parallel.simmpi import Request, SimComm, current_recorder
+from repro.parallel.simmpi import (
+    Request,
+    SimComm,
+    combine_tree,
+    current_recorder,
+    tree_children,
+    tree_order,
+    tree_parent,
+)
 from repro.util.timing import PhaseTimer
+
+#: Recognised communication schemes (see module docstring).
+EXCHANGE_SCHEMES = ("tree", "flat")
+
+
+def _check_scheme(scheme: str) -> str:
+    if scheme not in EXCHANGE_SCHEMES:
+        raise ValueError(
+            f"exchange scheme must be one of {EXCHANGE_SCHEMES}, "
+            f"got {scheme!r}"
+        )
+    return scheme
+
+
+def _gather_pieces_flat(
+    comm: SimComm,
+    b: int,
+    order: list[int],
+    is_contrib,
+    own_piece,
+    tag: tuple,
+) -> list:
+    """Flat gather in tree-position order: one ``None``-padded piece
+    per participant position, ready for :func:`combine_tree` (which
+    reproduces the hierarchical scheme's association exactly)."""
+    me = comm.rank
+    pieces = []
+    for r in order:
+        if not is_contrib(r):
+            pieces.append(None)
+        elif r == me:
+            pieces.append(own_piece())
+        else:
+            pieces.append(comm.recv(int(r), tag=tag))
+    return pieces
 
 
 def exchange_source_data(
@@ -44,6 +108,7 @@ def exchange_source_data(
     local_points: dict[int, np.ndarray],
     local_density: dict[int, np.ndarray],
     timer: PhaseTimer | None = None,
+    scheme: str = "tree",
 ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
     """Algorithm 1: ghost source positions/densities for U/X interactions.
 
@@ -58,12 +123,16 @@ def exchange_source_data(
         ``(nboxes,)`` owner rank per box.
     local_points, local_density:
         This rank's local source points / densities per contributed box.
+    scheme:
+        ``"tree"`` (hierarchical, default) or ``"flat"`` — bitwise
+        identical results, different message patterns.
 
     Returns
     -------
     ``{box: (points, density)}`` with the *global* data for every box
     this rank uses (including boxes it owns or contributes to).
     """
+    _check_scheme(scheme)
     me = comm.rank
     timer = timer if timer is not None else PhaseTimer()
     ndof = None
@@ -71,58 +140,97 @@ def exchange_source_data(
         ndof = d.shape[1] if d.ndim == 2 else 1
         break
 
-    # STEP 1 GATHER — contributors send their local pieces to the owner.
-    with timer.phase("pack"):
-        for b in boxes:
-            if contrib_src[me, b] and owner[b] != me:
-                comm.send(
-                    int(owner[b]),
-                    (local_points[b], local_density[b]),
-                    tag=("src", int(b)),
+    def cat(a, b_):
+        return (np.vstack([a[0], b_[0]]), np.vstack([a[1], b_[1]]))
+
+    combined: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    if scheme == "tree":
+        # GATHER — pieces combine along the owner-rooted rank tree.
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(contrib_src[:, b])[0].tolist()) | {o}
+                if me not in parts:
+                    continue
+                mine = (
+                    (local_points[b], local_density[b])
+                    if contrib_src[me, b] else None
+                )
+                total = comm.tree_reduce(
+                    mine, o, parts, tag=("src", int(b)), combine=cat,
                     phase="ghost_gather",
                 )
-    combined: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if owner[b] != me:
-                continue
-            pieces_p, pieces_d = [], []
-            if contrib_src[me, b]:
-                pieces_p.append(local_points[b])
-                pieces_d.append(local_density[b])
-            for r in np.nonzero(contrib_src[:, b])[0]:
-                if r == me:
+                if o == me:
+                    combined[int(b)] = (
+                        total if total is not None
+                        else (np.empty((0, 3)),
+                              np.empty((0, ndof if ndof else 1)))
+                    )
+    else:
+        # GATHER — contributors send their pieces to the owner directly;
+        # the owner folds them with the tree association.
+        with timer.phase("pack"):
+            for b in boxes:
+                if contrib_src[me, b] and owner[b] != me:
+                    comm.send(
+                        int(owner[b]),
+                        (local_points[b], local_density[b]),
+                        tag=("src", int(b)),
+                        phase="ghost_gather",
+                    )
+        with timer.phase("wait"):
+            for b in boxes:
+                if owner[b] != me:
                     continue
-                pts, dens = comm.recv(int(r), tag=("src", int(b)))
-                pieces_p.append(pts)
-                pieces_d.append(dens)
-            if pieces_p:
-                combined[int(b)] = (np.vstack(pieces_p), np.vstack(pieces_d))
-            else:
+                order = tree_order(np.nonzero(contrib_src[:, b])[0], me)
+                pieces = _gather_pieces_flat(
+                    comm, int(b), order,
+                    lambda r, _b=b: bool(contrib_src[r, _b]),
+                    lambda _b=b: (local_points[_b], local_density[_b]),
+                    ("src", int(b)),
+                )
+                total = combine_tree(pieces, cat)
                 combined[int(b)] = (
-                    np.empty((0, 3)),
-                    np.empty((0, ndof if ndof else 1)),
+                    total if total is not None
+                    else (np.empty((0, 3)),
+                          np.empty((0, ndof if ndof else 1)))
                 )
 
-    # STEP 2 SCATTER — the owner sends the global data to every user.
-    with timer.phase("pack"):
-        for b in boxes:
-            if owner[b] == me:
-                for r in np.nonzero(users_src[:, b])[0]:
-                    if r != me:
-                        comm.send(
-                            int(r), combined[int(b)], tag=("srcg", int(b)),
-                            phase="ghost_scatter",
-                        )
+    # SCATTER — the owner sends the global data down to every user.
     result: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if not users_src[me, b]:
-                continue
-            if owner[b] == me:
-                result[int(b)] = combined[int(b)]
-            else:
-                result[int(b)] = comm.recv(int(owner[b]), tag=("srcg", int(b)))
+    if scheme == "tree":
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(users_src[:, b])[0].tolist()) | {o}
+                if me not in parts:
+                    continue
+                data = comm.tree_bcast(
+                    combined[int(b)] if o == me else None, o, parts,
+                    tag=("srcg", int(b)), phase="ghost_scatter",
+                )
+                if users_src[me, b]:
+                    result[int(b)] = data
+    else:
+        with timer.phase("pack"):
+            for b in boxes:
+                if owner[b] == me:
+                    for r in np.nonzero(users_src[:, b])[0]:
+                        if r != me:
+                            comm.send(
+                                int(r), combined[int(b)],
+                                tag=("srcg", int(b)), phase="ghost_scatter",
+                            )
+        with timer.phase("wait"):
+            for b in boxes:
+                if not users_src[me, b]:
+                    continue
+                if owner[b] == me:
+                    result[int(b)] = combined[int(b)]
+                else:
+                    result[int(b)] = comm.recv(
+                        int(owner[b]), tag=("srcg", int(b))
+                    )
     return result
 
 
@@ -135,67 +243,122 @@ def exchange_equiv_densities(
     partial_ue: np.ndarray,
     has_ue: np.ndarray,
     timer: PhaseTimer | None = None,
+    scheme: str = "tree",
 ) -> dict[int, np.ndarray]:
     """Reduce partial upward equivalent densities and scatter to users.
 
     Every contributor's upward pass produced a *partial* equivalent
-    density (linear in its local sources); the owner sums the partials —
-    linearity of equations (2.1)/(2.3) makes the sum the exact global
-    density — and scatters to users.
+    density (linear in its local sources); the partials sum — linearity
+    of equations (2.1)/(2.3) makes the sum the exact global density —
+    along the owner-rooted rank tree (``"tree"``) or at the owner
+    (``"flat"``, folded with the same binomial association), and the
+    owner scatters the global densities to users.
 
     Returns ``{box: global_ue}`` for every box this rank uses.
     """
+    _check_scheme(scheme)
     me = comm.rank
     timer = timer if timer is not None else PhaseTimer()
 
-    # GATHER + reduce at the owner.  A source contributor always has a
-    # partial density (the upward pass covers every box with local
-    # sources), so the send/recv pairing below is exact; ``has_ue`` only
-    # guards against sending uninitialised storage.
-    with timer.phase("pack"):
-        for b in boxes:
-            if contrib_src[me, b] and owner[b] != me:
-                payload = (
-                    partial_ue[b] if has_ue[b] else np.zeros_like(partial_ue[b])
-                )
-                comm.send(int(owner[b]), payload, tag=("ue", int(b)),
-                          phase="equiv_gather")
+    def add(a, b_):
+        return a + b_
+
     summed: dict[int, np.ndarray] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if owner[b] != me:
-                continue
-            total = (
-                partial_ue[b].copy()
-                if (contrib_src[me, b] and has_ue[b])
-                else None
-            )
-            for r in np.nonzero(contrib_src[:, b])[0]:
-                if r == me:
+    if scheme == "tree":
+        # GATHER — partials sum along the owner-rooted rank tree.  A
+        # source contributor always has a partial density (the upward
+        # pass covers every box with local sources); ``has_ue`` only
+        # guards against sending uninitialised storage.
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(contrib_src[:, b])[0].tolist()) | {o}
+                if me not in parts:
                     continue
-                piece = comm.recv(int(r), tag=("ue", int(b)))
-                total = piece.copy() if total is None else total + piece
-            summed[int(b)] = (
-                total if total is not None else np.zeros_like(partial_ue[b])
-            )
+                mine = None
+                if contrib_src[me, b]:
+                    mine = (
+                        partial_ue[b].copy() if has_ue[b]
+                        else np.zeros_like(partial_ue[b])
+                    )
+                total = comm.tree_reduce(
+                    mine, o, parts, tag=("ue", int(b)), combine=add,
+                    phase="equiv_gather",
+                )
+                if o == me:
+                    summed[int(b)] = (
+                        total if total is not None
+                        else np.zeros_like(partial_ue[b])
+                    )
+    else:
+        # GATHER — contributors send directly to the owner, which folds
+        # the pieces with the tree association (bitwise identical).
+        with timer.phase("pack"):
+            for b in boxes:
+                if contrib_src[me, b] and owner[b] != me:
+                    payload = (
+                        partial_ue[b] if has_ue[b]
+                        else np.zeros_like(partial_ue[b])
+                    )
+                    comm.send(int(owner[b]), payload, tag=("ue", int(b)),
+                              phase="equiv_gather")
+        with timer.phase("wait"):
+            for b in boxes:
+                if owner[b] != me:
+                    continue
+                order = tree_order(np.nonzero(contrib_src[:, b])[0], me)
+
+                def own_piece(_b=b):
+                    return (
+                        partial_ue[_b].copy() if has_ue[_b]
+                        else np.zeros_like(partial_ue[_b])
+                    )
+
+                pieces = _gather_pieces_flat(
+                    comm, int(b), order,
+                    lambda r, _b=b: bool(contrib_src[r, _b]),
+                    own_piece, ("ue", int(b)),
+                )
+                total = combine_tree(pieces, add)
+                summed[int(b)] = (
+                    total if total is not None
+                    else np.zeros_like(partial_ue[b])
+                )
 
     # SCATTER to users.
-    with timer.phase("pack"):
-        for b in boxes:
-            if owner[b] == me:
-                for r in np.nonzero(users_equiv[:, b])[0]:
-                    if r != me:
-                        comm.send(int(r), summed[int(b)], tag=("ueg", int(b)),
-                                  phase="equiv_scatter")
     result: dict[int, np.ndarray] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if not users_equiv[me, b]:
-                continue
-            if owner[b] == me:
-                result[int(b)] = summed[int(b)]
-            else:
-                result[int(b)] = comm.recv(int(owner[b]), tag=("ueg", int(b)))
+    if scheme == "tree":
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(users_equiv[:, b])[0].tolist()) | {o}
+                if me not in parts:
+                    continue
+                data = comm.tree_bcast(
+                    summed[int(b)] if o == me else None, o, parts,
+                    tag=("ueg", int(b)), phase="equiv_scatter",
+                )
+                if users_equiv[me, b]:
+                    result[int(b)] = data
+    else:
+        with timer.phase("pack"):
+            for b in boxes:
+                if owner[b] == me:
+                    for r in np.nonzero(users_equiv[:, b])[0]:
+                        if r != me:
+                            comm.send(int(r), summed[int(b)],
+                                      tag=("ueg", int(b)),
+                                      phase="equiv_scatter")
+        with timer.phase("wait"):
+            for b in boxes:
+                if not users_equiv[me, b]:
+                    continue
+                if owner[b] == me:
+                    result[int(b)] = summed[int(b)]
+                else:
+                    result[int(b)] = comm.recv(
+                        int(owner[b]), tag=("ueg", int(b))
+                    )
     return result
 
 
@@ -207,55 +370,110 @@ def exchange_source_geometry(
     owner: np.ndarray,
     local_points: dict[int, np.ndarray],
     timer: PhaseTimer | None = None,
+    scheme: str = "tree",
 ) -> dict[int, np.ndarray]:
     """Setup-time Algorithm 1 over source *positions* only.
 
     The persistent operator exchanges ghost geometry once: positions
     never change between applies, so each :class:`ApplyExchange` moves
-    only densities.  The owner concatenates contributor pieces with
-    itself first and the remaining contributors in ascending rank order
-    — :class:`ApplyExchange` reassembles densities in the identical
+    only densities.  Contributor pieces concatenate in tree-position
+    order (:func:`~repro.parallel.simmpi.tree_order` rooted at the
+    owner, restricted to contributors) under **both** schemes —
+    :class:`ApplyExchange` reassembles densities in the identical
     order, so the combined points and the combined densities stay row
-    aligned across applies.
+    aligned across applies and across schemes.
 
     Returns ``{box: global_points}`` for every box this rank uses.
     """
+    _check_scheme(scheme)
     me = comm.rank
     timer = timer if timer is not None else PhaseTimer()
-    with timer.phase("pack"):
-        for b in boxes:
-            if contrib_src[me, b] and owner[b] != me:
-                comm.send(int(owner[b]), local_points[b],
-                          tag=("geo", int(b)), phase="geo_gather")
+
+    def cat(a, b_):
+        return np.vstack([a, b_])
+
     combined: dict[int, np.ndarray] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if owner[b] != me:
-                continue
-            pieces = [local_points[b]] if contrib_src[me, b] else []
-            for r in np.nonzero(contrib_src[:, b])[0]:
-                if r != me:
-                    pieces.append(comm.recv(int(r), tag=("geo", int(b))))
-            combined[int(b)] = (
-                np.vstack(pieces) if pieces else np.empty((0, 3))
-            )
-    with timer.phase("pack"):
-        for b in boxes:
-            if owner[b] == me:
-                for r in np.nonzero(users_src[:, b])[0]:
-                    if r != me:
-                        comm.send(int(r), combined[int(b)],
-                                  tag=("geog", int(b)), phase="geo_scatter")
+    if scheme == "tree":
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(contrib_src[:, b])[0].tolist()) | {o}
+                if me not in parts:
+                    continue
+                mine = local_points[b] if contrib_src[me, b] else None
+                total = comm.tree_reduce(
+                    mine, o, parts, tag=("geo", int(b)), combine=cat,
+                    phase="geo_gather",
+                )
+                if o == me:
+                    combined[int(b)] = (
+                        total if total is not None else np.empty((0, 3))
+                    )
+    else:
+        with timer.phase("pack"):
+            for b in boxes:
+                if contrib_src[me, b] and owner[b] != me:
+                    comm.send(int(owner[b]), local_points[b],
+                              tag=("geo", int(b)), phase="geo_gather")
+        with timer.phase("wait"):
+            for b in boxes:
+                if owner[b] != me:
+                    continue
+                order = tree_order(np.nonzero(contrib_src[:, b])[0], me)
+                pieces = _gather_pieces_flat(
+                    comm, int(b), order,
+                    lambda r, _b=b: bool(contrib_src[r, _b]),
+                    lambda _b=b: local_points[_b], ("geo", int(b)),
+                )
+                total = combine_tree(pieces, cat)
+                combined[int(b)] = (
+                    total if total is not None else np.empty((0, 3))
+                )
+
     result: dict[int, np.ndarray] = {}
-    with timer.phase("wait"):
-        for b in boxes:
-            if not users_src[me, b]:
-                continue
-            if owner[b] == me:
-                result[int(b)] = combined[int(b)]
-            else:
-                result[int(b)] = comm.recv(int(owner[b]), tag=("geog", int(b)))
+    if scheme == "tree":
+        with timer.phase("wait"):
+            for b in boxes:
+                o = int(owner[b])
+                parts = set(np.nonzero(users_src[:, b])[0].tolist()) | {o}
+                if me not in parts:
+                    continue
+                data = comm.tree_bcast(
+                    combined[int(b)] if o == me else None, o, parts,
+                    tag=("geog", int(b)), phase="geo_scatter",
+                )
+                if users_src[me, b]:
+                    result[int(b)] = data
+    else:
+        with timer.phase("pack"):
+            for b in boxes:
+                if owner[b] == me:
+                    for r in np.nonzero(users_src[:, b])[0]:
+                        if r != me:
+                            comm.send(int(r), combined[int(b)],
+                                      tag=("geog", int(b)),
+                                      phase="geo_scatter")
+        with timer.phase("wait"):
+            for b in boxes:
+                if not users_src[me, b]:
+                    continue
+                if owner[b] == me:
+                    result[int(b)] = combined[int(b)]
+                else:
+                    result[int(b)] = comm.recv(
+                        int(owner[b]), tag=("geog", int(b))
+                    )
     return result
+
+
+def _tree_edges(
+    order: list[int], me: int
+) -> tuple[int | None, list[int]]:
+    """This rank's (parent, children) in the binomial tree over ``order``."""
+    pos = order.index(me)
+    parent = None if pos == 0 else order[tree_parent(pos)]
+    children = [order[c] for c in tree_children(pos, len(order))]
+    return parent, children
 
 
 @plan_stage
@@ -265,8 +483,15 @@ class ExchangePlan:
 
     Precomputed at setup from the contributor/user matrices and the
     owner map; every list is in ascending box order and every rank list
-    in ascending rank order, so message posting order — and therefore
-    the owner-side reduction order — is schedule independent.
+    in the *tree-position* order of
+    :func:`~repro.parallel.simmpi.tree_order` rooted at the owner, so
+    message posting order — and therefore the reduction order — is
+    schedule independent and identical under both schemes.
+
+    ``send_to_owner`` / ``owned`` / ``recv_from`` describe the flat
+    owner-centric roles and are filled under both schemes (the plan IR
+    derives ghost-row layouts from them); ``gather`` / ``scatter`` hold
+    the per-box binomial-tree edges and drive the ``"tree"`` scheme.
     """
 
     kind: str  # "phi" (source densities) or "pue" (partial equiv dens.)
@@ -277,6 +502,19 @@ class ExchangePlan:
     owned: list[tuple[int, list[int], bool, list[int], bool]]
     #: Boxes this rank uses but does not own: ``(box, owner)``.
     recv_from: list[tuple[int, int]]
+    #: Communication scheme driving :class:`ApplyExchange` (see module
+    #: docstring).
+    scheme: str = "tree"
+    #: Gather-tree nodes this rank occupies (contributors ∪ owner):
+    #: ``(box, parent_rank_or_None, child_ranks, self_contributes)``.
+    gather: list[tuple[int, int | None, list[int], bool]] = field(
+        default_factory=list
+    )
+    #: Scatter-tree nodes this rank occupies (users ∪ owner):
+    #: ``(box, parent_rank_or_None, child_ranks, self_uses)``.
+    scatter: list[tuple[int, int | None, list[int], bool]] = field(
+        default_factory=list
+    )
 
     stage_meta = StageMeta(
         reads=("phi", "ue"), writes=("ue", "ext_phi"), dtype="float64"
@@ -290,19 +528,27 @@ def build_exchange_plan(
     contrib_src: np.ndarray,
     users: np.ndarray,
     owner: np.ndarray,
+    scheme: str = "tree",
 ) -> ExchangePlan:
     """Split the circulating ``boxes`` by this rank's role."""
+    _check_scheme(scheme)
     send_to_owner: list[tuple[int, int]] = []
     owned: list[tuple[int, list[int], bool, list[int], bool]] = []
     recv_from: list[tuple[int, int]] = []
+    gather: list[tuple[int, int | None, list[int], bool]] = []
+    scatter: list[tuple[int, int | None, list[int], bool]] = []
     for b in boxes:
         b = int(b)
         o = int(owner[b])
+        contribs = np.nonzero(contrib_src[:, b])[0]
+        user_rs = np.nonzero(users[:, b])[0]
+        order_g = tree_order(contribs, o)
+        order_s = tree_order(user_rs, o)
         if o == me:
-            peers_c = [int(r) for r in np.nonzero(contrib_src[:, b])[0] if r != me]
-            peers_u = [int(r) for r in np.nonzero(users[:, b])[0] if r != me]
             owned.append(
-                (b, peers_c, bool(contrib_src[me, b]), peers_u,
+                (b, [r for r in order_g if r != me],
+                 bool(contrib_src[me, b]),
+                 [r for r in order_s if r != me],
                  bool(users[me, b]))
             )
         else:
@@ -310,7 +556,15 @@ def build_exchange_plan(
                 send_to_owner.append((b, o))
             if users[me, b]:
                 recv_from.append((b, o))
-    return ExchangePlan(kind, send_to_owner, owned, recv_from)
+        if me == o or contrib_src[me, b]:
+            parent, children = _tree_edges(order_g, me)
+            gather.append((b, parent, children, bool(contrib_src[me, b])))
+        if me == o or users[me, b]:
+            parent, children = _tree_edges(order_s, me)
+            scatter.append((b, parent, children, bool(users[me, b])))
+    return ExchangePlan(
+        kind, send_to_owner, owned, recv_from, scheme, gather, scatter
+    )
 
 
 @dataclass
@@ -360,9 +614,32 @@ class ApplyExchange:
         #: Race-detector hook: the per-rank recorder installed by
         #: ``run_spmd(race=...)``, or None on uninstrumented runs.
         self._rec = current_recorder()
+        # Flat-scheme state: owner-side gathers and user-side scatters.
         self._gathers: list[tuple[ExchangePlan, int, list[Request],
                                   bool, list[int], bool]] = []
         self._scatters: list[tuple[ExchangePlan, int, Request]] = []
+        # Tree-scheme state: interior/root gather nodes, non-root
+        # scatter nodes, and the scatter roots' (children, self_uses).
+        self._gnodes: list[tuple[ExchangePlan, int, int | None,
+                                 list[Request], bool]] = []
+        self._snodes: list[tuple[ExchangePlan, int, Request,
+                                 list[int], bool]] = []
+        self._sroots: dict[tuple[str, int], tuple[list[int], bool]] = {}
+
+    def _combiner(self, plan: ExchangePlan):
+        """Pairwise combiner: concatenation for phi, summation for pue."""
+        if plan.kind == "phi":
+            return lambda a, c: np.vstack([a, c])
+        return lambda a, c: a + c
+
+    def _finalize(self, plan: ExchangePlan, total, npieces: int):
+        """Owner-side combined data: guard the empty box, and copy when
+        the binomial fold degenerated to a single piece so the combined
+        array is always freshly allocated (the single piece may be a
+        view of ``phi_sorted`` or a peer's buffer)."""
+        if total is None:
+            return np.empty((0, self._phi_sorted.shape[1]))
+        return total.copy() if npieces == 1 else total
 
     def _piece(self, plan: ExchangePlan, b: int) -> np.ndarray:
         """This rank's local contribution to box ``b``.
@@ -398,11 +675,40 @@ class ApplyExchange:
             self._ue[b] = data
 
     def start(self) -> "ApplyExchange":
-        """Post every send and receive of both sub-exchanges."""
+        """Post every send and receive of both sub-exchanges.
+
+        Flat scheme: contributors ship their pieces to the owner and
+        users post a receive from the owner.  Tree scheme: every node
+        posts receives from its gather children and its scatter parent;
+        gather *leaves* ship their piece immediately so interior nodes
+        can start folding during the overlap window.
+        """
         comm = self._comm
         with self._timer.phase("pack"):
             for plan in (self._layout.phi, self._layout.pue):
                 gphase, sphase = f"{plan.kind}_gather", f"{plan.kind}_scatter"
+                if plan.scheme == "tree":
+                    for b, parent, children, selfc in plan.gather:
+                        reqs = [
+                            comm.irecv(r, tag=(plan.kind, b), phase=gphase)
+                            for r in children
+                        ]
+                        if parent is not None and not children:
+                            comm.isend(
+                                parent, self._piece(plan, b),
+                                tag=(plan.kind, b), phase=gphase,
+                            )
+                        else:
+                            self._gnodes.append((plan, b, parent, reqs, selfc))
+                    for b, parent, children, selfu in plan.scatter:
+                        if parent is None:
+                            self._sroots[(plan.kind, b)] = (children, selfu)
+                        else:
+                            req = comm.irecv(
+                                parent, tag=(plan.kind + "g", b), phase=sphase
+                            )
+                            self._snodes.append((plan, b, req, children, selfu))
+                    continue
                 for b, o in plan.send_to_owner:
                     comm.isend(o, self._piece(plan, b), tag=(plan.kind, b),
                                phase=gphase)
@@ -422,33 +728,66 @@ class ApplyExchange:
         return self
 
     def relay(self) -> None:
-        """Complete gathers, reduce at the owner, scatter to users."""
+        """Complete gathers, reduce, and launch the scatter.
+
+        Flat scheme: the owner folds the contributor pieces — laid out
+        in tree-position order — with :func:`combine_tree` and sends the
+        combined data to every user.  Tree scheme: interior gather nodes
+        fold their subtree (own piece first, then children in
+        ascending-mask order — the identical association) and forward
+        the partial upward; the root finalizes and feeds the scatter
+        tree.  Both folds are bitwise identical by construction.
+        """
         with self._timer.phase("wait"):
+            gathered_tree = [
+                (plan, b, parent, [r.wait() for r in reqs], selfc)
+                for plan, b, parent, reqs, selfc in self._gnodes
+            ]
             gathered = [
                 (plan, b, [r.wait() for r in reqs], selfc, peers_u, selfu)
                 for plan, b, reqs, selfc, peers_u, selfu in self._gathers
             ]
         comm = self._comm
         with self._timer.phase("pack"):
+            for plan, b, parent, child_pieces, selfc in gathered_tree:
+                if self._rec is not None:
+                    # Child pieces arrive by reference: reading them is
+                    # a cross-rank access on the sender's arrays,
+                    # ordered by the gather message.
+                    for p in child_pieces:
+                        self._rec.read(p, f"relay:piece box {b}")
+                combine = self._combiner(plan)
+                acc = self._piece(plan, b) if selfc else None
+                npieces = (1 if selfc else 0) + len(child_pieces)
+                for p in child_pieces:
+                    acc = p if acc is None else combine(acc, p)
+                if parent is not None:
+                    # Interior node: forward the partial fold upward.
+                    if self._rec is not None:
+                        self._rec.write(acc, f"relay:partial box {b}")
+                    comm.isend(parent, acc, tag=(plan.kind, b),
+                               phase=f"{plan.kind}_gather")
+                    continue
+                data = self._finalize(plan, acc, npieces)
+                if self._rec is not None:
+                    self._rec.write(data, f"relay:combine box {b}")
+                s_children, selfu = self._sroots[(plan.kind, b)]
+                for r in s_children:
+                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                               phase=f"{plan.kind}_scatter")
+                if selfu:
+                    self._store(plan, b, data)
             for plan, b, peer_pieces, selfc, peers_u, selfu in gathered:
                 if self._rec is not None:
-                    # Contributor pieces arrive by reference: reading
-                    # them here is a cross-rank access on the sender's
-                    # arrays, ordered (or not) by the gather message.
                     for p in peer_pieces:
                         self._rec.read(p, f"relay:piece box {b}")
-                pieces = (
-                    [self._piece(plan, b)] if selfc else []
-                ) + peer_pieces
-                if plan.kind == "phi":
-                    data = (
-                        np.vstack(pieces) if pieces
-                        else np.empty((0, self._phi_sorted.shape[1]))
-                    )
-                else:
-                    data = pieces[0].copy()
-                    for p in pieces[1:]:
-                        data += p
+                pieces = [
+                    self._piece(plan, b) if selfc else None
+                ] + peer_pieces
+                total = combine_tree(pieces, self._combiner(plan))
+                data = self._finalize(
+                    plan, total, sum(p is not None for p in pieces)
+                )
                 if self._rec is not None:
                     self._rec.write(data, f"relay:combine box {b}")
                 for r in peers_u:
@@ -458,7 +797,22 @@ class ApplyExchange:
                     self._store(plan, b, data)
 
     def finish(self) -> None:
-        """Complete the scatter side: fill the ghost rows."""
+        """Complete the scatter side: fill the ghost rows.
+
+        Tree scheme: non-root scatter nodes receive the combined data
+        from their parent, forward it to their scatter children, and
+        store their own ghost rows.
+        """
+        comm = self._comm
         with self._timer.phase("wait"):
+            for plan, b, req, children, selfu in self._snodes:
+                data = req.wait()
+                if self._rec is not None:
+                    self._rec.read(data, f"finish:recv box {b}")
+                for r in children:
+                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                               phase=f"{plan.kind}_scatter")
+                if selfu:
+                    self._store(plan, b, data)
             for plan, b, req in self._scatters:
                 self._store(plan, b, req.wait())

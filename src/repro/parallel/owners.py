@@ -51,20 +51,30 @@ def assign_owners(contrib: np.ndarray) -> np.ndarray:
     """
     nranks, nboxes = contrib.shape
     owner = np.full(nboxes, -1, dtype=np.int64)
-    load = np.zeros(nranks, dtype=np.int64)
     ncontrib = contrib.sum(axis=0)
-    # step 1: sole contributors take their boxes
-    for b in np.nonzero(ncontrib == 1)[0]:
-        r = int(np.argmax(contrib[:, b]))
-        owner[b] = r
-        load[r] += 1
-    # steps 2-3: deterministic balancing of the rest
-    for b in np.nonzero(ncontrib != 1)[0]:
-        ranks = np.nonzero(contrib[:, b])[0]
-        if len(ranks) == 0:
-            owner[b] = 0
-            continue
-        r = int(ranks[np.argmin(load[ranks])])
-        owner[b] = r
-        load[r] += 1
+    # step 1: sole contributors take their boxes (one vectorised argmax;
+    # their load lands before any balancing decision, like the paper's
+    # "taken" pre-pass)
+    sole = np.nonzero(ncontrib == 1)[0]
+    if sole.size:
+        owner[sole] = np.argmax(contrib[:, sole], axis=0)
+        load = np.bincount(owner[sole], minlength=nranks).astype(np.int64)
+    else:
+        load = np.zeros(nranks, dtype=np.int64)
+    # steps 2-3: deterministic balancing of the rest.  The selection is
+    # inherently sequential (each assignment feeds the next load
+    # comparison), but the per-box contributor lists come from one
+    # nonzero sweep in CSR form instead of a column slice per box.
+    multi = np.nonzero(ncontrib != 1)[0]
+    if multi.size:
+        box_pos, rank_flat = np.nonzero(contrib[:, multi].T)
+        seg = np.searchsorted(box_pos, np.arange(multi.size + 1))
+        for j, b in enumerate(multi):
+            ranks = rank_flat[seg[j]:seg[j + 1]]
+            if ranks.size == 0:
+                owner[b] = 0
+                continue
+            r = int(ranks[np.argmin(load[ranks])])
+            owner[b] = r
+            load[r] += 1
     return owner

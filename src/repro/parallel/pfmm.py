@@ -18,6 +18,7 @@ number of such boxes is small.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.core.fftm2l import FFTM2L
 from repro.core.fmm import FMMOptions
 from repro.core.m2lschedule import (
     M2LSchedule,
+    coarse_split_levels,
     resolve_m2l_schedule,
     v_stats_from_lists,
     v_stats_from_plan,
@@ -362,12 +364,12 @@ def parallel_evaluate(
         }
     ghost_src = exchange_source_data(
         comm, src_boxes, contrib_src, users_src, owner, local_pts, local_dens,
-        timer=timer,
+        timer=timer, scheme=opts.comm,
     )
     ue_boxes = np.nonzero(users_equiv.any(axis=0))[0]
     global_ue = exchange_equiv_densities(
         comm, ue_boxes, contrib_src, users_equiv, owner, partial_ue, has_ue,
-        timer=timer,
+        timer=timer, scheme=opts.comm,
     )
 
     # Backend resolution must gate the V statistics by *global* source
@@ -415,12 +417,27 @@ class _VSplit:
     Rows/classes over sources this rank owns can be processed inside the
     overlap window (their global equivalent densities are on hand right
     after the owner relay); ghost rows wait for the scatter.
+
+    At *coarse split levels* (box count below the rank count — see
+    :func:`repro.core.m2lschedule.coarse_split_levels`) the redundant
+    tree-top translations are divided instead: ``own_*`` is empty, the
+    ``ghost_*`` classes are restricted to the target boxes *assigned* to
+    this rank by the deterministic cyclic assignment, ``inv_rows`` lists
+    the assigned positions into ``vl.trg_boxes`` (the only rows this
+    rank inverse-transforms), and ``bcast`` holds the per-box
+    ``(box, root_rank, participant_ranks)`` broadcast schedule that
+    delivers every participant the assigned rank's downward-check rows.
+    ``inv_rows is None`` means the level is not split (all rows local).
     """
 
     own_rows: np.ndarray
     ghost_rows: np.ndarray
     own_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
     ghost_classes: list[tuple[tuple[int, int, int], np.ndarray, np.ndarray]]
+    inv_rows: np.ndarray | None = None
+    bcast: list[tuple[int, int, tuple[int, ...]]] = dataclasses_field(
+        default_factory=list
+    )
 
     stage_meta = StageMeta(
         reads=("ue", "vhat"), writes=("vhat", "dc"), dtype="float64"
@@ -465,6 +482,7 @@ class RankFMM:
         target_kernel: Kernel | None,
         direct_kernel: Kernel | None,
         m2l_schedule: M2LSchedule | None = None,
+        v_compute: np.ndarray | None = None,
     ) -> None:
         self.kernel = kernel
         self.options = options
@@ -483,6 +501,11 @@ class RankFMM:
         self.v_splits = v_splits
         self.src_start = src_start
         self.src_stop = src_stop
+        # Which boxes this rank performs V target-side work for.  Every
+        # box with local targets, except at coarse split levels, where
+        # only the cyclically-assigned boxes remain (the flop model's
+        # ``v_targets`` mask — ``None`` means fully redundant).
+        self.v_compute = v_compute
         if m2l_schedule is None:
             m2l_schedule = resolve_m2l_schedule(
                 options.m2l, options.dtype,
@@ -598,7 +621,7 @@ class RankFMM:
                               "global upward equivalent densities")
 
         # Ghost-dependent passes.
-        self._v_ghost(ue3, dc3, v_state, timer)
+        self._v_ghost(comm, ue3, dc3, v_state, timer)
         self._downward(ext_phi3, dc3, de3, pot3, timer)
         self._near_u(self.u_ghost, ext_phi3, pot3, timer)
         self._near_w(self.w_ghost, ue3, pot3, timer)
@@ -813,12 +836,22 @@ class RankFMM:
 
     def _v_ghost(
         self,
+        comm: SimComm,
         ue3: np.ndarray,
         dc3: np.ndarray,
         state: list[tuple[np.ndarray, np.ndarray] | None],
         timer: PhaseTimer,
     ) -> None:
-        """Complete the V pass with ghost-owned source boxes."""
+        """Complete the V pass with ghost-owned source boxes.
+
+        At coarse split levels (``sp.inv_rows is not None``) this rank
+        only carries the boxes the deterministic cyclic assignment gave
+        it — the inverse transform is restricted to ``inv_rows`` — and
+        the level ends with a tree broadcast of each assigned box's
+        downward-check rows to the box's other contributor ranks, which
+        *assign* (not accumulate) the received bytes so the rows stay
+        bitwise identical across participants.
+        """
         plan, fft = self.plan, self.fft
         if not plan.v_levels:
             return
@@ -834,6 +867,7 @@ class RankFMM:
                         vl, sp.ghost_classes, sched.backend(vl.level),
                         ue3, dc3,
                     )
+                    self._v_split_bcast(comm, vl, sp, dc3)
                     continue
                 nfreq = fft.m * fft.m * (fft.m // 2 + 1)
                 phi_hat, acc = st
@@ -853,8 +887,41 @@ class RankFMM:
                         fft.accumulate_many(
                             acc[r], tensor, phi_hat[r][spos], tpos
                         )
-                for r in range(nrhs):
-                    dc3[r][vl.trg_boxes] += fft.inverse_rows(acc[r])
+                if sp.inv_rows is None:
+                    for r in range(nrhs):
+                        dc3[r][vl.trg_boxes] += fft.inverse_rows(acc[r])
+                elif sp.inv_rows.size:
+                    rows = vl.trg_boxes[sp.inv_rows]
+                    for r in range(nrhs):
+                        dc3[r][rows] += fft.inverse_rows(
+                            acc[r][sp.inv_rows]
+                        )
+                self._v_split_bcast(comm, vl, sp, dc3)
+
+    def _v_split_bcast(
+        self, comm: SimComm, vl, sp, dc3: np.ndarray
+    ) -> None:
+        """Deliver split-level downward-check rows along the rank tree.
+
+        Every participant iterates the same ascending ``(level, box)``
+        schedule, so the segmented broadcasts match up deadlock-free.
+        At this point ``dc3[:, bx]`` holds exactly the level's V
+        contribution (L2L and X accumulate later, own classes are empty
+        at split levels), so the root's rows can be assigned verbatim.
+        """
+        if not sp.bcast:
+            return
+        me = comm.rank
+        for bx, root, parts in sp.bcast:
+            blk = (
+                np.ascontiguousarray(dc3[:, bx]) if me == root else None
+            )
+            out = comm.tree_bcast(
+                blk, root, parts,
+                tag=("vsp", int(vl.level), int(bx)), phase="v_split",
+            )
+            if me != root:
+                dc3[:, bx] = out
 
     def _downward(
         self,
@@ -1001,6 +1068,7 @@ def rank_setup(
     }
     ghost_pts = exchange_source_geometry(
         comm, src_boxes, contrib_src, users_src, owner, local_pts, timer=timer,
+        scheme=opts.comm,
     )
     ext_points = np.empty((ext_total, 3))
     for b in used:
@@ -1008,9 +1076,9 @@ def rank_setup(
 
     layout = GhostLayout(
         phi=build_exchange_plan("phi", me, src_boxes, contrib_src,
-                                users_src, owner),
+                                users_src, owner, scheme=opts.comm),
         pue=build_exchange_plan("pue", me, ue_boxes, contrib_src,
-                                users_equiv, owner),
+                                users_equiv, owner, scheme=opts.comm),
         ext_start=ext_start,
         ext_stop=ext_stop,
     )
@@ -1051,8 +1119,71 @@ def rank_setup(
         w_own = build_w_blocks(wt[wo], wp[wo], trg_start, trg_stop)
         w_ghost = build_w_blocks(wt[~wo], wp[~wo], trg_start, trg_stop)
 
+        # Coarse split levels: fewer boxes than ranks, where the fully
+        # redundant tree-top V translations leave ranks idle.  Each
+        # active target box there is assigned to exactly one of its
+        # contributor ranks (cyclic over the level's active boxes), and
+        # the assigned rank broadcasts the computed downward-check rows
+        # — every quantity below derives from replicated matrices, so
+        # all ranks agree without communication.
+        split_levels = coarse_split_levels(
+            [len(tree.levels[lvl]) for lvl in range(tree.depth + 1)],
+            comm.size,
+        )
+        v_compute = ntrg > 0  # default: every box with local targets
         v_splits: list[_VSplit] = []
+        empty_idx = np.empty(0, dtype=np.int64)
         for vl in plan.v_levels:
+            if vl.level in split_levels:
+                lvl_boxes = np.asarray(
+                    tree.levels[vl.level], dtype=np.int64
+                )
+                # The level's global V target set, gated like build_plan:
+                # some rank contributes targets and some partner holds
+                # global sources.
+                cand = [
+                    int(bx) for bx in lvl_boxes
+                    if contrib_trg[:, bx].any()
+                    and any(gsrc[int(a)] > 0 for a in lists.V[int(bx)])
+                ]
+                assigned_rank: dict[int, int] = {}
+                bcast: list[tuple[int, int, tuple[int, ...]]] = []
+                for j, bx in enumerate(cand):
+                    parts = tuple(
+                        int(r) for r in np.nonzero(contrib_trg[:, bx])[0]
+                    )
+                    root_r = parts[j % len(parts)]
+                    assigned_rank[bx] = root_r
+                    if me in parts:
+                        bcast.append((bx, root_r, parts))
+                assigned = np.fromiter(
+                    (assigned_rank[int(bx)] == me for bx in vl.trg_boxes),
+                    bool, vl.trg_boxes.size,
+                )
+                v_compute[lvl_boxes] = False
+                v_compute[[bx for bx, r in assigned_rank.items()
+                           if r == me]] = True
+                ghost_classes = []
+                used_src: list[np.ndarray] = []
+                for offset, spos, tpos in vl.classes:
+                    m = assigned[tpos]
+                    if m.any():
+                        ghost_classes.append((offset, spos[m], tpos[m]))
+                        used_src.append(spos[m])
+                v_splits.append(
+                    _VSplit(
+                        own_rows=empty_idx,
+                        ghost_rows=(
+                            np.unique(np.concatenate(used_src))
+                            if used_src else empty_idx
+                        ),
+                        own_classes=[],
+                        ghost_classes=ghost_classes,
+                        inv_rows=np.flatnonzero(assigned),
+                        bcast=bcast,
+                    )
+                )
+                continue
             src_owned = owner[vl.src_boxes] == me
             own_classes, ghost_classes = [], []
             for offset, spos, tpos in vl.classes:
@@ -1102,6 +1233,7 @@ def rank_setup(
         target_kernel=target_kernel,
         direct_kernel=direct_kernel,
         m2l_schedule=sched,
+        v_compute=v_compute,
     )
 
 

@@ -1,11 +1,27 @@
 """Simulated MPI: logical ranks on threads, message-passing semantics.
 
 Provides the MPI subset the paper's implementation uses — blocking
-send/recv, buffered isend, ``Allreduce``, ``Allgather`` and barriers —
-with per-rank traffic accounting so tests and the performance model can
-inspect communication volumes.  Point-to-point messages go through
-per-``(src, dst, tag)`` queues; collectives use a generation-safe
-two-phase barrier protocol.
+send/recv, buffered isend, ``Allreduce``, ``Bcast``, ``Reduce_scatter``,
+``Allgather`` and barriers — with per-rank traffic accounting so tests
+and the performance model can inspect communication volumes.
+Point-to-point messages go through per-``(src, dst, tag)`` queues.
+
+Collectives are *hierarchical*: ``allreduce``, ``bcast`` and
+``reduce_scatter`` move data along a deterministic binomial tree of
+real point-to-point messages, so each rank sends and receives O(log P)
+messages per call instead of the O(P) fan-in of a flat root-style
+reduce — the tree-top pattern the paper needs at thousands of ranks.
+Every internal message is a first-class traced/accounted send, so the
+commcheck/racecheck analyzers certify the collectives like any other
+traffic.  The segmented variants :meth:`SimComm.tree_reduce` /
+:meth:`SimComm.tree_bcast` run the same binomial pattern over an
+arbitrary rank *subset* rooted at a chosen rank (the owner of a box, in
+the exchange layer) without any global synchronisation.
+
+The binomial association is fixed (``_combine_tree`` reproduces it
+locally), so reduction results are bitwise independent of the thread
+schedule, and a flat code path that combines the same pieces with
+:func:`combine_tree` matches the message-passing path bit for bit.
 
 This is the DESIGN.md substitution for the paper's MPI/Quadrics stack:
 the algorithm exchanges real messages between ranks, only the transport
@@ -88,6 +104,14 @@ class CommStats:
     bytes_received: int = 0
     allreduce_calls: int = 0
     allreduce_bytes: int = 0
+    bcast_calls: int = 0
+    bcast_bytes: int = 0
+    reduce_scatter_calls: int = 0
+    reduce_scatter_bytes: int = 0
+    tree_reduce_calls: int = 0
+    tree_reduce_bytes: int = 0
+    tree_bcast_calls: int = 0
+    tree_bcast_bytes: int = 0
     #: Wall seconds this rank spent blocked waiting for messages (the
     #: receive side of :meth:`SimComm.recv` / :meth:`Request.wait`).
     #: Together with the ``pack``/``wait`` timer phases this makes
@@ -114,15 +138,40 @@ class CommStats:
         self.allreduce_calls += 1
         self.allreduce_bytes += nbytes
 
+    def record_bcast(self, nbytes: int) -> None:
+        self.bcast_calls += 1
+        self.bcast_bytes += nbytes
+
+    def record_reduce_scatter(self, nbytes: int) -> None:
+        self.reduce_scatter_calls += 1
+        self.reduce_scatter_bytes += nbytes
+
+    def record_tree_reduce(self, nbytes: int) -> None:
+        self.tree_reduce_calls += 1
+        self.tree_reduce_bytes += nbytes
+
+    def record_tree_bcast(self, nbytes: int) -> None:
+        self.tree_bcast_calls += 1
+        self.tree_bcast_bytes += nbytes
+
+    #: Counter fields accumulated by :meth:`merge` — every integer/float
+    #: counter above except the ``by_phase`` dict.  Enumerated once so a
+    #: newly added collective counter cannot be silently dropped from
+    #: :meth:`total` aggregation again.
+    _SUM_FIELDS = (
+        "messages_sent", "bytes_sent", "messages_received",
+        "bytes_received", "allreduce_calls", "allreduce_bytes",
+        "bcast_calls", "bcast_bytes",
+        "reduce_scatter_calls", "reduce_scatter_bytes",
+        "tree_reduce_calls", "tree_reduce_bytes",
+        "tree_bcast_calls", "tree_bcast_bytes",
+        "recv_wait_seconds",
+    )
+
     def merge(self, other: "CommStats") -> None:
         """Accumulate ``other`` into this instance."""
-        self.messages_sent += other.messages_sent
-        self.bytes_sent += other.bytes_sent
-        self.messages_received += other.messages_received
-        self.bytes_received += other.bytes_received
-        self.allreduce_calls += other.allreduce_calls
-        self.allreduce_bytes += other.allreduce_bytes
-        self.recv_wait_seconds += other.recv_wait_seconds
+        for name in self._SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for phase, nbytes in other.by_phase.items():
             self.by_phase[phase] += nbytes
 
@@ -169,11 +218,81 @@ def _payload_bytes(obj: Any) -> int:
 
 
 #: Supported allreduce reductions (validated up front on every rank).
-_ALLREDUCE_OPS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
-    "sum": lambda stack: stack.sum(axis=0),
-    "max": lambda stack: stack.max(axis=0),
-    "min": lambda stack: stack.min(axis=0),
+#: Pairwise operators: the collectives combine two accumulated partials
+#: per binomial-tree round.
+_ALLREDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda a, b: a + b,
+    "max": np.maximum,
+    "min": np.minimum,
 }
+
+
+# -- binomial-tree topology --------------------------------------------------
+#
+# All hierarchical collectives share one deterministic shape: the
+# participants are laid out on *positions* 0..n-1 with the root at
+# position 0, and position q is the child of q with its lowest set bit
+# cleared.  A reduction runs rounds mask = 1, 2, 4, ...: positions with
+# ``pos & mask`` send their partial to ``pos - mask`` and exit, the
+# rest receive-and-combine.  A broadcast mirrors the same edges
+# downward.  Each participant therefore touches at most ceil(log2 n)
+# messages, and the association of the combines is a pure function of
+# n — never of the thread schedule.
+
+
+def tree_order(ranks: Iterable[int], root: int) -> list[int]:
+    """Deterministic position layout of a participant set.
+
+    Sorted ascending, then rotated so ``root`` sits at position 0 — the
+    same layout on every rank, so all participants derive identical
+    parent/child edges without communicating.
+    """
+    order = sorted({int(r) for r in ranks} | {int(root)})
+    i = order.index(int(root))
+    return order[i:] + order[:i]
+
+
+def tree_parent(pos: int) -> int:
+    """Parent position (lowest set bit cleared); position 0 is the root."""
+    return pos & (pos - 1)
+
+
+def tree_children(pos: int, n: int) -> list[int]:
+    """Child positions of ``pos`` in an ``n``-participant binomial tree.
+
+    Ascending-mask order — the order a reduction *receives* them.  A
+    broadcast sends to ``reversed(tree_children(...))`` so the largest
+    subtree is released first.
+    """
+    kids = []
+    mask = 1
+    while mask < n and not pos & mask:
+        if pos + mask < n:
+            kids.append(pos + mask)
+        mask <<= 1
+    return kids
+
+
+def combine_tree(values: list, combine: Callable[[Any, Any], Any]):
+    """Combine ``values`` (indexed by tree position) with the *exact*
+    association of the binomial-tree message pattern.
+
+    ``None`` entries mark absent contributions and are skipped.  A flat
+    communication path that gathers the same pieces and folds them with
+    this helper is bitwise identical to the hierarchical path, which is
+    how the exchange layer keeps its two schemes interchangeable.
+    """
+    vals = list(values)
+    n = len(vals)
+    mask = 1
+    while mask < n:
+        for p in range(0, n, 2 * mask):
+            q = p + mask
+            if q < n:
+                a, c = vals[p], vals[q]
+                vals[p] = c if a is None else (a if c is None else combine(a, c))
+        mask <<= 1
+    return vals[0] if vals else None
 
 
 class _World:
@@ -193,8 +312,6 @@ class _World:
         self._mailbox_lock = threading.Lock()
         self.slots: list[Any] = [None] * size
         self.clock_slots: list[Any] = [None] * size
-        self.reduced: Any = None
-        self.failure: BaseException | None = None
         self.trace = trace
         self.schedule_seed = schedule_seed
         self.recv_timeout = recv_timeout
@@ -233,6 +350,11 @@ class SimComm:
         self.rank = rank
         self.size = world.size
         self.stats = CommStats()
+        #: Per-rank collective generation counter.  SPMD code calls
+        #: collectives in the same order on every rank, so the counter
+        #: values agree and the internal point-to-point tags they mint
+        #: are generation unique (no cross-call mailbox mixing).
+        self._coll_seq = 0
         self._timeout = (
             world.recv_timeout if world.recv_timeout is not None else self.TIMEOUT
         )
@@ -373,6 +495,53 @@ class SimComm:
             return
         self._world.barrier.wait()
 
+    def _next_coll_tag(self, name: str) -> tuple:
+        tag = ("__coll__", name, self._coll_seq)
+        self._coll_seq += 1
+        return tag
+
+    def _reduce_to_root(
+        self, array: np.ndarray, op: str, tag: Any, coll: str
+    ) -> np.ndarray | None:
+        """Binomial reduce of ``array`` to rank 0; returns the total
+        there, ``None`` elsewhere.  Shape agreement is verified edge by
+        edge, so a mismatch surfaces at the first tree node that sees
+        both shapes."""
+        acc = array
+        pos, n = self.rank, self.size
+        mask = 1
+        while mask < n:
+            if pos & mask:
+                self.send(pos - mask, acc, tag=tag)
+                return None
+            child = pos + mask
+            if child < n:
+                other = np.asarray(self.recv(child, tag=tag))
+                if other.shape != acc.shape:
+                    raise ValueError(
+                        f"{coll} shape mismatch across ranks: rank "
+                        f"{self.rank} contributed {acc.shape}, rank {child} "
+                        f"contributed {other.shape} (every rank must "
+                        f"contribute the same shape)"
+                    )
+                acc = _ALLREDUCE_OPS[op](acc, other)
+            mask <<= 1
+        return acc
+
+    def _bcast_from_root(self, value: Any, root: int, tag: Any) -> Any:
+        """Binomial broadcast over the full world from ``root``.
+
+        Forwards the payload *by reference*; callers that hand the
+        result to user code must copy mutable payloads first.
+        """
+        n = self.size
+        pos = (self.rank - root) % n
+        if pos != 0:
+            value = self.recv((tree_parent(pos) + root) % n, tag=tag)
+        for child in reversed(tree_children(pos, n)):
+            self.send((child + root) % n, value, tag=tag)
+        return value
+
     def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
         """MPI_Allreduce over numpy arrays (sum/max/min).
 
@@ -381,6 +550,12 @@ class SimComm:
         copies of the global tree array", Section 3.1).  ``op`` is
         validated before any rank synchronisation so an unsupported
         reduction fails fast with a clear error on every rank.
+
+        Runs as a binomial-tree reduce to rank 0 followed by a tree
+        broadcast: O(log P) point-to-point messages per rank, each
+        traced and accounted like ordinary traffic.  The combine
+        association is fixed by the tree shape, so results are bitwise
+        schedule independent.
         """
         if op not in _ALLREDUCE_OPS:
             raise ValueError(
@@ -394,27 +569,159 @@ class SimComm:
             self._tracer.on_coll_enter(
                 "allreduce", nbytes=array.nbytes, op=op, shape=array.shape
             )
-        w = self._world
-        w.slots[self.rank] = array
-        idx = w.barrier.wait()
-        if idx == 0:
-            try:
-                stack = np.stack(w.slots)
-            except ValueError:
-                shapes = [np.shape(s) for s in w.slots]
-                w.failure = ValueError(
-                    f"allreduce shape mismatch across ranks: "
-                    f"{shapes} (every rank must contribute the same shape)"
-                )
-                w.reduced = None
-            else:
-                w.reduced = _ALLREDUCE_OPS[op](stack)
-        w.barrier.wait()
-        if w.failure is not None:
-            raise w.failure
+        tag = self._next_coll_tag("allreduce")
+        total = self._reduce_to_root(array, op, tag, "allreduce")
+        total = self._bcast_from_root(total, 0, tag)
         if self._tracer is not None:
             self._coll_clock_sync("allreduce")
-        return np.array(w.reduced, copy=True)
+        return np.array(total, copy=True)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """MPI_Bcast: every rank returns ``root``'s object.
+
+        Binomial tree rooted at ``root`` — O(log P) messages per rank.
+        Array payloads are copied on receiving ranks so no two ranks
+        share a mutable buffer; other payload types are forwarded by
+        reference and must be treated as read-only.
+        """
+        if not 0 <= root < self.size:
+            raise ValueError(f"invalid bcast root {root}")
+        self._jitter()
+        if self._tracer is not None:
+            self._tracer.on_coll_enter(
+                "bcast", nbytes=_payload_bytes(obj) if self.rank == root else 0
+            )
+        tag = self._next_coll_tag("bcast")
+        value = self._bcast_from_root(
+            obj if self.rank == root else None, root, tag
+        )
+        self.stats.record_bcast(_payload_bytes(value))
+        if self._tracer is not None:
+            self._coll_clock_sync("bcast")
+        if self.rank != root and isinstance(value, np.ndarray):
+            value = np.array(value, copy=True)
+        return value
+
+    def reduce_scatter(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """MPI_Reduce_scatter_block: reduce a ``(P, ...)`` contribution
+        elementwise across ranks, return row ``rank`` of the total.
+
+        Tree-reduce of the full block to rank 0, then a binomial
+        *scatter*: each tree edge carries only the rows of the child's
+        subtree, so per-rank traffic stays O(log P) messages.
+        """
+        if op not in _ALLREDUCE_OPS:
+            raise ValueError(
+                f"unsupported reduce_scatter op {op!r}; supported ops: "
+                f"{', '.join(sorted(_ALLREDUCE_OPS))}"
+            )
+        array = np.asarray(array)
+        if array.shape[0] != self.size:
+            raise ValueError(
+                f"reduce_scatter needs a leading axis of length "
+                f"{self.size} (one row per rank), got shape {array.shape}"
+            )
+        self._jitter()
+        self.stats.record_reduce_scatter(array.nbytes)
+        if self._tracer is not None:
+            self._tracer.on_coll_enter(
+                "reduce_scatter", nbytes=array.nbytes, op=op, shape=array.shape
+            )
+        tag = self._next_coll_tag("reduce_scatter")
+        total = self._reduce_to_root(array, op, tag, "reduce_scatter")
+        pos, n = self.rank, self.size
+        if pos == 0:
+            block, lo = total, 0
+        else:
+            block = self.recv(tree_parent(pos), tag=(tag, "scatter"))
+            lo = pos
+        for child in reversed(tree_children(pos, n)):
+            # The child's subtree spans positions [child, child + m)
+            # where m is the mask that attached it (its lowest set bit).
+            hi = min(child + (child & -child), n)
+            self.send(
+                child, block[child - lo: hi - lo], tag=(tag, "scatter")
+            )
+        out = np.array(block[pos - lo], copy=True)
+        if self._tracer is not None:
+            self._coll_clock_sync("reduce_scatter")
+        return out
+
+    def tree_reduce(
+        self,
+        value: Any,
+        root: int,
+        ranks: Iterable[int],
+        tag: Any,
+        combine: Callable[[Any, Any], Any] | None = None,
+        phase: str | None = None,
+    ) -> Any:
+        """Segmented binomial reduction over a rank *subset*.
+
+        Every rank in ``ranks`` (plus ``root``) calls this with its
+        contribution (``None`` for a participant with nothing to add —
+        e.g. a box owner that holds no local data); the combined value
+        is returned at ``root`` and ``None`` everywhere else.  The
+        association is the fixed binomial-tree order of
+        :func:`combine_tree`, so the result is bitwise identical to a
+        flat gather folded with that helper.
+
+        This is deliberately *not* a global collective: participation
+        is data dependent (keyed by box owner in the exchange layer),
+        so no collective trace events are emitted — the internal
+        messages are ordinary traced sends on the caller's ``tag``.
+        Callers must invoke per-key reductions in the same key order on
+        every participant (the exchange iterates boxes ascending).
+        """
+        order = tree_order(ranks, root)
+        n = len(order)
+        pos = order.index(self.rank)  # ValueError for a non-participant
+        if combine is None:
+            combine = _ALLREDUCE_OPS["sum"]
+        self.stats.record_tree_reduce(0)
+        acc = value
+        mask = 1
+        while mask < n:
+            if pos & mask:
+                self.stats.tree_reduce_bytes += _payload_bytes(acc)
+                self.send(order[pos - mask], acc, tag=tag, phase=phase)
+                return None
+            child = pos + mask
+            if child < n:
+                piece = self.recv(order[child], tag=tag, phase=phase)
+                if acc is None:
+                    acc = piece
+                elif piece is not None:
+                    acc = combine(acc, piece)
+            mask <<= 1
+        return acc
+
+    def tree_bcast(
+        self,
+        value: Any,
+        root: int,
+        ranks: Iterable[int],
+        tag: Any,
+        phase: str | None = None,
+    ) -> Any:
+        """Segmented binomial broadcast over a rank subset (see
+        :meth:`tree_reduce` for the participation contract).
+
+        Interior participants forward the payload *by reference*, so
+        the returned object must be treated as read-only on every rank
+        except ``root``.
+        """
+        order = tree_order(ranks, root)
+        n = len(order)
+        pos = order.index(self.rank)  # ValueError for a non-participant
+        if pos != 0:
+            value = self.recv(order[tree_parent(pos)], tag=tag, phase=phase)
+        self.stats.record_tree_bcast(
+            _payload_bytes(value) if pos == 0 else 0
+        )
+        for child in reversed(tree_children(pos, n)):
+            self.send(order[child], value, tag=tag, phase=phase)
+        return value
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one object per rank, everywhere."""

@@ -16,7 +16,14 @@ conversions are calibrated constants.
 
 from repro.perfmodel.machine import MachineModel, TCS1
 from repro.perfmodel.costs import PhaseWork, compute_work
-from repro.perfmodel.simulate import RunReport, simulate_run, simulate_tree_time
+from repro.perfmodel.simulate import (
+    RunReport,
+    TreeTopPoint,
+    project_scaling,
+    simulate_run,
+    simulate_tree_time,
+    tree_top_model,
+)
 from repro.perfmodel.metrics import (
     cycles_per_particle,
     flop_rate_efficiency,
@@ -29,8 +36,11 @@ __all__ = [
     "PhaseWork",
     "compute_work",
     "RunReport",
+    "TreeTopPoint",
     "simulate_run",
     "simulate_tree_time",
+    "tree_top_model",
+    "project_scaling",
     "cycles_per_particle",
     "work_efficiency",
     "flop_rate_efficiency",

@@ -66,6 +66,7 @@ def compute_work(
     nrhs: int = 1,
     up_nsrc: np.ndarray | None = None,
     rsvd_rank=None,
+    v_targets: np.ndarray | None = None,
 ) -> PhaseWork:
     """Flop volumes of one interaction evaluation.
 
@@ -92,6 +93,15 @@ def compute_work(
     callable (typically ``cache.m2l_rsvd_rank``), because the
     compressed per-pair cost depends on each offset class's numerical
     rank.
+
+    ``v_targets`` optionally overrides which boxes this rank performs
+    V-list *target-side* work for (Hadamard/dense/rsvd accumulation plus
+    the inverse transform), as a boolean mask over boxes; the forward
+    transforms follow (a source box is transformed iff it feeds at least
+    one ``v_targets`` box on an fft level).  Defaults to every box with
+    targets — the fully redundant tree top.  The parallel coarse-level
+    split passes its per-rank assignment mask (``RankFMM.v_compute``)
+    so the per-rank flop identity stays exact.
     """
     if isinstance(m2l, M2LSchedule):
         backend_of = m2l.backend
@@ -141,14 +151,20 @@ def compute_work(
     down_x = np.zeros(nb)
     evalw = np.zeros(nb)
 
-    # Which V-graph source boxes feed at least one target that actually
-    # holds targets *on an fft-scheduled level*: exactly those get a
-    # forward transform (once per level) in the planned evaluator,
+    vtm = (
+        np.asarray(v_targets, dtype=bool)
+        if v_targets is not None
+        else ntrg > 0
+    )
+
+    # Which V-graph source boxes feed at least one target this rank
+    # performs V work for *on an fft-scheduled level*: exactly those get
+    # a forward transform (once per level) in the planned evaluator,
     # attributed here to the source box that performs it.  V lists are
     # same-level, so the target's level is the source's.
     v_feeds = np.zeros(nb, dtype=bool)
     for b in boxes:
-        if ntrg[b.index] > 0 and backend_of(b.level) == "fft":
+        if vtm[b.index] and backend_of(b.level) == "fft":
             for a in lists.V[b.index]:
                 v_feeds[a] = True
 
@@ -177,14 +193,8 @@ def compute_work(
         if nsrc[i] > 0 and v_feeds[i]:
             down_v[i] += md * fft_flops  # forward transform of this source
 
-        if not has_trg:
-            continue
-        if b.level >= 1 and b.parent >= 0 and has_down[b.parent]:
-            evalw[i] += l2l_flops  # L2L from the parent's density
-        if has_down[i]:
-            evalw[i] += pinv_flops  # dc2de inversion
         nv = sum(1 for a in lists.V[i] if nsrc[a] > 0)
-        if nv:
+        if nv and vtm[i]:
             backend = backend_of(b.level)
             if backend == "dense":
                 down_v[i] += nv * m2l_dense_flops
@@ -210,6 +220,12 @@ def compute_work(
                         )
             else:
                 down_v[i] += nv * hadamard_flops + qd * fft_flops  # + inverse DFT
+        if not has_trg:
+            continue
+        if b.level >= 1 and b.parent >= 0 and has_down[b.parent]:
+            evalw[i] += l2l_flops  # L2L from the parent's density
+        if has_down[i]:
+            evalw[i] += pinv_flops  # dc2de inversion
         for a in lists.X[i]:
             if nsrc[a] > 0:
                 down_x[i] += n_surf * nsrc[a] * fpp

@@ -22,10 +22,13 @@ with its 2/3 power (surface-to-volume), documented in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.core.m2lschedule import coarse_split_levels
+from repro.core.surfaces import n_surface_points
 from repro.geometry.patches import partition_weights
 from repro.kernels.base import Kernel
 from repro.octree.lists import InteractionLists
@@ -300,6 +303,270 @@ def simulate_run(
             grain_scale=grain_scale,
         ),
     )
+
+
+@dataclass
+class TreeTopPoint:
+    """Modelled tree-top cost of one simulated processor count.
+
+    "Tree top" means the shared boxes — boxes whose leaf descendants
+    span more than one rank, i.e. the boxes whose partial upward
+    densities ride the owner gather/scatter and whose coarse V
+    translations are performed redundantly.  The point compares the two
+    exchange schemes on identical traffic: ``flat`` (owner serialises
+    ``C-1`` point-to-point transfers per box) against ``tree``
+    (segmented binomial collectives, ``ceil(log2 C)`` rounds) plus the
+    coarse-level V split (assigned-rank compute + row broadcast instead
+    of fully redundant translation).  Total message counts are
+    identical by construction — a binomial tree over ``C`` participants
+    has exactly ``C-1`` edges — only the critical path and the per-rank
+    fan-in change.
+    """
+
+    P: int
+    shared_boxes: int
+    split_levels: list[int]
+    #: critical-rank seconds of the gather/scatter exchange per scheme
+    flat_seconds: float
+    tree_seconds: float
+    #: worst per-rank message count per scheme (the O(P) -> O(log P) claim)
+    flat_max_rank_msgs: int
+    tree_max_rank_msgs: int
+    #: total messages (identical under both schemes)
+    total_msgs: int
+    #: critical-rank seconds of coarse-level V translation work
+    v_redundant_seconds: float
+    v_split_seconds: float
+
+    @property
+    def flat_total(self) -> float:
+        return self.flat_seconds + self.v_redundant_seconds
+
+    @property
+    def tree_total(self) -> float:
+        return self.tree_seconds + self.v_split_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Modelled tree-top improvement, flat over hierarchical."""
+        t = self.tree_total
+        return self.flat_total / t if t > 0 else float("inf")
+
+
+def _uniform_intervals(tree: Octree, P: int) -> tuple[np.ndarray, np.ndarray]:
+    """Contributor rank interval per box under equal-particle splitting.
+
+    Rank of source ``i`` is ``floor(i * P / N)``; a box's contributors
+    are the ranks its contiguous Morton source range touches.  Unlike
+    :func:`_leaf_ranks` this stays exact for ``P`` far beyond the model
+    tree's leaf count, which the 4096-rank projection needs.
+    """
+    N = max(1, tree.sources.shape[0])
+    starts = np.fromiter(
+        (b.src_start for b in tree.boxes), np.int64, tree.nboxes
+    )
+    stops = np.fromiter(
+        (b.src_stop for b in tree.boxes), np.int64, tree.nboxes
+    )
+    lo = np.clip(starts * P // N, 0, P - 1)
+    hi = np.clip(np.maximum(stops - 1, starts) * P // N, 0, P - 1)
+    return lo, np.maximum(hi, lo)
+
+
+def tree_top_model(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    p: int,
+    P: int,
+    machine: MachineModel,
+    work: PhaseWork | None = None,
+    nrhs: int = 1,
+) -> TreeTopPoint:
+    """Model the tree-top exchange and coarse V work at ``P`` ranks.
+
+    Produces the flat-vs-hierarchical comparison of one processor
+    count: per-rank time and message-count arrays are accumulated box
+    by box over the shared boxes (difference arrays over rank
+    intervals, so the sweep stays cheap at thousands of ranks), then
+    reduced to the critical rank.
+    """
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    if work is None:
+        work = compute_work(tree, lists, kernel, p, nrhs=nrhs)
+    lo, hi = _uniform_intervals(tree, P)
+    equiv_uses, _, equiv_bytes, _ = communication_volumes(
+        tree, lists, kernel, p, nrhs=nrhs
+    )
+
+    flat_t = np.zeros(P + 1)
+    tree_t = np.zeros(P + 1)
+    flat_m = np.zeros(P + 1)
+    tree_m = np.zeros(P + 1)
+    total_msgs = 0
+    shared = 0
+    for b in range(tree.nboxes):
+        C = int(hi[b] - lo[b] + 1)
+        if C <= 1:
+            continue  # unshared: identical under both schemes
+        shared += 1
+        owner = int(lo[b])
+        unit = machine.latency + float(equiv_bytes[b]) / machine.bandwidth
+        users = _merge_intervals(
+            [(int(lo[t]), int(hi[t])) for t in equiv_uses[b]]
+        )
+        nusers = sum(h - l + 1 for l, h in users)
+        u_other = nusers - sum(
+            1 for l, h in users if l <= owner <= h
+        )
+        total_msgs += (C - 1) + u_other
+
+        # flat: the owner serialises every gather receive and scatter
+        # send; each peer pays one transfer.
+        _interval_add(flat_t, owner, owner, (C - 1 + u_other) * unit)
+        _interval_add(flat_m, owner, owner, C - 1 + u_other)
+        _interval_add(flat_t, int(lo[b]), int(hi[b]), unit)
+        _interval_add(flat_m, int(lo[b]), int(hi[b]), 1.0)
+        _interval_add(flat_t, owner, owner, -unit)
+        _interval_add(flat_m, owner, owner, -1.0)
+        for l, h in users:
+            _interval_add(flat_t, l, h, unit)
+            _interval_add(flat_m, l, h, 1.0)
+            if l <= owner <= h:
+                _interval_add(flat_t, owner, owner, -unit)
+                _interval_add(flat_m, owner, owner, -1.0)
+
+        # tree: segmented binomial reduce + broadcast over the same
+        # C-1 edges.  Each edge has two endpoints, so total per-rank
+        # traffic is conserved (2(C-1) message endpoints, like flat);
+        # what changes is the distribution — the root handles at most
+        # ceil(log2 C) edges instead of C-1, the rest amortise over the
+        # other participants.
+        def charge(diff_t, diff_m, l, h, root, n):
+            if n <= 1:
+                return
+            rounds = math.ceil(math.log2(n))
+            per_other = (2.0 * (n - 1) - rounds) / (n - 1)
+            _interval_add(diff_t, l, h, per_other * unit)
+            _interval_add(diff_m, l, h, per_other)
+            _interval_add(diff_t, root, root, (rounds - per_other) * unit)
+            _interval_add(diff_m, root, root, rounds - per_other)
+
+        charge(tree_t, tree_m, int(lo[b]), int(hi[b]), owner, C)
+        if u_other:
+            # scatter participants: the owner plus the other user ranks
+            # (their intervals may be disjoint, so charge per interval
+            # with the owner's correction applied once).
+            S = u_other + 1
+            rounds = math.ceil(math.log2(S))
+            per_other = (2.0 * (S - 1) - rounds) / (S - 1)
+            _interval_add(tree_t, owner, owner, rounds * unit)
+            _interval_add(tree_m, owner, owner, float(rounds))
+            for l, h in users:
+                _interval_add(tree_t, l, h, per_other * unit)
+                _interval_add(tree_m, l, h, per_other)
+                if l <= owner <= h:
+                    _interval_add(tree_t, owner, owner, -per_other * unit)
+                    _interval_add(tree_m, owner, owner, -per_other)
+
+    # Coarse-level V translation: fully redundant (every contributor
+    # computes every shared box it touches) versus the deterministic
+    # cyclic split (one assignee computes, then tree-broadcasts the
+    # downward-check rows to the other contributors).
+    level_counts = [len(lv) for lv in tree.levels]
+    split = sorted(coarse_split_levels(level_counts, P))
+    v_red = np.zeros(P + 1)
+    v_spl = np.zeros(P + 1)
+    rate = machine.rate("down_v", kernel.name)
+    dc_bytes = 8.0 * n_surface_points(p) * kernel.target_dof * nrhs
+    next_assignee = 0
+    for lvl in split:
+        for b in tree.levels[lvl]:
+            fl = float(work.down_v[b])
+            if fl <= 0:
+                continue
+            C = int(hi[b] - lo[b] + 1)
+            sec = fl / rate
+            _interval_add(v_red, int(lo[b]), int(hi[b]), sec)
+            assignee = int(lo[b]) + next_assignee % C
+            next_assignee += 1
+            _interval_add(v_spl, assignee, assignee, sec)
+            _interval_add(
+                v_spl, int(lo[b]), int(hi[b]),
+                machine.tree_collective_time(dc_bytes, C),
+            )
+
+    def peak(diff: np.ndarray) -> float:
+        return float(np.cumsum(diff[:-1]).max()) if P > 0 else 0.0
+
+    return TreeTopPoint(
+        P=P,
+        shared_boxes=shared,
+        split_levels=[int(lv) for lv in split],
+        flat_seconds=peak(flat_t),
+        tree_seconds=peak(tree_t),
+        flat_max_rank_msgs=int(round(peak(flat_m))),
+        tree_max_rank_msgs=int(round(peak(tree_m))),
+        total_msgs=int(total_msgs),
+        v_redundant_seconds=peak(v_red),
+        v_split_seconds=peak(v_spl),
+    )
+
+
+def project_scaling(
+    tree: Octree,
+    lists: InteractionLists,
+    kernel: Kernel,
+    p: int,
+    machine: MachineModel,
+    max_ranks: int = 4096,
+    nrhs: int = 1,
+) -> dict:
+    """Sweep simulated processor counts; compare tree-top schemes.
+
+    Returns a JSON-ready report: one :class:`TreeTopPoint` per power of
+    two up to ``max_ranks``, the flat-vs-hierarchical *crossover rank*
+    (smallest P where the hierarchical critical path is strictly
+    cheaper), and the modelled improvement at the largest count.
+    """
+    if max_ranks < 2:
+        raise ValueError(f"max_ranks must be >= 2, got {max_ranks}")
+    work = compute_work(tree, lists, kernel, p, nrhs=nrhs)
+    ranks = []
+    P = 2
+    while P <= max_ranks:
+        ranks.append(P)
+        P *= 2
+    points = [
+        tree_top_model(tree, lists, kernel, p, P, machine,
+                       work=work, nrhs=nrhs)
+        for P in ranks
+    ]
+    crossover = next(
+        (pt.P for pt in points if pt.tree_total < pt.flat_total), None
+    )
+    last = points[-1]
+    return {
+        "kernel": kernel.name,
+        "p": p,
+        "nrhs": nrhs,
+        "n": int(tree.sources.shape[0]),
+        "nboxes": int(tree.nboxes),
+        "depth": int(tree.depth),
+        "max_ranks": max_ranks,
+        "points": [
+            {**asdict(pt),
+             "flat_total": pt.flat_total,
+             "tree_total": pt.tree_total,
+             "speedup": pt.speedup}
+            for pt in points
+        ],
+        "crossover_rank": crossover,
+        "speedup_at_max": last.speedup,
+        "msgs_flat_at_max": last.flat_max_rank_msgs,
+        "msgs_tree_at_max": last.tree_max_rank_msgs,
+    }
 
 
 def simulate_tree_time(

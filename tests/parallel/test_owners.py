@@ -41,6 +41,79 @@ class TestAssignOwners:
         assert assign_owners(contrib)[0] == 0
 
 
+def _assign_owners_reference(contrib: np.ndarray) -> np.ndarray:
+    """The pre-vectorisation per-box loop, kept as the semantics pin."""
+    nranks, nboxes = contrib.shape
+    owner = np.full(nboxes, -1, dtype=np.int64)
+    load = np.zeros(nranks, dtype=np.int64)
+    ncontrib = contrib.sum(axis=0)
+    for b in np.nonzero(ncontrib == 1)[0]:
+        r = int(np.argmax(contrib[:, b]))
+        owner[b] = r
+        load[r] += 1
+    for b in np.nonzero(ncontrib != 1)[0]:
+        ranks = np.nonzero(contrib[:, b])[0]
+        if len(ranks) == 0:
+            owner[b] = 0
+            continue
+        r = int(ranks[np.argmin(load[ranks])])
+        owner[b] = r
+        load[r] += 1
+    return owner
+
+
+def _adversarial_matrices(nranks: int, rng) -> list[np.ndarray]:
+    """Contributor matrices chosen to stress tie-breaking and balance."""
+    nb = 4 * nranks + 3
+    mats = []
+    # every box shared by every rank: pure load-balancing ties
+    mats.append(np.ones((nranks, nb), dtype=bool))
+    # nested rank intervals, the Morton tree-top shape: box j shared by
+    # ranks [0, nranks >> (j % levels)]
+    nested = np.zeros((nranks, nb), dtype=bool)
+    for j in range(nb):
+        width = max(1, nranks >> (j % (nranks.bit_length())))
+        nested[:width, j] = True
+    mats.append(nested)
+    # checkerboard: alternating contributor parity plus a full first rank
+    checker = np.zeros((nranks, nb), dtype=bool)
+    checker[np.arange(nranks)[:, None] % 2
+            == np.arange(nb)[None, :] % 2] = True
+    checker[0] = True
+    mats.append(checker)
+    # heavily skewed random: rank 0 contributes everywhere, others rarely
+    skew = rng.random((nranks, nb)) < 0.05
+    skew[0] = True
+    mats.append(skew)
+    # sparse random with orphan boxes left in deliberately
+    mats.append(rng.random((nranks, nb)) < 0.3)
+    return mats
+
+
+class TestAssignOwnersDeterminism:
+    """The assignment every rank computes must be a pure function of the
+    replicated contributor matrix — across repeats, copies and layouts —
+    and must match the sequential reference loop exactly."""
+
+    @pytest.mark.parametrize("nranks", [8, 16, 64])
+    def test_adversarial_matrices(self, nranks, rng):
+        for contrib in _adversarial_matrices(nranks, rng):
+            a = assign_owners(contrib)
+            b = assign_owners(contrib.copy(order="F"))
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, _assign_owners_reference(contrib))
+            shared = contrib.sum(axis=0) > 0
+            for bx in np.nonzero(shared)[0]:
+                assert contrib[a[bx], bx]
+            assert np.all(a[~shared] == 0)
+
+    @pytest.mark.parametrize("nranks", [8, 16, 64])
+    def test_all_shared_balance(self, nranks):
+        contrib = np.ones((nranks, 10 * nranks), dtype=bool)
+        counts = np.bincount(assign_owners(contrib), minlength=nranks)
+        assert counts.max() - counts.min() <= 1
+
+
 class TestGatherContributors:
     def test_matrices_identical_on_all_ranks(self):
         def main(comm):

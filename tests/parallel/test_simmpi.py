@@ -120,6 +120,134 @@ class TestCollectives:
         assert "(2,)" in str(exc.value)
         assert "(2, 2)" in str(exc.value)
 
+    def test_allreduce_message_pattern_is_logarithmic(self):
+        """The tree collective sends O(log P) point-to-point messages
+        per rank — never the O(P) fan-in of a flat root reduce."""
+
+        def main(comm):
+            comm.allreduce(np.zeros(4))
+            return comm.stats
+
+        nranks = 8
+        stats = run_spmd(nranks, main)
+        # Rank 0 is the tree root: log2(8) = 3 receives, 3 bcast sends.
+        assert stats[0].messages_received == 3
+        assert stats[0].messages_sent == 3
+        for s in stats:
+            assert s.messages_sent <= 3
+            assert s.messages_received <= 3
+        total = CommStats.total(stats)
+        assert total.messages_sent == total.messages_received == 2 * (nranks - 1)
+
+    def test_bcast(self):
+        def main(comm):
+            payload = np.arange(6.0) if comm.rank == 1 else None
+            out = comm.bcast(payload, root=1)
+            out[0] = comm.rank  # returned buffers are private per rank
+            return out
+
+        results = run_spmd(4, main)
+        for r, out in enumerate(results):
+            assert out[0] == r
+            assert np.array_equal(out[1:], np.arange(6.0)[1:])
+
+    def test_bcast_counts_per_primitive(self):
+        def main(comm):
+            comm.bcast(np.zeros(10), root=0)
+            return comm.stats
+
+        stats = run_spmd(4, main)
+        for s in stats:
+            assert s.bcast_calls == 1
+            assert s.bcast_bytes == 80
+            assert s.allreduce_calls == 0
+
+    def test_bcast_invalid_root(self):
+        def main(comm):
+            comm.bcast(1, root=9)
+
+        with pytest.raises(ValueError, match="root"):
+            run_spmd(2, main)
+
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 8])
+    def test_reduce_scatter(self, nranks):
+        def main(comm):
+            block = np.arange(comm.size * 3.0).reshape(comm.size, 3)
+            out = comm.reduce_scatter(block * (comm.rank + 1))
+            assert comm.stats.reduce_scatter_calls == 1
+            return out
+
+        results = run_spmd(nranks, main)
+        scale = sum(range(1, nranks + 1))
+        full = np.arange(nranks * 3.0).reshape(nranks, 3) * scale
+        for r, out in enumerate(results):
+            assert np.array_equal(out, full[r])
+
+    def test_reduce_scatter_needs_per_rank_rows(self):
+        def main(comm):
+            comm.reduce_scatter(np.zeros((comm.size + 1, 2)))
+
+        with pytest.raises(ValueError, match="one row per rank"):
+            run_spmd(3, main)
+
+    @pytest.mark.parametrize("nranks,root", [(1, 0), (4, 2), (7, 5)])
+    def test_tree_reduce_and_bcast_subset(self, nranks, root):
+        from repro.parallel.simmpi import combine_tree
+
+        def main(comm):
+            parts = [r for r in range(comm.size) if r != 1 or comm.size < 3]
+            if comm.rank not in parts and comm.rank != root:
+                return None
+            mine = np.full(2, float(comm.rank + 1))
+            total = comm.tree_reduce(mine, root, parts, tag="tr")
+            got = comm.tree_bcast(total, root, parts, tag="tb")
+            return np.array(got)
+
+        results = run_spmd(nranks, main)
+        parts = sorted({r for r in range(nranks) if r != 1 or nranks < 3} | {root})
+        expected = combine_tree(
+            [np.full(2, float(r + 1)) for r in parts], lambda a, b: a + b
+        )
+        for r in range(nranks):
+            if r in parts:
+                assert np.array_equal(results[r], expected)
+            else:
+                assert results[r] is None
+
+    def test_tree_reduce_matches_combine_tree_bitwise(self):
+        """The message-passing reduction and the local simulation use
+        the identical association — bit-for-bit, not just to roundoff."""
+        from repro.parallel.simmpi import combine_tree, tree_order
+
+        root = 3
+        parts = [0, 2, 3, 4, 6]
+
+        def main(comm):
+            if comm.rank not in parts:
+                return None
+            rng = np.random.default_rng(comm.rank)
+            mine = rng.standard_normal(5)
+            return comm.tree_reduce(mine, root, parts, tag="x")
+
+        results = run_spmd(7, main)
+        pieces = [
+            np.random.default_rng(r).standard_normal(5)
+            for r in tree_order(parts, root)
+        ]
+        expected = combine_tree(pieces, lambda a, b: a + b)
+        assert np.array_equal(results[root], expected)
+        assert all(results[r] is None for r in parts if r != root)
+
+    def test_tree_reduce_none_contribution(self):
+        """A root that holds no local piece still collects the total."""
+
+        def main(comm):
+            mine = None if comm.rank == 0 else np.array([float(comm.rank)])
+            return comm.tree_reduce(mine, 0, range(comm.size), tag="n")
+
+        results = run_spmd(4, main)
+        assert results[0] == np.array([6.0])
+
 
 class TestRunner:
     def test_single_rank(self):
@@ -204,10 +332,13 @@ class TestStats:
             return comm.stats
 
         stats = run_spmd(2, main)
-        assert stats[0].messages_sent == 1
-        assert stats[0].bytes_sent == 800
+        # Collective-internal messages are first-class accounted sends:
+        # the 2-rank allreduce adds one reduce send on rank 1 and one
+        # broadcast send on rank 0 (none of them phase-tagged).
+        assert stats[0].messages_sent == 2
+        assert stats[0].bytes_sent == 880
         assert stats[0].by_phase["ghost"] == 800
-        assert stats[1].messages_sent == 0
+        assert stats[1].messages_sent == 1
         assert stats[0].allreduce_calls == 1
         assert stats[0].allreduce_bytes == 80
 

@@ -5,7 +5,13 @@ import pytest
 
 from repro.kernels import LaplaceKernel, StokesKernel
 from repro.octree import build_lists, build_tree
-from repro.perfmodel import TCS1, simulate_run, simulate_tree_time
+from repro.perfmodel import (
+    TCS1,
+    project_scaling,
+    simulate_run,
+    simulate_tree_time,
+    tree_top_model,
+)
 from repro.perfmodel.costs import compute_work
 from repro.perfmodel.experiments import fixed_size_scaling, isogranular_scaling
 from repro.perfmodel.metrics import (
@@ -117,6 +123,93 @@ class TestTreeTime:
         gather = n * 24.0 / TCS1.bandwidth
         t4096 = simulate_tree_time(tree, 4096, TCS1)
         assert t4096 >= gather
+
+
+class TestTreeTopModel:
+    def test_message_total_conserved(self, setup_tree):
+        """A binomial tree over C participants has exactly C-1 edges, so
+        both schemes move the same number of messages in total."""
+        tree, lists, kernel, work = setup_tree
+        for P in (8, 64, 512):
+            pt = tree_top_model(tree, lists, kernel, 4, P, TCS1, work=work)
+            assert pt.total_msgs > 0
+            assert pt.shared_boxes > 0
+
+    def test_fanin_flat_linear_tree_logarithmic(self, setup_tree):
+        """Worst per-rank message count: O(P) flat vs a log P plateau."""
+        tree, lists, kernel, work = setup_tree
+        pts = [
+            tree_top_model(tree, lists, kernel, 4, P, TCS1, work=work)
+            for P in (64, 256, 1024, 4096)
+        ]
+        flat = [pt.flat_max_rank_msgs for pt in pts]
+        hier = [pt.tree_max_rank_msgs for pt in pts]
+        # flat fan-in grows like P (64x more ranks -> >10x more
+        # messages on the critical rank); tree fan-in stays near-flat
+        assert flat[-1] > 10 * flat[0]
+        assert hier[-1] < 4 * hier[0]
+        assert hier[-1] < flat[-1] / 5
+
+    def test_split_levels_appear_at_scale(self, setup_tree):
+        tree, lists, kernel, work = setup_tree
+        small = tree_top_model(tree, lists, kernel, 4, 2, TCS1, work=work)
+        big = tree_top_model(tree, lists, kernel, 4, 1024, TCS1, work=work)
+        assert len(big.split_levels) > len(small.split_levels)
+        # the split replaces redundant coarse V work with one compute +
+        # a log-depth broadcast: strictly cheaper once the redundant
+        # compute on the critical rank outweighs the broadcast latency
+        assert big.v_redundant_seconds > 0
+        assert big.v_split_seconds < big.v_redundant_seconds
+
+    def test_point_totals_consistent(self, setup_tree):
+        tree, lists, kernel, work = setup_tree
+        pt = tree_top_model(tree, lists, kernel, 4, 128, TCS1, work=work)
+        assert pt.flat_total == pytest.approx(
+            pt.flat_seconds + pt.v_redundant_seconds
+        )
+        assert pt.tree_total == pytest.approx(
+            pt.tree_seconds + pt.v_split_seconds
+        )
+        assert pt.speedup == pytest.approx(pt.flat_total / pt.tree_total)
+
+    def test_serial_is_trivial(self, setup_tree):
+        tree, lists, kernel, work = setup_tree
+        pt = tree_top_model(tree, lists, kernel, 4, 1, TCS1, work=work)
+        assert pt.shared_boxes == 0
+        assert pt.flat_total == 0.0 and pt.tree_total == 0.0
+
+    def test_rejects_bad_p(self, setup_tree):
+        tree, lists, kernel, work = setup_tree
+        with pytest.raises(ValueError):
+            tree_top_model(tree, lists, kernel, 4, 0, TCS1, work=work)
+
+
+class TestProjectScaling:
+    def test_report_structure_and_acceptance(self, setup_tree):
+        tree, lists, kernel, _ = setup_tree
+        rep = project_scaling(tree, lists, kernel, 4, TCS1, max_ranks=4096)
+        Ps = [pt["P"] for pt in rep["points"]]
+        assert Ps == [2 ** k for k in range(1, 13)]
+        # hierarchical must win well before the top of the sweep...
+        assert rep["crossover_rank"] is not None
+        assert rep["crossover_rank"] <= 256
+        # ...and by the paper-scale margin at the top (the acceptance
+        # criterion: >= 5x modelled tree-top improvement at 4096 ranks)
+        assert rep["speedup_at_max"] >= 5.0
+        assert rep["msgs_tree_at_max"] < rep["msgs_flat_at_max"]
+
+    def test_monotone_speedup_trend(self, setup_tree):
+        tree, lists, kernel, _ = setup_tree
+        rep = project_scaling(tree, lists, kernel, 4, TCS1, max_ranks=1024)
+        sp = [pt["speedup"] for pt in rep["points"]]
+        # not required to be strictly monotone, but the tail must beat
+        # the head decisively
+        assert sp[-1] > sp[0]
+
+    def test_rejects_bad_max_ranks(self, setup_tree):
+        tree, lists, kernel, _ = setup_tree
+        with pytest.raises(ValueError):
+            project_scaling(tree, lists, kernel, 4, TCS1, max_ranks=1)
 
 
 class TestMetrics:

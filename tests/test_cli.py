@@ -123,6 +123,34 @@ class TestAccuracy:
             main(["accuracy", "--n", "100", "--orders", "2,x"])
 
 
+class TestProject:
+    def test_writes_report_and_gates_pass(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_scaling.json"
+        rc = main(
+            ["project", "--n", "3000", "--max-ranks", "64", "--p", "4",
+             "--s", "40", "--out", str(out_path),
+             "--max-crossover", "64", "--min-speedup", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crossover rank" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert [pt["P"] for pt in payload["points"]] == [2, 4, 8, 16, 32, 64]
+        assert payload["crossover_rank"] is not None
+        for pt in payload["points"]:
+            assert pt["flat_max_rank_msgs"] >= pt["tree_max_rank_msgs"] >= 0
+
+    def test_min_speedup_gate_can_fail(self, capsys):
+        rc = main(
+            ["project", "--n", "2000", "--max-ranks", "16", "--p", "4",
+             "--s", "40", "--out", "", "--min-speedup", "1000.0"]
+        )
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
 class TestScaling:
     def test_fixed(self, capsys):
         rc = main(
