@@ -26,6 +26,15 @@ tooling" and § "Race detection & sanitizers"):
   buffer liveness, dtype-flow with explicit-narrowing enforcement,
   overlap-schedule happens-before consistency, and an exact flop-budget
   identity against the performance model, plus seeded-defect self-tests.
+- :mod:`repro.analysis.commir` / :mod:`repro.analysis.commcheck_static`
+  / :mod:`repro.analysis.dpor` — the static *communication* verifier
+  (``repro commir``): the complete message schedule extracted from the
+  plan inputs as a CommIR for arbitrary rank counts (P=4096 included)
+  and certified without executing an apply — send/recv matching, tag
+  discipline, deadlock-freedom, cross-scheme payload conservation, and
+  conformance of dynamic traces — plus exhaustive schedule-space model
+  checking (``repro dpor``) proving deadlock-freedom and observable
+  determinism over *every* interleaving at small rank counts.
 """
 
 from repro.analysis.commcheck import CommReport, Finding, check_trace, compare_traces
@@ -45,6 +54,12 @@ _PLAN_EXPORTS = {
     "certify_sequential": "plancheck",
     "run_checks": "plancheck",
     "run_selftests": "plancheck",
+    "CommIR": "commir",
+    "CommOp": "commir",
+    "extract_comm_ir": "commir",
+    "static_plan_inputs": "commir",
+    "StaticCommReport": "commcheck_static",
+    "DporReport": "dpor",
 }
 
 
@@ -62,9 +77,13 @@ def __getattr__(name: str):
 
 __all__ = [
     "AccessRecord",
+    "CommIR",
+    "CommOp",
     "CommReport",
     "CommTrace",
+    "DporReport",
     "Finding",
+    "StaticCommReport",
     "PlanIR",
     "PlanReport",
     "Race",
@@ -76,8 +95,10 @@ __all__ = [
     "certify_sequential",
     "check_trace",
     "compare_traces",
+    "extract_comm_ir",
     "extract_plan_ir",
     "extract_rank_ir",
+    "static_plan_inputs",
     "payload_digest",
     "run_checks",
     "run_selftests",

@@ -495,14 +495,41 @@ def compare_traces(traces: Sequence[CommTrace]) -> CommReport:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Analyze saved trace files: non-zero exit on any finding."""
+    """Analyze saved trace files: non-zero exit on any finding.
+
+    Arguments are trace files, or directories which expand to their
+    ``*.jsonl`` files (sorted).  A missing path, or a directory holding
+    no trace files, exits 2 with a diagnostic — an empty input must
+    never read as "certified".
+    """
+    import os
+
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in ("-h", "--help"):
         print(__doc__)
         return 0 if args else 2
+    files: list[str] = []
+    for path in args:
+        if os.path.isdir(path):
+            found = sorted(
+                os.path.join(path, f) for f in os.listdir(path)
+                if f.endswith(".jsonl")
+            )
+            if not found:
+                print(
+                    f"commcheck: no *.jsonl trace files in directory "
+                    f"{path!r} — nothing to certify"
+                )
+                return 2
+            files.extend(found)
+        elif os.path.exists(path):
+            files.append(path)
+        else:
+            print(f"commcheck: trace path {path!r} does not exist")
+            return 2
     traces = []
     failed = False
-    for path in args:
+    for path in files:
         trace = CommTrace.from_jsonl(path)
         traces.append(trace)
         report = check_trace(trace)

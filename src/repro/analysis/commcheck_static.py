@@ -1,0 +1,851 @@
+"""Static certification of the parallel message schedule.
+
+Five checks run over the :class:`~repro.analysis.commir.CommIR` —
+no apply (and no SimComm run) is executed, yet together they certify
+the properties an execution at that rank count would exhibit:
+
+``matching``
+    Exact endpoint conservation per ``(src, dst, tag)`` channel: the
+    number of sends equals the number of posted receives equals the
+    number of completed receives.  An unmatched send is a leaked
+    mailbox; a completion without a send is a phantom receive (a hang
+    at runtime); a post without a completion is a leaked request.
+``tags``
+    Tag-space discipline: every tag must be a structured tuple minted
+    by the :func:`~repro.parallel.simmpi.mk_tag` registry, its family
+    must be the one the op's protocol phase owns, and no channel may be
+    shared by two phases — the static guarantee that concurrently
+    posted receives of different phases can never steal each other's
+    messages.
+``deadlock``
+    Deadlock-freedom of the wait graph: nodes are the per-rank ops in
+    program order; edges are program order (an op runs only after its
+    predecessor) plus completion -> matching send (FIFO pairing per
+    channel, covering the segmented ``tree_reduce``/``tree_bcast``
+    parent-child edges, whose blocking receives the IR expands to
+    post+complete pairs).  A cycle is a schedule that cannot make
+    progress under *any* interleaving.
+``conservation``
+    Payload conservation of the tree scheme against the flat scheme:
+    interpreting the message edges per exchanged box, every
+    contributor's piece must reach the owner and the owner's combined
+    data must reach every user — and the delivered sets must be
+    identical under both schemes.  Since both schemes concatenate
+    pieces in the same tree-position order, set equality here is
+    multiset equality of the delivered payload rows.  Boxes already
+    reported by ``matching`` are skipped (an unmatched schedule has no
+    well-defined payload flow), keeping each seeded defect attributable
+    to exactly one check.
+``conformance``
+    Every *dynamic* :class:`~repro.analysis.trace.CommTrace` of the
+    same configuration must be a linearization of the IR: per rank, the
+    traced protocol events (sends, receive posts, receive completions
+    of the :data:`~repro.analysis.commir.PROTOCOL_FAMILIES` tag
+    families) must equal the rank's static op sequence exactly.  The
+    per-rank sequence is deterministic — rank code is sequential and
+    waits requests in posted order — so equality, not subsequence
+    matching, is the correct test.  Requires in-memory traces (JSONL
+    round-trips stringify tags).
+
+There is no waiver mechanism: a finding fails certification.  The
+``seed_*`` functions plant one defect each (a dropped relay forward, a
+gather message retagged into a concurrent phase's family, a leaf's
+gather send reordered after its scatter wait) and
+:func:`run_selftests` asserts each is caught by *exactly* the intended
+check.  CLI: ``python -m repro commir``.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.analysis.commir import (
+    PROTOCOL_FAMILIES,
+    CommIR,
+    CommOp,
+    gc_paused,
+)
+from repro.analysis.trace import CommTrace
+from repro.parallel.simmpi import TAG_FAMILIES, mk_tag
+
+CHECKS = ("matching", "tags", "deadlock", "conservation", "conformance")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One certification failure, pinned to a check and a location."""
+
+    check: str
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.where}: {self.message}"
+
+
+@dataclass
+class StaticCommReport:
+    """The result of certifying one communication IR."""
+
+    name: str
+    findings: list[Finding]
+    counts: dict[str, int]
+    nops: int = 0
+    nmessages: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.name}: certified ({self.nmessages} messages / "
+                f"{self.nops} ops, {len(self.counts)} checks clean)"
+            )
+        parts = ", ".join(
+            f"{c}={n}" for c, n in sorted(self.counts.items()) if n
+        )
+        return f"{self.name}: FAILED ({parts})"
+
+
+def _channel(op: CommOp, rank: int) -> tuple[int, int, tuple]:
+    """The ``(src, dst, tag)`` channel of a rank's op."""
+    if op.kind == "send":
+        return (rank, op.peer, op.tag)
+    return (op.peer, rank, op.tag)
+
+
+class IRIndex:
+    """Single-pass derived views of one IR, shared by all checks.
+
+    An IR at P=4096 holds millions of ops; each full program walk costs
+    seconds in pure Python, so the per-channel op counts and the
+    per-box message-edge lists are built in one pass and reused — by
+    every check of the IR itself and again when the IR serves as the
+    cross-scheme ``reference``.  Build with :func:`build_index`; pass
+    to :func:`run_checks` when certifying both schemes of one
+    configuration (each IR is indexed once instead of up to six walks).
+    """
+
+    __slots__ = (
+        "sends", "posts", "completes", "gather_edges", "scatter_edges",
+        "_flows", "_bad",
+    )
+
+    def __init__(self, ir: CommIR) -> None:
+        self.sends: dict[tuple, int] = {}
+        self.posts: dict[tuple, int] = {}
+        self.completes: dict[tuple, int] = {}
+        self.gather_edges: dict[tuple, list] = defaultdict(list)
+        self.scatter_edges: dict[tuple, list] = defaultdict(list)
+        self._flows: dict | None = None
+        self._bad: set[tuple] | None = None
+        for rank, prog in enumerate(ir.programs):
+            for op in prog:
+                if op.kind == "send":
+                    chan = (rank, op.peer, op.tag)
+                    self.sends[chan] = self.sends.get(chan, 0) + 1
+                    group = op.group
+                    if group.endswith("g") or group == "vsp":
+                        kind = group[:-1] if group.endswith("g") else "vsp"
+                        self.scatter_edges[(kind, op.ids)].append(
+                            (rank, op.peer)
+                        )
+                    else:
+                        self.gather_edges[(group, op.ids)].append(
+                            (rank, op.peer)
+                        )
+                else:
+                    chan = (op.peer, rank, op.tag)
+                    d = (self.posts if op.kind == "post"
+                         else self.completes)
+                    d[chan] = d.get(chan, 0) + 1
+
+    def bad_channels(self) -> set[tuple]:
+        """Channels whose send/post/complete counts disagree (cached —
+        the key union alone costs seconds at P=4096)."""
+        if self._bad is not None:
+            return self._bad
+        bad = set()
+        posts_get = self.posts.get
+        completes_get = self.completes.get
+        for chan, ns in self.sends.items():
+            if ns != posts_get(chan, 0) or ns != completes_get(chan, 0):
+                bad.add(chan)
+        sends = self.sends
+        for chan in self.posts:
+            if chan not in sends:
+                bad.add(chan)
+        for chan in self.completes:
+            if chan not in sends and chan not in self.posts:
+                bad.add(chan)
+        self._bad = bad
+        return bad
+
+
+def build_index(ir: CommIR) -> IRIndex:
+    """Index an IR once for repeated certification (see IRIndex)."""
+    with gc_paused():
+        return IRIndex(ir)
+
+
+def _mismatched_boxes(
+    ir: CommIR, index: IRIndex | None = None
+) -> set[tuple[str, tuple]]:
+    """The ``(exchange kind, ids)`` groups with a matching defect —
+    the boxes the conservation interpretation must skip."""
+    index = index or IRIndex(ir)
+    bad_chans = index.bad_channels()
+    bad: set[tuple[str, tuple]] = set()
+    if not bad_chans:
+        return bad
+    for rank, prog in enumerate(ir.programs):
+        for op in prog:
+            if _channel(op, rank) in bad_chans:
+                kind = op.group[:-1] if op.group.endswith("g") else op.group
+                bad.add((kind, op.ids))
+    return bad
+
+
+def check_matching(
+    ir: CommIR, index: IRIndex | None = None
+) -> list[Finding]:
+    """Exact send/post/complete balance on every channel."""
+    index = index or IRIndex(ir)
+    sends, posts, completes = index.sends, index.posts, index.completes
+    findings: list[Finding] = []
+    for chan in index.bad_channels():
+        ns = sends.get(chan, 0)
+        np_ = posts.get(chan, 0)
+        nc = completes.get(chan, 0)
+        src, dst, tag = chan
+        where = f"{src}->{dst} tag={tag!r}"
+        if ns > nc:
+            findings.append(Finding(
+                "matching", where,
+                f"{ns - nc} message(s) sent but never received "
+                f"(leaked mailbox)",
+            ))
+        elif nc > ns:
+            findings.append(Finding(
+                "matching", where,
+                f"{nc} receive completion(s) for only {ns} send(s) "
+                f"(phantom receive — a runtime hang)",
+            ))
+        if np_ != nc:
+            findings.append(Finding(
+                "matching", where,
+                f"{np_} receive(s) posted but {nc} completed "
+                f"(leaked request)",
+            ))
+    findings.sort(key=lambda f: f.where)
+    return findings
+
+
+def check_tags(ir: CommIR) -> list[Finding]:
+    """Registry discipline and cross-phase channel disjointness.
+
+    A disciplined op's tag is ``(op.group, *ids)``, so the group a
+    channel serves is determined by the tag itself — two phases can
+    share a channel only if some op carries a tag of the *other*
+    phase's family, which the per-op discipline check reports.  Hence
+    one linear pass with a constant-time fast path (an IR holds
+    millions of ops but only a few thousand distinct tags; each
+    distinct tag is registry-validated once) covers both properties.
+    """
+    findings: list[Finding] = []
+    valid_tags: set[tuple] = set()
+    bad_tags: dict[tuple, str] = {}
+    shared: dict[tuple[int, int, tuple], set[str]] = {}
+    for rank, prog in enumerate(ir.programs):
+        for i, op in enumerate(prog):
+            tag = op.tag
+            if tag in valid_tags:
+                if tag[0] == op.group:
+                    continue
+            else:
+                msg = bad_tags.get(tag)
+                if msg is None and tag not in bad_tags:
+                    if not (isinstance(tag, tuple) and tag and
+                            isinstance(tag[0], str)
+                            and tag[0] in TAG_FAMILIES):
+                        msg = (
+                            f"tag {tag!r} is not a registered structured "
+                            f"tag (must be minted via mk_tag)"
+                        )
+                    else:
+                        try:
+                            mk_tag(tag[0], *tag[1:])
+                        except (KeyError, ValueError) as exc:
+                            msg = f"malformed tag {tag!r}: {exc}"
+                    if msg is None:
+                        valid_tags.add(tag)
+                    else:
+                        bad_tags[tag] = msg
+                if msg is not None:
+                    findings.append(Finding(
+                        "tags",
+                        f"rank {rank} op {i} ({op.kind} peer {op.peer})",
+                        msg,
+                    ))
+                    continue
+                if tag[0] == op.group:
+                    continue
+            findings.append(Finding(
+                "tags",
+                f"rank {rank} op {i} ({op.kind} peer {op.peer})",
+                f"op of the {op.group!r} phase carries a "
+                f"{tag[0]!r}-family tag {tag!r} — tag reuse across "
+                f"concurrent phases",
+            ))
+            shared.setdefault(_channel(op, rank), set()).update(
+                (op.group, tag[0])
+            )
+    for chan, groups in sorted(shared.items(), key=repr):
+        src, dst, tag = chan
+        findings.append(Finding(
+            "tags", f"{src}->{dst} tag={tag!r}",
+            f"channel claimed by phases {sorted(groups)} — messages "
+            f"of concurrent phases can steal each other",
+        ))
+    return findings
+
+
+def check_deadlock(
+    ir: CommIR, index: IRIndex | None = None
+) -> list[Finding]:
+    """Deadlock-freedom by greedy schedule execution.
+
+    The wait graph (program-order edges plus completion -> FIFO-matched
+    send) is monotone: executing an op never disables another, so the
+    greedy maximal execution retires every op iff the graph is acyclic.
+    We run exactly that execution — each rank advances until its next
+    completion's matching send has not yet executed, and a send wakes
+    the (single, since a channel has one destination) rank blocked on
+    its channel.  O(ops) total, which is what admits millions of ops at
+    P=4096.  A completion whose FIFO ordinal exceeds the channel's
+    total send count never blocks — an unmatched completion is
+    ``matching``'s defect, not a wait edge.
+    """
+    sends_total = (index or IRIndex(ir)).sends
+    nranks = ir.nranks
+    pc = [0] * nranks
+    sent: dict[tuple, int] = {}
+    recvd: dict[tuple, int] = {}
+    waiter: dict[tuple, int] = {}
+    ready = deque(range(nranks))
+    queued = [True] * nranks
+    sent_get = sent.get
+    recvd_get = recvd.get
+    total_get = sends_total.get
+    waiter_pop = waiter.pop
+    append = ready.append
+    while ready:
+        r = ready.popleft()
+        queued[r] = False
+        prog = ir.programs[r]
+        n = len(prog)
+        i = pc[r]
+        while i < n:
+            op = prog[i]
+            kind = op.kind
+            if kind == "send":
+                chan = (r, op.peer, op.tag)
+                sent[chan] = sent_get(chan, 0) + 1
+                w = waiter_pop(chan, None)
+                if w is not None and not queued[w]:
+                    queued[w] = True
+                    append(w)
+            elif kind == "complete":
+                chan = (op.peer, r, op.tag)
+                k = recvd_get(chan, 0)
+                if k < total_get(chan, 0) and sent_get(chan, 0) <= k:
+                    waiter[chan] = r
+                    break
+                recvd[chan] = k + 1
+            i += 1
+        pc[r] = i
+    blocked = {
+        r for r in range(nranks) if pc[r] < len(ir.programs[r])
+    }
+    if not blocked:
+        return []
+    # Name one actual cycle: each blocked rank waits on a send of a
+    # rank that is itself blocked (its remaining sends are behind its
+    # own stalled completion), so following "waits on the sender of"
+    # from any blocked rank must revisit a rank.
+    def sender_of(r: int) -> int:
+        return ir.programs[r][pc[r]].peer
+
+    trail: list[int] = []
+    on_trail: set[int] = set()
+    r = next(iter(blocked))
+    while r not in on_trail:
+        trail.append(r)
+        on_trail.add(r)
+        r = sender_of(r)
+    steps = []
+    for u in trail[trail.index(r):] + [r]:
+        op = ir.programs[u][pc[u]]
+        steps.append(
+            f"rank {u} waits recv from {op.peer} tag={op.tag!r}"
+        )
+    return [Finding(
+        "deadlock",
+        f"{len(blocked)} rank(s) stalled, "
+        f"{sum(len(ir.programs[r]) - pc[r] for r in blocked)} op(s) "
+        f"unreachable",
+        "wait-for cycle: " + " <- ".join(steps),
+    )]
+
+
+def _payload_flow(
+    ir: CommIR, index: IRIndex | None = None
+) -> dict[tuple[str, tuple], tuple[frozenset, frozenset]]:
+    """Per exchanged box: ``(reach, delivered)`` rank sets from the
+    message edges — who can feed the owner through the gather graph,
+    and whom the owner's combined data reaches through the scatter
+    graph.  This is the payload interpretation of the IR: the delivered
+    payload rows of a user are exactly the pieces of ``reach``."""
+    index = index or IRIndex(ir)
+    if index._flows is not None:
+        return index._flows
+    gather_edges = index.gather_edges
+    scatter_edges = index.scatter_edges
+    flows: dict[tuple[str, tuple], tuple[frozenset, frozenset]] = {}
+    for kind, boxes in ir.roles.items():
+        for ids, (owner, _contribs, _users) in boxes.items():
+            fwd: dict[int, list[int]] = defaultdict(list)
+            rev: dict[int, list[int]] = defaultdict(list)
+            for s, d in gather_edges.get((kind, ids), ()):
+                rev[d].append(s)
+            for s, d in scatter_edges.get((kind, ids), ()):
+                fwd[s].append(d)
+            reach = {owner}
+            stack = [owner]
+            while stack:
+                for s in rev.get(stack.pop(), ()):
+                    if s not in reach:
+                        reach.add(s)
+                        stack.append(s)
+            delivered = {owner}
+            stack = [owner]
+            while stack:
+                for d in fwd.get(stack.pop(), ()):
+                    if d not in delivered:
+                        delivered.add(d)
+                        stack.append(d)
+            flows[(kind, ids)] = (frozenset(reach), frozenset(delivered))
+    index._flows = flows
+    return flows
+
+
+def check_conservation(
+    ir: CommIR,
+    reference: CommIR | None = None,
+    skip: set[tuple[str, tuple]] | None = None,
+    index: IRIndex | None = None,
+    reference_index: IRIndex | None = None,
+) -> list[Finding]:
+    """Endpoint payload conservation, optionally against the other
+    scheme's IR (``reference``).  ``skip`` holds the boxes ``matching``
+    already reported."""
+    skip = skip or set()
+    findings: list[Finding] = []
+    flows = _payload_flow(ir, index)
+    if reference is not None:
+        reference_index = reference_index or IRIndex(reference)
+        ref_flows = _payload_flow(reference, reference_index)
+        ref_skip = (
+            _mismatched_boxes(reference, reference_index)
+            if reference_index.bad_channels() else set()
+        )
+    else:
+        ref_flows = None
+        ref_skip = set()
+    for kind, boxes in ir.roles.items():
+        for ids, (owner, contribs, users) in sorted(
+            boxes.items(), key=repr
+        ):
+            if (kind, ids) in skip:
+                continue
+            where = f"{kind} box {ids}"
+            reach, delivered = flows[(kind, ids)]
+            lost = contribs - reach
+            if lost:
+                findings.append(Finding(
+                    "conservation", where,
+                    f"contributor piece(s) of rank(s) {sorted(lost)} "
+                    f"never reach owner {owner}",
+                ))
+            starved = users - delivered
+            if starved:
+                findings.append(Finding(
+                    "conservation", where,
+                    f"combined data never delivered to user rank(s) "
+                    f"{sorted(starved)}",
+                ))
+            if ref_flows is None or (kind, ids) in ref_skip:
+                continue
+            ref = ref_flows.get((kind, ids))
+            if ref is None:
+                findings.append(Finding(
+                    "conservation", where,
+                    f"box exchanged under {ir.meta.get('scheme')!r} but "
+                    f"absent from the "
+                    f"{reference.meta.get('scheme')!r} schedule",
+                ))
+            elif (reach & contribs, delivered & users) != (
+                ref[0] & contribs, ref[1] & users
+            ):
+                findings.append(Finding(
+                    "conservation", where,
+                    f"schemes deliver different payload row multisets: "
+                    f"{ir.meta.get('scheme')} gathers {sorted(reach & contribs)} "
+                    f"/ delivers to {sorted(delivered & users)}, "
+                    f"{reference.meta.get('scheme')} gathers "
+                    f"{sorted(ref[0] & contribs)} / delivers to "
+                    f"{sorted(ref[1] & users)}",
+                ))
+    return findings
+
+
+@dataclass(frozen=True)
+class ConservationSummary:
+    """Everything the cross-scheme conservation comparison needs from
+    one scheme's IR, in O(boxes) memory.
+
+    A P=4096 IR is millions of ops (gigabytes live); certifying both
+    schemes with each as the other's ``reference`` keeps two of them
+    alive at once, and the resulting allocator churn dominates wall
+    time.  Summarize each scheme right after its own certification,
+    free the IR, and compare the summaries instead — the payload flows,
+    the matching-dirty boxes to skip, and the box roles are all the
+    comparison reads.
+    """
+
+    scheme: str
+    flows: dict[tuple[str, tuple], tuple[frozenset, frozenset]]
+    skip: frozenset
+    roles: dict
+
+
+def conservation_summary(
+    ir: CommIR, index: IRIndex | None = None
+) -> ConservationSummary:
+    """Condense one IR to its cross-scheme comparison surface."""
+    index = index or IRIndex(ir)
+    skip = (
+        _mismatched_boxes(ir, index) if index.bad_channels() else set()
+    )
+    return ConservationSummary(
+        scheme=str(ir.meta.get("scheme")),
+        flows=_payload_flow(ir, index),
+        skip=frozenset(skip),
+        roles=ir.roles,
+    )
+
+
+def cross_scheme_conservation(
+    a: ConservationSummary, b: ConservationSummary
+) -> list[Finding]:
+    """Symmetric payload comparison of two schemes from summaries.
+
+    Same findings as the ``reference`` path of
+    :func:`check_conservation`, both directions at once, without either
+    IR staying alive.  Boxes either scheme's ``matching`` already
+    reported are skipped.
+    """
+    findings: list[Finding] = []
+    for kind, boxes in a.roles.items():
+        for ids, (owner, contribs, users) in sorted(
+            boxes.items(), key=repr
+        ):
+            key = (kind, ids)
+            if key in a.skip or key in b.skip:
+                continue
+            where = f"{kind} box {ids}"
+            fa = a.flows.get(key)
+            fb = b.flows.get(key)
+            if fa is None or fb is None:
+                absent = a.scheme if fa is None else b.scheme
+                findings.append(Finding(
+                    "conservation", where,
+                    f"box exchanged under one scheme but absent from "
+                    f"the {absent!r} schedule",
+                ))
+                continue
+            if (fa[0] & contribs, fa[1] & users) != (
+                fb[0] & contribs, fb[1] & users
+            ):
+                findings.append(Finding(
+                    "conservation", where,
+                    f"schemes deliver different payload row multisets: "
+                    f"{a.scheme} gathers {sorted(fa[0] & contribs)} "
+                    f"/ delivers to {sorted(fa[1] & users)}, "
+                    f"{b.scheme} gathers {sorted(fb[0] & contribs)} "
+                    f"/ delivers to {sorted(fb[1] & users)}",
+                ))
+    for key in sorted(set(b.flows) - set(a.flows), key=repr):
+        if key in a.skip or key in b.skip:
+            continue
+        findings.append(Finding(
+            "conservation", f"{key[0]} box {key[1]}",
+            f"box exchanged under one scheme but absent from "
+            f"the {a.scheme!r} schedule",
+        ))
+    return findings
+
+
+_TRACE_KIND = {"send": "send", "recv-post": "post", "recv": "complete"}
+
+
+def trace_protocol_events(
+    trace: CommTrace, rank: int
+) -> list[tuple[str, int, tuple]]:
+    """One rank's dynamic protocol events as ``(kind, peer, tag)`` —
+    the shape the IR's ops project to."""
+    out = []
+    for ev in trace.events_by_rank[rank]:
+        kind = _TRACE_KIND.get(ev.kind)
+        if kind is None:
+            continue
+        tag = ev.tag
+        if not (isinstance(tag, tuple) and tag
+                and tag[0] in PROTOCOL_FAMILIES):
+            continue
+        out.append((kind, int(ev.peer), tag))
+    return out
+
+
+def check_conformance(ir: CommIR, trace: CommTrace) -> list[Finding]:
+    """Every rank's dynamic protocol event sequence must equal its
+    static op sequence — the trace is a linearization of the IR."""
+    findings: list[Finding] = []
+    if trace.nranks != ir.nranks:
+        return [Finding(
+            "conformance", "trace",
+            f"trace ran {trace.nranks} ranks, IR describes {ir.nranks}",
+        )]
+    for rank in range(ir.nranks):
+        expected = [
+            (op.kind, op.peer, op.tag) for op in ir.programs[rank]
+        ]
+        got = trace_protocol_events(trace, rank)
+        if got == expected:
+            continue
+        n = min(len(expected), len(got))
+        at = next(
+            (i for i in range(n) if expected[i] != got[i]), n
+        )
+        exp = expected[at] if at < len(expected) else "(end of schedule)"
+        act = got[at] if at < len(got) else "(end of trace)"
+        findings.append(Finding(
+            "conformance", f"rank {rank} event {at}",
+            f"trace diverges from the static schedule: expected "
+            f"{exp!r}, traced {act!r} "
+            f"({len(got)} traced vs {len(expected)} scheduled events)",
+        ))
+    return findings
+
+
+def run_checks(
+    ir: CommIR,
+    *,
+    reference: CommIR | None = None,
+    traces: tuple[CommTrace, ...] = (),
+    name: str = "commir",
+    index: IRIndex | None = None,
+    reference_index: IRIndex | None = None,
+) -> StaticCommReport:
+    """All checks over one IR.  ``reference`` (the other scheme's IR of
+    the same inputs) enables the cross-scheme conservation comparison;
+    ``traces`` enables conformance.  When certifying both schemes of
+    one configuration, :func:`build_index` each IR once and pass the
+    indexes (swapped for the second call) — at P=4096 the redundant
+    program walks dominate otherwise."""
+    with gc_paused():
+        index = index or IRIndex(ir)
+        findings: list[Finding] = []
+        matching = check_matching(ir, index)
+        findings += matching
+        findings += check_tags(ir)
+        findings += check_deadlock(ir, index)
+        findings += check_conservation(
+            ir, reference,
+            skip=_mismatched_boxes(ir, index) if matching else set(),
+            index=index, reference_index=reference_index,
+        )
+        for trace in traces:
+            findings += check_conformance(ir, trace)
+    counts = {c: 0 for c in CHECKS}
+    for f in findings:
+        counts[f.check] = counts.get(f.check, 0) + 1
+    return StaticCommReport(
+        name=name, findings=findings, counts=counts,
+        nops=ir.nops(), nmessages=ir.nmessages(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seeded defects: each plants exactly one protocol bug; the self-test
+# requires exactly the intended check to fire.
+# ---------------------------------------------------------------------------
+
+
+def seed_dropped_relay(ir: CommIR) -> CommIR:
+    """Delete an interior gather node's forward send — the partial fold
+    silently vanishes.  Caught by ``matching`` (the parent's posted
+    receive never completes against a send); ``conservation`` skips the
+    box precisely because matching owns it."""
+    out = copy.deepcopy(ir)
+    for prog in out.programs:
+        for i, op in enumerate(prog):
+            if op.kind == "send" and op.note == "relay":
+                del prog[i]
+                return out
+    raise ValueError(
+        "IR has no interior relay send to drop — needs the tree scheme "
+        "with a box of >= 3 gather participants"
+    )
+
+
+def seed_reused_tag(ir: CommIR) -> CommIR:
+    """Retag one ``pue`` gather message (send, post and completion
+    together) into the concurrently posted ``phi`` family.  Endpoints
+    still balance and no wait cycle appears — only the tag-space
+    discipline is broken."""
+    out = copy.deepcopy(ir)
+    fresh = 1 + max(
+        (ids[-1] for boxes in out.roles.values() for ids in boxes),
+        default=0,
+    )
+    target = None
+    for rank, prog in enumerate(out.programs):
+        for op in prog:
+            if op.kind == "send" and op.group == "pue":
+                target = _channel(op, rank)
+                break
+        if target is not None:
+            break
+    if target is None:
+        raise ValueError("IR exchanges no equivalent densities to retag")
+    bad = mk_tag("phi", fresh)
+    for rank, prog in enumerate(out.programs):
+        for op in prog:
+            if _channel(op, rank) == target:
+                op.tag = bad
+    return out
+
+
+def seed_swapped_post_wait(ir: CommIR) -> CommIR:
+    """Reorder a leaf contributor's gather send *after* its own scatter
+    wait.  Every message still matches and every tag is disciplined,
+    but the owner's scatter (transitively) waits on the very send the
+    rank withholds until the scatter arrives — a wait cycle."""
+    out = copy.deepcopy(ir)
+    for rank, prog in enumerate(out.programs):
+        for i, op in enumerate(prog):
+            if not (op.kind == "send" and op.note == "inject"
+                    and op.group in ("phi", "pue")):
+                continue
+            sfam = op.group + "g"
+            j = next(
+                (k for k in range(len(prog))
+                 if prog[k].kind == "complete"
+                 and prog[k].group == sfam and prog[k].ids == op.ids),
+                None,
+            )
+            if j is None:
+                continue
+            moved = prog.pop(i)
+            if j > i:
+                j -= 1
+            prog.insert(j + 1, moved)
+            return out
+    raise ValueError(
+        "IR has no rank that both contributes to and uses a box — "
+        "cannot seed the post/wait inversion"
+    )
+
+
+SEEDS = {
+    "dropped-relay": (seed_dropped_relay, "matching"),
+    "reused-tag": (seed_reused_tag, "tags"),
+    "swapped-post-wait": (seed_swapped_post_wait, "deadlock"),
+}
+
+
+def run_selftests(
+    ir: CommIR, reference: CommIR | None = None
+) -> list[tuple[str, bool, str]]:
+    """Plant each seeded defect and verify exactly its check catches it.
+
+    Returns ``(seed name, passed, detail)`` rows.  A self-test passes
+    only if the seeded IR produces findings, *every* finding belongs to
+    the intended check, and the unseeded IR is clean — so a checker
+    that flags everything (or nothing) fails its own certification.
+    """
+    results: list[tuple[str, bool, str]] = []
+    base = run_checks(ir, reference=reference, name="selftest-base")
+    if not base.ok:
+        return [(
+            "baseline", False,
+            f"unseeded IR not clean: {base.findings[0]}",
+        )]
+    for seed_name, (seed, intended) in SEEDS.items():
+        try:
+            seeded = seed(ir)
+        except ValueError as exc:
+            results.append((
+                seed_name, False, f"defect not plantable: {exc}"
+            ))
+            continue
+        report = run_checks(
+            seeded, reference=reference, name=f"seed:{seed_name}"
+        )
+        fired = {f.check for f in report.findings}
+        if not report.findings:
+            results.append((seed_name, False, "defect not detected"))
+        elif fired != {intended}:
+            results.append((
+                seed_name, False,
+                f"expected only {intended!r} to fire, got {sorted(fired)}",
+            ))
+        else:
+            results.append((
+                seed_name, True,
+                f"caught by {intended} "
+                f"({report.counts[intended]} finding(s))",
+            ))
+    return results
+
+
+def traced_run(
+    kernel,
+    points,
+    density,
+    opts,
+    nranks: int,
+    *,
+    schedule_seed: int = 0,
+    overlap: bool = True,
+    napplies: int = 1,
+) -> CommTrace:
+    """One traced parallel run for the conformance cross-check.
+
+    Returns the in-memory trace (tags intact — a JSONL round-trip would
+    stringify them and break matching against the IR).
+    """
+    from repro.parallel.pfmm import run_parallel_fmm
+
+    trace = CommTrace()
+    run_parallel_fmm(
+        nranks, kernel, points, density, opts,
+        trace=trace, schedule_seed=schedule_seed,
+        napplies=napplies, overlap=overlap,
+    )
+    return trace

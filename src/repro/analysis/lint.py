@@ -27,6 +27,10 @@ Rule catalog (details in ``docs/architecture.md``):
 - ``stage-metadata`` — every ``@plan_stage`` class must declare a
   literal ``stage_meta = StageMeta(reads=..., writes=..., dtype=...)``
   with all three named keywords (the plan verifier's dataflow source).
+- ``tag-registry`` — every message tag in ``repro/parallel/`` must be
+  minted by ``mk_tag`` (the structured-tag registry in ``simmpi.py``)
+  or be a plain variable carrying one; ad-hoc literal/constructed tags
+  are invisible to the static communication verifier.
 
 Paths are scoped by the file's position inside the ``repro`` package
 (the path segment from the last ``repro`` component), so fixture trees
@@ -575,6 +579,69 @@ class StageMetadataRule(Rule):
                     )
 
 
+class TagRegistryRule(Rule):
+    name = "tag-registry"
+    rationale = (
+        "The static communication verifier (repro commir) certifies "
+        "tag-space disjointness from the mk_tag registry in "
+        "repro/parallel/simmpi.py: every family declares its id arity "
+        "once and every tag is the structured tuple the registry "
+        "mints.  An ad-hoc tag — a bare string/int literal, a "
+        "hand-built tuple, or string arithmetic — bypasses the "
+        "registry, so nothing stops it colliding with a registered "
+        "family's tag on the same channel, where a concurrently "
+        "posted receive of the other phase can steal the message.  "
+        "Every `tag=` handed to a send/recv/collective in "
+        "repro/parallel/ must be a direct mk_tag(...) call or a plain "
+        "variable that carries one (parameter passthrough; the mint "
+        "site is checked where the tag is created)."
+    )
+
+    _COMM_OPS = {
+        "send", "isend", "recv", "irecv",
+        "tree_reduce", "tree_bcast", "bcast", "reduce",
+    }
+
+    @staticmethod
+    def _is_mk_tag(node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and (
+            (isinstance(node.func, ast.Name) and node.func.id == "mk_tag")
+            or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "mk_tag"
+            )
+        )
+
+    def check(self, mod: Module) -> Iterator[Violation]:
+        if not mod.in_package("parallel"):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = None
+            if isinstance(node.func, ast.Attribute):
+                fname = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                fname = node.func.id
+            if fname not in self._COMM_OPS:
+                continue
+            for kw in node.keywords:
+                if kw.arg != "tag":
+                    continue
+                val = kw.value
+                if self._is_mk_tag(val) or isinstance(
+                    val, (ast.Name, ast.Attribute)
+                ):
+                    continue
+                yield self._v(
+                    mod, val.lineno,
+                    f"tag passed to {fname}() is not minted by the "
+                    f"mk_tag registry (ad-hoc "
+                    f"{type(val).__name__}) — unregistered tags "
+                    f"can collide across concurrent phases",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     FlopsAccountedRule(),
     ThreadConfinementRule(),
@@ -583,6 +650,7 @@ RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     RequestWaitedRule(),
     StageMetadataRule(),
+    TagRegistryRule(),
 )
 
 

@@ -246,6 +246,14 @@ def _cmd_commcheck(args: argparse.Namespace) -> int:
     from repro.parallel.pfmm import run_parallel_fmm
     from repro.parallel.simmpi import CommStats
 
+    if args.traces:
+        # Offline mode: no live run — analyze saved traces (files, or
+        # directories of *.jsonl).  Exit 2 on missing/empty inputs so
+        # "nothing analyzed" never reads as "certified".
+        from repro.analysis.commcheck import main as commcheck_main
+
+        return commcheck_main(args.traces)
+
     kernel = _make_kernel(args.kernel)
     rng = np.random.default_rng(args.seed)
     pts = _WORKLOADS[args.workload](args.n, rng)
@@ -555,6 +563,277 @@ def _cmd_plancheck(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_commir(args: argparse.Namespace) -> int:
+    """Statically certify the full communication schedule — no apply.
+
+    Extracts the complete message schedule (every p2p send/receive
+    post/completion with source, destination and structured tag, every
+    segmented-collective hop, in per-rank program order) directly from
+    the plan inputs for each requested rank count — including counts
+    far beyond what the simulated runtime can execute, e.g. P=4096 —
+    and certifies matching, tag discipline, deadlock-freedom and
+    cross-scheme payload conservation.  The schedule depends only on
+    the point set, the rank count and the comm scheme, not on the
+    kernel, the RHS width or overlap (which reorders compute against a
+    fixed comm order), so each (ranks, scheme) pair is extracted and
+    checked once and reported for every swept configuration.
+
+    For rank counts small enough to execute (``--conform-ranks``), a
+    traced run on ``--conform-n`` points cross-checks conformance:
+    the dynamic trace must replay each rank's static op sequence
+    exactly.  The seeded-defect self-tests (dropped relay, reused tag,
+    swapped post/wait) run at ``--selftest-ranks`` unless
+    ``--no-selftest``.  There is no waiver mechanism.
+    """
+    import json
+    import time
+
+    from repro.analysis.commcheck_static import (
+        build_index,
+        conservation_summary,
+        cross_scheme_conservation,
+        run_checks,
+        run_selftests,
+        traced_run,
+    )
+    from repro.analysis.commir import extract_comm_ir, static_plan_inputs
+
+    rng = np.random.default_rng(args.seed)
+    kernels = [k for k in args.kernels.split(",") if k]
+    ranks_list = _parse_ints(args.ranks)
+    nrhs_list = _parse_ints(args.nrhs)
+    schemes = [s for s in args.schemes.split(",") if s]
+    if not ranks_list or not kernels or not schemes:
+        print("commir: nothing to certify "
+              "(empty --ranks, --kernels or --schemes)")
+        return 2
+    for s in schemes:
+        if s not in ("tree", "flat"):
+            print(f"commir: unknown comm scheme {s!r}")
+            return 2
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    conform_pts = _WORKLOADS[args.workload](args.conform_n, rng)
+    conform_ranks = set(_parse_ints(args.conform_ranks))
+    t_start = time.time()
+    failed = False
+    configs: list[dict] = []
+
+    def record(report, config: dict) -> None:
+        nonlocal failed
+        configs.append({
+            **config,
+            "ok": report.ok,
+            "counts": report.counts,
+            "messages": report.nmessages,
+            "ops": report.nops,
+            "findings": [str(f) for f in report.findings],
+        })
+        print(report.summary())
+        for f in report.findings:
+            print(f"  {f}")
+        failed |= not report.ok
+
+    for nranks in ranks_list:
+        inputs = static_plan_inputs(
+            pts, nranks, options=FMMOptions(p=args.p, max_points=args.s)
+        )
+        # One scheme's IR at a time: a P=4096 IR is gigabytes, and
+        # holding both schemes (plus both indexes) doubles the peak and
+        # lets allocator churn dominate the <60 s budget.  Each scheme
+        # is certified standalone, condensed to a ConservationSummary,
+        # and freed; the cross-scheme payload comparison then runs on
+        # the two compact summaries.
+        reports = {}
+        summaries = {}
+        for scheme in schemes:
+            ir = extract_comm_ir(inputs, scheme=scheme)
+            index = build_index(ir)
+            reports[scheme] = run_checks(
+                ir, name=f"ranks{nranks}/{scheme}", index=index,
+            )
+            summaries[scheme] = conservation_summary(ir, index)
+            del ir, index
+        if len(schemes) == 2:
+            cross = cross_scheme_conservation(
+                summaries[schemes[0]], summaries[schemes[1]]
+            )
+            for report in reports.values():
+                report.findings.extend(cross)
+                report.counts["conservation"] += len(cross)
+        for scheme in schemes:
+            report = reports[scheme]
+            # One certification covers the whole kernel x overlap x
+            # nrhs block: the schedule is invariant across them.
+            for kname in kernels:
+                for overlap in (True, False):
+                    for nrhs in nrhs_list:
+                        record(report, {
+                            "kernel": kname, "ranks": nranks,
+                            "scheme": scheme, "overlap": overlap,
+                            "nrhs": nrhs,
+                        })
+
+    conform_rows: list[dict] = []
+    for nranks in sorted(conform_ranks):
+        inputs = static_plan_inputs(
+            conform_pts, nranks,
+            options=FMMOptions(p=args.p, max_points=args.s),
+        )
+        kernel = _make_kernel(kernels[0])
+        density = rng.random((conform_pts.shape[0], kernel.source_dof))
+        for scheme in schemes:
+            for overlap in (True, False):
+                ir = extract_comm_ir(inputs, scheme=scheme,
+                                     overlap=overlap)
+                trace = traced_run(
+                    kernel, conform_pts, density,
+                    FMMOptions(p=args.p, max_points=args.s,
+                               comm=scheme),
+                    nranks, schedule_seed=args.seed,
+                    overlap=overlap,
+                )
+                ov = "on" if overlap else "off"
+                report = run_checks(
+                    ir, traces=(trace,),
+                    name=(f"conform/ranks{nranks}/{scheme}/"
+                          f"overlap-{ov}"),
+                )
+                record(report, {
+                    "kernel": kernels[0], "ranks": nranks,
+                    "scheme": scheme, "overlap": overlap,
+                    "nrhs": 1, "conformance": True,
+                })
+                conform_rows.append(configs[-1])
+
+    selftests: list[dict] = []
+    if not args.no_selftest:
+        from repro.analysis.commcheck_static import SEEDS
+
+        # The seeded defects need a schedule deep enough to host them
+        # (an interior relay node needs a box with >= 4 gather
+        # participants); probe increasing rank counts until every seed
+        # is plantable.
+        st_tree = st_flat = None
+        cand = args.selftest_ranks
+        for _ in range(5):
+            st_inputs = static_plan_inputs(
+                conform_pts, cand,
+                options=FMMOptions(p=args.p, max_points=args.s),
+            )
+            ir = extract_comm_ir(st_inputs, scheme="tree")
+            try:
+                for seed_fn, _intended in SEEDS.values():
+                    seed_fn(ir)
+            except ValueError:
+                cand *= 2
+                continue
+            st_tree = ir
+            st_flat = extract_comm_ir(st_inputs, scheme="flat")
+            break
+        if st_tree is None:
+            print(f"commir: no rank count up to {cand // 2} hosts the "
+                  f"seeded defects on this workload")
+            return 1
+        if cand != args.selftest_ranks:
+            print(f"commir: self-tests host at ranks={cand}")
+        for name, ok, detail in run_selftests(st_tree,
+                                              reference=st_flat):
+            print(f"selftest {name}: {'ok' if ok else 'FAILED'} "
+                  f"({detail})")
+            selftests.append({"seed": name, "ok": ok, "detail": detail})
+            failed |= not ok
+
+    elapsed = time.time() - t_start
+    if args.json:
+        payload = {
+            "n": int(pts.shape[0]), "p": args.p, "s": args.s,
+            "elapsed_s": elapsed,
+            "configs": configs, "selftests": selftests,
+            "ok": not failed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"commir: JSON report written to {args.json}")
+    print("commir:", "FAILED" if failed
+          else f"all {len(configs)} configurations certified "
+               f"(zero waivers) in {elapsed:.1f}s")
+    return 1 if failed else 0
+
+
+def _cmd_dpor(args: argparse.Namespace) -> int:
+    """Exhaustively model-check the schedule space at tiny rank counts.
+
+    Builds the static communication IR for each requested rank count
+    and explores *every* reachable scheduler interleaving (memoized
+    over program-counter states): no reachable deadlock, persistence
+    certified at every state, and the exact interleaving count
+    reported.  An end-to-end harness then re-solves the same problem
+    under several randomized runtime schedules and asserts bitwise
+    identical potentials.
+    """
+    import json
+
+    from repro.analysis.commir import extract_comm_ir, static_plan_inputs
+    from repro.analysis.dpor import bitwise_determinism, explore
+
+    rng = np.random.default_rng(args.seed)
+    ranks_list = _parse_ints(args.ranks)
+    schemes = [s for s in args.schemes.split(",") if s]
+    if not ranks_list or not schemes:
+        print("dpor: nothing to explore (empty --ranks or --schemes)")
+        return 2
+    if args.n <= 0:
+        print(f"dpor: need a positive point count, got {args.n}")
+        return 2
+    pts = _WORKLOADS[args.workload](args.n, rng)
+    kernel = _make_kernel(args.kernel)
+    density = rng.random((pts.shape[0], kernel.source_dof))
+    failed = False
+    rows: list[dict] = []
+    for nranks in ranks_list:
+        inputs = static_plan_inputs(
+            pts, nranks, options=FMMOptions(p=args.p, max_points=args.s)
+        )
+        for scheme in schemes:
+            ir = extract_comm_ir(inputs, scheme=scheme)
+            report = explore(ir, max_states=args.max_states)
+            print(f"ranks{nranks}/{scheme}: {report.summary()}")
+            for d in report.deadlocks:
+                print(f"  deadlock: {d}")
+            for v in report.persistence_violations:
+                print(f"  persistence: {v}")
+            rows.append({
+                "ranks": nranks, "scheme": scheme, "ok": report.ok,
+                "states": report.nstates,
+                "interleavings": str(report.ninterleavings),
+                "classes": report.nclasses,
+                "deadlocks": report.deadlocks,
+                "persistence_violations": report.persistence_violations,
+            })
+            failed |= not report.ok
+        same, diff = bitwise_determinism(
+            kernel, pts, density,
+            FMMOptions(p=args.p, max_points=args.s),
+            nranks, seeds=tuple(range(args.seed, args.seed
+                                      + args.schedules)),
+        )
+        print(f"ranks{nranks}: bitwise determinism across "
+              f"{args.schedules} schedules: "
+              f"{'ok' if same else f'FAILED (max diff {diff:g})'}")
+        rows.append({
+            "ranks": nranks, "bitwise": same,
+            "schedules": args.schedules,
+        })
+        failed |= not same
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"rows": rows, "ok": not failed}, fh, indent=2)
+        print(f"dpor: JSON report written to {args.json}")
+    print("dpor:", "FAILED" if failed
+          else "schedule space exhaustively verified")
+    return 1 if failed else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Measured 3-way M2L ablation (dense / fft / rsvd) across the grid.
 
@@ -799,6 +1078,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the per-primitive collective summary "
                          "(allreduce/bcast/reduce-scatter/tree-reduce/"
                          "tree-bcast call and byte counts)")
+    pc.add_argument("--traces", nargs="+", default=None, metavar="PATH",
+                    help="offline mode: analyze saved *.jsonl traces "
+                         "(files or directories) instead of running; "
+                         "exits 2 if a path is missing or a directory "
+                         "holds no trace files")
     pc.set_defaults(func=_cmd_commcheck, p=4, s=40)
 
     pr = sub.add_parser(
@@ -865,6 +1149,66 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the machine-readable certification report "
                          "(per-check counts, flop-budget deltas)")
     pp.set_defaults(func=_cmd_plancheck, p=4, s=40)
+
+    pci = sub.add_parser(
+        "commir",
+        help="statically certify the complete message schedule "
+             "(matching, tags, deadlock-freedom, cross-scheme payload "
+             "conservation, trace conformance) without running an "
+             "apply — works at rank counts like 4096",
+    )
+    common(pci)
+    pci.add_argument("--n", type=int, default=20000)
+    pci.add_argument("--kernels", default="laplace,stokes",
+                     help="comma-separated kernels to report (the "
+                          "schedule itself is kernel-invariant)")
+    pci.add_argument("--ranks", default="2,4,8,64,4096",
+                     help="comma-separated rank counts to certify")
+    pci.add_argument("--schemes", default="tree,flat",
+                     help="comma-separated comm schemes")
+    pci.add_argument("--nrhs", default="1,8",
+                     help="comma-separated multi-RHS block widths "
+                          "(reported; schedule-invariant)")
+    pci.add_argument("--conform-ranks", default="2,4,8",
+                     help="rank counts for the dynamic-trace "
+                          "conformance cross-check (must be small "
+                          "enough to execute)")
+    pci.add_argument("--conform-n", type=int, default=600,
+                     help="point count of the traced conformance runs")
+    pci.add_argument("--selftest-ranks", type=int, default=32,
+                     help="rank count hosting the seeded-defect "
+                          "self-tests (needs boxes with deep gather "
+                          "trees)")
+    pci.add_argument("--no-selftest", action="store_true",
+                     help="skip the seeded-defect self-tests")
+    pci.add_argument("--json", default=None, metavar="PATH",
+                     help="write the machine-readable certification "
+                          "report")
+    pci.set_defaults(func=_cmd_commir, p=4, s=40)
+
+    pd = sub.add_parser(
+        "dpor",
+        help="exhaustively explore every scheduler interleaving of the "
+             "static communication IR at tiny rank counts; prove "
+             "deadlock-freedom and observable determinism over the "
+             "full schedule space",
+    )
+    common(pd)
+    pd.add_argument("--n", type=int, default=120)
+    pd.add_argument("--ranks", default="2,3",
+                    help="comma-separated rank counts to explore "
+                         "(state space grows fast; keep tiny)")
+    pd.add_argument("--schemes", default="tree,flat",
+                    help="comma-separated comm schemes")
+    pd.add_argument("--max-states", type=int, default=2_000_000,
+                    help="abort exploration beyond this many scheduler "
+                         "states")
+    pd.add_argument("--schedules", type=int, default=4,
+                    help="randomized runtime schedules for the bitwise "
+                         "determinism harness")
+    pd.add_argument("--json", default=None, metavar="PATH",
+                    help="write the machine-readable report")
+    pd.set_defaults(func=_cmd_dpor, p=4, s=40)
 
     pb = sub.add_parser(
         "bench",

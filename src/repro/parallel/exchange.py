@@ -57,6 +57,8 @@ from repro.parallel.simmpi import (
     SimComm,
     combine_tree,
     current_recorder,
+    mk_tag,
+    register_tag_family,
     tree_children,
     tree_order,
     tree_parent,
@@ -65,6 +67,31 @@ from repro.util.timing import PhaseTimer
 
 #: Recognised communication schemes (see module docstring).
 EXCHANGE_SCHEMES = ("tree", "flat")
+
+# Tag families of the owner-centric box exchanges.  Each payload kind
+# owns a gather family (contributor -> owner direction) and a scatter
+# family (owner -> user direction, suffixed ``g``); each tag carries the
+# box index as its single discriminator.  The static communication
+# verifier introspects this registration via
+# :func:`exchange_tag_families`, so runtime and verifier can never
+# disagree about the tag vocabulary.
+for _kind, _gather_phase, _scatter_phase in (
+    ("src", "ghost_gather", "ghost_scatter"),
+    ("ue", "equiv_gather", "equiv_scatter"),
+    ("geo", "geo_gather", "geo_scatter"),
+    ("phi", "phi_gather", "phi_scatter"),
+    ("pue", "pue_gather", "pue_scatter"),
+):
+    register_tag_family(_kind, fields=("box",), phases=(_gather_phase,))
+    register_tag_family(
+        _kind + "g", fields=("box",), phases=(_scatter_phase,)
+    )
+
+
+def exchange_tag_families(kind: str) -> tuple[str, str]:
+    """The ``(gather, scatter)`` tag families of one exchange kind."""
+    mk_tag(kind, 0), mk_tag(kind + "g", 0)  # validate registration
+    return kind, kind + "g"
 
 
 def _check_scheme(scheme: str) -> str:
@@ -157,7 +184,7 @@ def exchange_source_data(
                     if contrib_src[me, b] else None
                 )
                 total = comm.tree_reduce(
-                    mine, o, parts, tag=("src", int(b)), combine=cat,
+                    mine, o, parts, tag=mk_tag("src", int(b)), combine=cat,
                     phase="ghost_gather",
                 )
                 if o == me:
@@ -175,7 +202,7 @@ def exchange_source_data(
                     comm.send(
                         int(owner[b]),
                         (local_points[b], local_density[b]),
-                        tag=("src", int(b)),
+                        tag=mk_tag("src", int(b)),
                         phase="ghost_gather",
                     )
         with timer.phase("wait"):
@@ -187,7 +214,7 @@ def exchange_source_data(
                     comm, int(b), order,
                     lambda r, _b=b: bool(contrib_src[r, _b]),
                     lambda _b=b: (local_points[_b], local_density[_b]),
-                    ("src", int(b)),
+                    mk_tag("src", int(b)),
                 )
                 total = combine_tree(pieces, cat)
                 combined[int(b)] = (
@@ -207,7 +234,7 @@ def exchange_source_data(
                     continue
                 data = comm.tree_bcast(
                     combined[int(b)] if o == me else None, o, parts,
-                    tag=("srcg", int(b)), phase="ghost_scatter",
+                    tag=mk_tag("srcg", int(b)), phase="ghost_scatter",
                 )
                 if users_src[me, b]:
                     result[int(b)] = data
@@ -219,7 +246,7 @@ def exchange_source_data(
                         if r != me:
                             comm.send(
                                 int(r), combined[int(b)],
-                                tag=("srcg", int(b)), phase="ghost_scatter",
+                                tag=mk_tag("srcg", int(b)), phase="ghost_scatter",
                             )
         with timer.phase("wait"):
             for b in boxes:
@@ -229,7 +256,7 @@ def exchange_source_data(
                     result[int(b)] = combined[int(b)]
                 else:
                     result[int(b)] = comm.recv(
-                        int(owner[b]), tag=("srcg", int(b))
+                        int(owner[b]), tag=mk_tag("srcg", int(b))
                     )
     return result
 
@@ -282,7 +309,7 @@ def exchange_equiv_densities(
                         else np.zeros_like(partial_ue[b])
                     )
                 total = comm.tree_reduce(
-                    mine, o, parts, tag=("ue", int(b)), combine=add,
+                    mine, o, parts, tag=mk_tag("ue", int(b)), combine=add,
                     phase="equiv_gather",
                 )
                 if o == me:
@@ -300,7 +327,7 @@ def exchange_equiv_densities(
                         partial_ue[b] if has_ue[b]
                         else np.zeros_like(partial_ue[b])
                     )
-                    comm.send(int(owner[b]), payload, tag=("ue", int(b)),
+                    comm.send(int(owner[b]), payload, tag=mk_tag("ue", int(b)),
                               phase="equiv_gather")
         with timer.phase("wait"):
             for b in boxes:
@@ -317,7 +344,7 @@ def exchange_equiv_densities(
                 pieces = _gather_pieces_flat(
                     comm, int(b), order,
                     lambda r, _b=b: bool(contrib_src[r, _b]),
-                    own_piece, ("ue", int(b)),
+                    own_piece, mk_tag("ue", int(b)),
                 )
                 total = combine_tree(pieces, add)
                 summed[int(b)] = (
@@ -336,7 +363,7 @@ def exchange_equiv_densities(
                     continue
                 data = comm.tree_bcast(
                     summed[int(b)] if o == me else None, o, parts,
-                    tag=("ueg", int(b)), phase="equiv_scatter",
+                    tag=mk_tag("ueg", int(b)), phase="equiv_scatter",
                 )
                 if users_equiv[me, b]:
                     result[int(b)] = data
@@ -347,7 +374,7 @@ def exchange_equiv_densities(
                     for r in np.nonzero(users_equiv[:, b])[0]:
                         if r != me:
                             comm.send(int(r), summed[int(b)],
-                                      tag=("ueg", int(b)),
+                                      tag=mk_tag("ueg", int(b)),
                                       phase="equiv_scatter")
         with timer.phase("wait"):
             for b in boxes:
@@ -357,7 +384,7 @@ def exchange_equiv_densities(
                     result[int(b)] = summed[int(b)]
                 else:
                     result[int(b)] = comm.recv(
-                        int(owner[b]), tag=("ueg", int(b))
+                        int(owner[b]), tag=mk_tag("ueg", int(b))
                     )
     return result
 
@@ -402,7 +429,7 @@ def exchange_source_geometry(
                     continue
                 mine = local_points[b] if contrib_src[me, b] else None
                 total = comm.tree_reduce(
-                    mine, o, parts, tag=("geo", int(b)), combine=cat,
+                    mine, o, parts, tag=mk_tag("geo", int(b)), combine=cat,
                     phase="geo_gather",
                 )
                 if o == me:
@@ -414,7 +441,7 @@ def exchange_source_geometry(
             for b in boxes:
                 if contrib_src[me, b] and owner[b] != me:
                     comm.send(int(owner[b]), local_points[b],
-                              tag=("geo", int(b)), phase="geo_gather")
+                              tag=mk_tag("geo", int(b)), phase="geo_gather")
         with timer.phase("wait"):
             for b in boxes:
                 if owner[b] != me:
@@ -423,7 +450,7 @@ def exchange_source_geometry(
                 pieces = _gather_pieces_flat(
                     comm, int(b), order,
                     lambda r, _b=b: bool(contrib_src[r, _b]),
-                    lambda _b=b: local_points[_b], ("geo", int(b)),
+                    lambda _b=b: local_points[_b], mk_tag("geo", int(b)),
                 )
                 total = combine_tree(pieces, cat)
                 combined[int(b)] = (
@@ -440,7 +467,7 @@ def exchange_source_geometry(
                     continue
                 data = comm.tree_bcast(
                     combined[int(b)] if o == me else None, o, parts,
-                    tag=("geog", int(b)), phase="geo_scatter",
+                    tag=mk_tag("geog", int(b)), phase="geo_scatter",
                 )
                 if users_src[me, b]:
                     result[int(b)] = data
@@ -451,7 +478,7 @@ def exchange_source_geometry(
                     for r in np.nonzero(users_src[:, b])[0]:
                         if r != me:
                             comm.send(int(r), combined[int(b)],
-                                      tag=("geog", int(b)),
+                                      tag=mk_tag("geog", int(b)),
                                       phase="geo_scatter")
         with timer.phase("wait"):
             for b in boxes:
@@ -461,7 +488,7 @@ def exchange_source_geometry(
                     result[int(b)] = combined[int(b)]
                 else:
                     result[int(b)] = comm.recv(
-                        int(owner[b]), tag=("geog", int(b))
+                        int(owner[b]), tag=mk_tag("geog", int(b))
                     )
     return result
 
@@ -690,13 +717,13 @@ class ApplyExchange:
                 if plan.scheme == "tree":
                     for b, parent, children, selfc in plan.gather:
                         reqs = [
-                            comm.irecv(r, tag=(plan.kind, b), phase=gphase)
+                            comm.irecv(r, tag=mk_tag(plan.kind, b), phase=gphase)
                             for r in children
                         ]
                         if parent is not None and not children:
                             comm.isend(
                                 parent, self._piece(plan, b),
-                                tag=(plan.kind, b), phase=gphase,
+                                tag=mk_tag(plan.kind, b), phase=gphase,
                             )
                         else:
                             self._gnodes.append((plan, b, parent, reqs, selfc))
@@ -705,16 +732,16 @@ class ApplyExchange:
                             self._sroots[(plan.kind, b)] = (children, selfu)
                         else:
                             req = comm.irecv(
-                                parent, tag=(plan.kind + "g", b), phase=sphase
+                                parent, tag=mk_tag(plan.kind + "g", b), phase=sphase
                             )
                             self._snodes.append((plan, b, req, children, selfu))
                     continue
                 for b, o in plan.send_to_owner:
-                    comm.isend(o, self._piece(plan, b), tag=(plan.kind, b),
+                    comm.isend(o, self._piece(plan, b), tag=mk_tag(plan.kind, b),
                                phase=gphase)
                 for b, peers_c, selfc, peers_u, selfu in plan.owned:
                     reqs = [
-                        comm.irecv(r, tag=(plan.kind, b), phase=gphase)
+                        comm.irecv(r, tag=mk_tag(plan.kind, b), phase=gphase)
                         for r in peers_c
                     ]
                     self._gathers.append(
@@ -723,7 +750,7 @@ class ApplyExchange:
                 for b, o in plan.recv_from:
                     self._scatters.append(
                         (plan, b,
-                         comm.irecv(o, tag=(plan.kind + "g", b), phase=sphase))
+                         comm.irecv(o, tag=mk_tag(plan.kind + "g", b), phase=sphase))
                     )
         return self
 
@@ -737,19 +764,24 @@ class ApplyExchange:
         ascending-mask order — the identical association) and forward
         the partial upward; the root finalizes and feeds the scatter
         tree.  Both folds are bitwise identical by construction.
+
+        The tree scheme must wait, fold and forward *per node*, in the
+        (kind, box) order every rank shares — never wait all nodes'
+        children before forwarding any accumulation.  Two ranks can
+        each be an interior gather node in a box the *other* is a child
+        of (first possible once gather trees reach four participants,
+        i.e. at large rank counts); under wait-all-then-forward each
+        rank's forward is program-ordered behind its wait for the
+        other's forward — a deadlock cycle.  With the shared ascending
+        order, a node's forward for box ``b`` waits only on ``b``'s own
+        subtree and on boxes strictly earlier in the shared order, so
+        every wait chain is well-founded.  The static verifier
+        (``repro commir``) checks exactly this property at P=4096.
         """
-        with self._timer.phase("wait"):
-            gathered_tree = [
-                (plan, b, parent, [r.wait() for r in reqs], selfc)
-                for plan, b, parent, reqs, selfc in self._gnodes
-            ]
-            gathered = [
-                (plan, b, [r.wait() for r in reqs], selfc, peers_u, selfu)
-                for plan, b, reqs, selfc, peers_u, selfu in self._gathers
-            ]
         comm = self._comm
-        with self._timer.phase("pack"):
-            for plan, b, parent, child_pieces, selfc in gathered_tree:
+        with self._timer.phase("wait"):
+            for plan, b, parent, reqs, selfc in self._gnodes:
+                child_pieces = [r.wait() for r in reqs]
                 if self._rec is not None:
                     # Child pieces arrive by reference: reading them is
                     # a cross-rank access on the sender's arrays,
@@ -765,7 +797,7 @@ class ApplyExchange:
                     # Interior node: forward the partial fold upward.
                     if self._rec is not None:
                         self._rec.write(acc, f"relay:partial box {b}")
-                    comm.isend(parent, acc, tag=(plan.kind, b),
+                    comm.isend(parent, acc, tag=mk_tag(plan.kind, b),
                                phase=f"{plan.kind}_gather")
                     continue
                 data = self._finalize(plan, acc, npieces)
@@ -773,11 +805,12 @@ class ApplyExchange:
                     self._rec.write(data, f"relay:combine box {b}")
                 s_children, selfu = self._sroots[(plan.kind, b)]
                 for r in s_children:
-                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                    comm.isend(r, data, tag=mk_tag(plan.kind + "g", b),
                                phase=f"{plan.kind}_scatter")
                 if selfu:
                     self._store(plan, b, data)
-            for plan, b, peer_pieces, selfc, peers_u, selfu in gathered:
+            for plan, b, reqs, selfc, peers_u, selfu in self._gathers:
+                peer_pieces = [r.wait() for r in reqs]
                 if self._rec is not None:
                     for p in peer_pieces:
                         self._rec.read(p, f"relay:piece box {b}")
@@ -791,7 +824,7 @@ class ApplyExchange:
                 if self._rec is not None:
                     self._rec.write(data, f"relay:combine box {b}")
                 for r in peers_u:
-                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                    comm.isend(r, data, tag=mk_tag(plan.kind + "g", b),
                                phase=f"{plan.kind}_scatter")
                 if selfu:
                     self._store(plan, b, data)
@@ -810,7 +843,7 @@ class ApplyExchange:
                 if self._rec is not None:
                     self._rec.read(data, f"finish:recv box {b}")
                 for r in children:
-                    comm.isend(r, data, tag=(plan.kind + "g", b),
+                    comm.isend(r, data, tag=mk_tag(plan.kind + "g", b),
                                phase=f"{plan.kind}_scatter")
                 if selfu:
                     self._store(plan, b, data)

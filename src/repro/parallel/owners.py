@@ -37,6 +37,39 @@ def gather_contributors(
     return arr[:, 0, :], arr[:, 1, :]
 
 
+def static_contributors(
+    tree, parts: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Offline mirror of :func:`gather_contributors` — no SPMD run.
+
+    Given the *global* tree (built over all points with the agreed root
+    cube) and the per-rank original-index partition from
+    :func:`repro.parallel.partition.partition_points`, computes the same
+    ``(contrib_src, contrib_trg)`` matrices every rank would assemble
+    collectively: rank ``r`` contributes to box ``b`` iff one of its
+    points lies in ``b``.  Box membership is identical because the
+    parallel per-rank trees share the global topology and root cube (see
+    ``repro/parallel/ptree.py``), so this is exact for arbitrary rank
+    counts — including counts far beyond what the simulated runtime can
+    execute, which is what makes the static communication verifier
+    (:mod:`repro.analysis.commir`) possible at P=4096.
+    """
+    nranks = len(parts)
+    rank_of = np.empty(tree.sources.shape[0], dtype=np.int64)
+    for r, idx in enumerate(parts):
+        rank_of[idx] = r
+    by_src_pos = rank_of[tree.src_perm]
+    by_trg_pos = rank_of[tree.trg_perm]
+    contrib_src = np.zeros((nranks, tree.nboxes), dtype=bool)
+    contrib_trg = np.zeros((nranks, tree.nboxes), dtype=bool)
+    for b in tree.boxes:
+        contrib_src[np.unique(by_src_pos[b.src_start:b.src_stop]),
+                    b.index] = True
+        contrib_trg[np.unique(by_trg_pos[b.trg_start:b.trg_stop]),
+                    b.index] = True
+    return contrib_src, contrib_trg
+
+
 def assign_owners(contrib: np.ndarray) -> np.ndarray:
     """Deterministic owner per box from the contributor matrix.
 

@@ -66,9 +66,18 @@ from repro.parallel.simmpi import (
     PerRank,
     SimComm,
     current_recorder,
+    mk_tag,
+    register_tag_family,
     run_spmd,
 )
 from repro.util.timing import PhaseTimer
+
+# Coarse V-split broadcast tags: ``("vsp", level, box)``, one segmented
+# tree_bcast per assigned box at each coarse split level (see
+# :func:`v_split_bcast_schedule`).
+register_tag_family(
+    "vsp", fields=("level", "box"), phases=("v_split",), kind="split",
+)
 
 
 def _octant(box) -> int:
@@ -407,6 +416,39 @@ def _global_root(
     side = side * (1.0 + pad) if side > 0 else 1.0
     center = (lo + hi) / 2.0
     return center - side / 2.0, side
+
+
+def v_split_bcast_schedule(
+    lvl_boxes: np.ndarray,
+    lists: InteractionLists,
+    contrib_trg: np.ndarray,
+    gsrc: np.ndarray,
+) -> list[tuple[int, int, tuple[int, ...]]]:
+    """The coarse-split broadcast schedule of one tree level.
+
+    Pure function of the plan inputs (level boxes, interaction lists,
+    target-contributor matrix, global source counts): the level's active
+    V target boxes — some rank contributes targets and some V partner
+    holds global sources — each assigned cyclically to one of their
+    contributor ranks, who broadcasts the computed downward-check rows
+    to the other contributors.  Returns ``(box, root_rank, participants)``
+    rows, identical on every rank (everything derives from replicated
+    matrices).  Shared by :func:`rank_setup` and the static
+    communication verifier (:mod:`repro.analysis.commir`), so the
+    runtime schedule and the certified one cannot drift apart.
+    """
+    cand = [
+        int(bx) for bx in lvl_boxes
+        if contrib_trg[:, bx].any()
+        and any(gsrc[int(a)] > 0 for a in lists.V[int(bx)])
+    ]
+    schedule: list[tuple[int, int, tuple[int, ...]]] = []
+    for j, bx in enumerate(cand):
+        parts = tuple(
+            int(r) for r in np.nonzero(contrib_trg[:, bx])[0]
+        )
+        schedule.append((bx, parts[j % len(parts)], parts))
+    return schedule
 
 
 @plan_stage
@@ -918,7 +960,7 @@ class RankFMM:
             )
             out = comm.tree_bcast(
                 blk, root, parts,
-                tag=("vsp", int(vl.level), int(bx)), phase="v_split",
+                tag=mk_tag("vsp", int(vl.level), int(bx)), phase="v_split",
             )
             if me != root:
                 dc3[:, bx] = out
@@ -1141,21 +1183,16 @@ def rank_setup(
                 # The level's global V target set, gated like build_plan:
                 # some rank contributes targets and some partner holds
                 # global sources.
-                cand = [
-                    int(bx) for bx in lvl_boxes
-                    if contrib_trg[:, bx].any()
-                    and any(gsrc[int(a)] > 0 for a in lists.V[int(bx)])
+                schedule = v_split_bcast_schedule(
+                    lvl_boxes, lists, contrib_trg, gsrc
+                )
+                assigned_rank = {
+                    bx: root_r for bx, root_r, _ in schedule
+                }
+                bcast = [
+                    (bx, root_r, parts)
+                    for bx, root_r, parts in schedule if me in parts
                 ]
-                assigned_rank: dict[int, int] = {}
-                bcast: list[tuple[int, int, tuple[int, ...]]] = []
-                for j, bx in enumerate(cand):
-                    parts = tuple(
-                        int(r) for r in np.nonzero(contrib_trg[:, bx])[0]
-                    )
-                    root_r = parts[j % len(parts)]
-                    assigned_rank[bx] = root_r
-                    if me in parts:
-                        bcast.append((bx, root_r, parts))
                 assigned = np.fromiter(
                     (assigned_rank[int(bx)] == me for bx in vl.trg_boxes),
                     bool, vl.trg_boxes.size,

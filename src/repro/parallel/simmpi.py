@@ -88,6 +88,101 @@ class RankAbortedError(RuntimeError):
     """
 
 
+# ---------------------------------------------------------------------------
+# Message-tag registry.  Every point-to-point tag in the repo is a
+# structured tuple ``(family, *discriminators)`` minted through
+# :func:`mk_tag` from a family registered here — the communication
+# analogue of the ``@plan_stage`` registry: a single source of truth the
+# static verifier (:mod:`repro.analysis.commir`) introspects to know
+# which tag families exist, how many discriminator fields each carries
+# and which trace phases its messages appear in.  Ad-hoc literal tags
+# are rejected statically by the ``tag-registry`` lint rule.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TagFamily:
+    """One registered tag family (the first element of its tags)."""
+
+    name: str
+    #: Names of the discriminator fields following the family name
+    #: (e.g. ``("box",)`` or ``("level", "box")``).
+    fields: tuple[str, ...]
+    #: Trace phases this family's messages are recorded under.
+    phases: tuple[str, ...]
+    #: ``"exchange"`` (owner-centric box exchange), ``"split"`` (coarse
+    #: V-split broadcast) or ``"collective"`` (binomial collectives).
+    kind: str = "exchange"
+
+
+#: family name -> :class:`TagFamily`; populated by the modules that own
+#: each protocol (this module for the collectives, ``exchange.py`` for
+#: the box exchanges, ``pfmm.py`` for the coarse V split).
+TAG_FAMILIES: dict[str, TagFamily] = {}
+
+
+def register_tag_family(
+    name: str,
+    *,
+    fields: Iterable[str],
+    phases: Iterable[str] = (),
+    kind: str = "exchange",
+) -> TagFamily:
+    """Register (idempotently) one tag family.
+
+    Re-registration with an identical spec is a no-op so module reloads
+    stay harmless; a *conflicting* re-registration is an error — two
+    protocols silently sharing a family name is exactly the tag-space
+    collision the static verifier exists to rule out.
+    """
+    fam = TagFamily(name, tuple(fields), tuple(phases), kind)
+    existing = TAG_FAMILIES.get(name)
+    if existing is not None:
+        if existing != fam:
+            raise ValueError(
+                f"tag family {name!r} already registered with a "
+                f"different spec: {existing} vs {fam}"
+            )
+        return existing
+    TAG_FAMILIES[name] = fam
+    return fam
+
+
+def mk_tag(family: str, *ids) -> tuple:
+    """Mint one structured message tag ``(family, *ids)``.
+
+    The family must be registered and ``ids`` must match its declared
+    field count — the runtime half of the ``tag-registry`` invariant.
+    """
+    fam = TAG_FAMILIES.get(family)
+    if fam is None:
+        raise KeyError(
+            f"unregistered tag family {family!r} (known: "
+            f"{sorted(TAG_FAMILIES)})"
+        )
+    if len(ids) != len(fam.fields):
+        raise ValueError(
+            f"tag family {family!r} takes {len(fam.fields)} field(s) "
+            f"{fam.fields}, got {len(ids)}"
+        )
+    return (family, *ids)
+
+
+def coll_scatter_tag(tag: tuple) -> tuple:
+    """The scatter-leg tag derived from a collective's reduce-leg tag."""
+    if not (isinstance(tag, tuple) and tag and tag[0] == "__coll__"):
+        raise ValueError(f"not a collective tag: {tag!r}")
+    return mk_tag("__coll_scatter__", *tag[1:])
+
+
+register_tag_family(
+    "__coll__", fields=("primitive", "seq"), kind="collective",
+)
+register_tag_family(
+    "__coll_scatter__", fields=("primitive", "seq"), kind="collective",
+)
+
+
 @dataclass
 class CommStats:
     """Per-rank communication accounting (both directions).
@@ -496,7 +591,7 @@ class SimComm:
         self._world.barrier.wait()
 
     def _next_coll_tag(self, name: str) -> tuple:
-        tag = ("__coll__", name, self._coll_seq)
+        tag = mk_tag("__coll__", name, self._coll_seq)
         self._coll_seq += 1
         return tag
 
@@ -628,20 +723,19 @@ class SimComm:
                 "reduce_scatter", nbytes=array.nbytes, op=op, shape=array.shape
             )
         tag = self._next_coll_tag("reduce_scatter")
+        stag = coll_scatter_tag(tag)
         total = self._reduce_to_root(array, op, tag, "reduce_scatter")
         pos, n = self.rank, self.size
         if pos == 0:
             block, lo = total, 0
         else:
-            block = self.recv(tree_parent(pos), tag=(tag, "scatter"))
+            block = self.recv(tree_parent(pos), tag=stag)
             lo = pos
         for child in reversed(tree_children(pos, n)):
             # The child's subtree spans positions [child, child + m)
             # where m is the mask that attached it (its lowest set bit).
             hi = min(child + (child & -child), n)
-            self.send(
-                child, block[child - lo: hi - lo], tag=(tag, "scatter")
-            )
+            self.send(child, block[child - lo: hi - lo], tag=stag)
         out = np.array(block[pos - lo], copy=True)
         if self._tracer is not None:
             self._coll_clock_sync("reduce_scatter")

@@ -6,8 +6,8 @@ layout (``repro/parallel/``) so the rule's scope gating applies.
 """
 
 
-def leaky_gather(comm, peers):
-    reqs = [comm.irecv(r, tag=("x", r)) for r in peers]
+def leaky_gather(comm, peers, mk_tag):
+    reqs = [comm.irecv(r, tag=mk_tag("x", r)) for r in peers]
     total = 0
     for r in peers:
         total += r

@@ -278,3 +278,42 @@ class TestCLI:
         trace.to_jsonl(str(path))
         assert commcheck_main([str(path)]) == 1
         assert "unmatched-send" in capsys.readouterr().out
+
+    def test_empty_trace_directory_exits_2(self, tmp_path, capsys):
+        """A directory with zero trace files must never read as
+        certified (satellite: empty input is a usage error)."""
+        empty = tmp_path / "traces"
+        empty.mkdir()
+        assert commcheck_main([str(empty)]) == 2
+        out = capsys.readouterr().out
+        assert "no *.jsonl trace files" in out
+        assert "nothing to certify" in out
+
+    def test_missing_trace_path_exits_2(self, capsys):
+        assert commcheck_main(["does/not/exist.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_directory_expands_to_its_traces(self, tmp_path, capsys):
+        def main(comm):
+            comm.send((comm.rank + 1) % 2, np.ones(2), tag="t")
+            comm.recv((comm.rank + 1) % 2, tag="t")
+            comm.barrier()
+
+        trace = CommTrace()
+        run_spmd(2, main, trace=trace)
+        trace.to_jsonl(str(tmp_path / "run.jsonl"))
+        assert commcheck_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_commcheck_traces_flag(self, tmp_path, capsys):
+        """`repro commcheck --traces DIR` delegates to the offline
+        analyzer, including its exit-2 empty-input semantics."""
+        from repro.cli import main as cli_main
+
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert cli_main(["commcheck", "--traces", str(empty)]) == 2
+        assert "no *.jsonl trace files" in capsys.readouterr().out
+        assert cli_main(
+            ["commcheck", "--traces", "missing/dir/x.jsonl"]
+        ) == 2

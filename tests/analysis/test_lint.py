@@ -16,6 +16,7 @@ EXPECTED = {
     ("thread-confinement", "bad_threading.py"),
     ("request-waited", "bad_request.py"),
     ("stage-metadata", "bad_stage.py"),
+    ("tag-registry", "bad_tag.py"),
 }
 
 
